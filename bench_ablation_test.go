@@ -1,0 +1,100 @@
+package omtree_test
+
+// Ablation benchmarks for the design choices called out in DESIGN.md:
+// grid depth (forced k below the automatic choice) and wiring variant at a
+// fixed input. The reported "delay" metrics show what each choice buys.
+
+import (
+	"fmt"
+	"testing"
+
+	"omtree"
+)
+
+// BenchmarkAblationForceK pins the grid ring count below the automatic
+// choice: shallower grids mean larger cells, more Bisection work per cell
+// and worse delay — the justification for "choose k as large as possible".
+func BenchmarkAblationForceK(b *testing.B) {
+	const n = 50000
+	recv := omtree.NewRand(1234).UniformDiskN(n, 1)
+	auto, err := omtree.Build(omtree.Point2{}, recv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, dk := range []int{0, 2, 4, 6} {
+		k := auto.K - dk
+		if k < 1 {
+			continue
+		}
+		b.Run(fmt.Sprintf("k=%d(auto-%d)", k, dk), func(b *testing.B) {
+			var last *omtree.Result
+			for i := 0; i < b.N; i++ {
+				res, err := omtree.Build(omtree.Point2{}, recv, omtree.WithForceK(k))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Radius, "delay")
+			b.ReportMetric(last.Bound, "bound")
+		})
+	}
+}
+
+// BenchmarkAblationVariant compares the three wirings on identical inputs:
+// the delay cost of tightening the degree cap, at identical build cost.
+func BenchmarkAblationVariant(b *testing.B) {
+	const n = 50000
+	recv := omtree.NewRand(5678).UniformDiskN(n, 1)
+	for _, tc := range []struct {
+		name string
+		deg  int
+	}{
+		{"natural-deg6", 6},
+		{"hybrid-deg4", 4},
+		{"binary-deg2", 2},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var last *omtree.Result
+			for i := 0; i < b.N; i++ {
+				res, err := omtree.Build(omtree.Point2{}, recv, omtree.WithMaxOutDegree(tc.deg))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Radius, "delay")
+			b.ReportMetric(float64(last.Tree.MaxOutDegree()), "max-degree")
+		})
+	}
+}
+
+// BenchmarkAblationDensity stresses the uniform-density assumption with the
+// paper's epsilon-floor mixture: clustered receivers with a 20% uniform
+// floor. Asymptotic optimality survives; the constants degrade.
+func BenchmarkAblationDensity(b *testing.B) {
+	const n = 50000
+	r := omtree.NewRand(91011)
+	uniform := r.UniformDiskN(n, 1)
+	clustered := r.MixedDensityDiskN(n, 1, 0.2, []omtree.Cluster{
+		{Center: omtree.Point2{X: 0.5, Y: 0.2}, Sigma: 0.06, Weight: 2},
+		{Center: omtree.Point2{X: -0.4, Y: -0.3}, Sigma: 0.1, Weight: 1},
+	})
+	for _, tc := range []struct {
+		name string
+		recv []omtree.Point2
+	}{{"uniform", uniform}, {"clustered-eps0.2", clustered}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var last *omtree.Result
+			for i := 0; i < b.N; i++ {
+				res, err := omtree.Build(omtree.Point2{}, tc.recv)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Radius/last.Scale, "delay-ratio")
+			b.ReportMetric(float64(last.K), "rings")
+		})
+	}
+}

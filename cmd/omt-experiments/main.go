@@ -1,0 +1,317 @@
+// Command omt-experiments regenerates the paper's evaluation: Table I and
+// Figures 4–8, plus the baseline comparison.
+//
+//	omt-experiments -table1                 # Table I (disk, degrees 6 and 2)
+//	omt-experiments -fig4 -fig5 -fig6 -fig7 # the 2-D figures
+//	omt-experiments -fig8                   # 3-D unit ball, degrees 10 and 2
+//	omt-experiments -baselines              # Polar_Grid vs prior heuristics
+//	omt-experiments -all                    # everything
+//
+// By default the sweep runs sizes 100 .. 100,000 with 20 trials each, which
+// finishes in minutes on a laptop. -paper selects the paper's exact setup
+// (sizes up to 5,000,000, 200 trials) — budget considerable time and RAM.
+// -sizes and -trials override either. -csv PATH additionally dumps the raw
+// sweep as CSV.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"omtree/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "omt-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+var defaultSizes = []int{100, 500, 1000, 5000, 10000, 50000, 100000}
+
+var paperSizes = []int{100, 500, 1000, 5000, 10000, 50000, 100000, 500000, 1000000, 5000000}
+
+func run() error {
+	table1 := flag.Bool("table1", false, "reproduce Table I")
+	fig4 := flag.Bool("fig4", false, "reproduce Figure 4 (delay vs bounds, degree 6)")
+	fig5 := flag.Bool("fig5", false, "reproduce Figure 5 (degree 2 vs degree 6)")
+	fig6 := flag.Bool("fig6", false, "reproduce Figure 6 (rings vs n)")
+	fig7 := flag.Bool("fig7", false, "reproduce Figure 7 (running time)")
+	fig8 := flag.Bool("fig8", false, "reproduce Figure 8 (3-D unit ball)")
+	baselines := flag.Bool("baselines", false, "compare against baseline heuristics")
+	churn := flag.Bool("churn", false, "decentralized protocol vs centralized build")
+	repairs := flag.Bool("repairs", false, "failure/repair robustness sweep")
+	scale := flag.Bool("scale", false, "large-n comparison vs the k-d-tree greedy")
+	dims := flag.Bool("dims", false, "delay convergence across dimensions 2..5")
+	all := flag.Bool("all", false, "run everything")
+	paper := flag.Bool("paper", false, "use the paper's sizes (up to 5M) and 200 trials")
+	sizesFlag := flag.String("sizes", "", "comma-separated sizes (overrides defaults)")
+	trials := flag.Int("trials", 0, "trials per size (default 20, or 200 with -paper)")
+	seed := flag.Uint64("seed", 2004, "random seed")
+	workers := flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+	csvPath := flag.String("csv", "", "also write the sweep as CSV here")
+	jsonPath := flag.String("json", "", "write all executed experiment rows as JSON here")
+	flag.Parse()
+
+	if *all {
+		*table1, *fig4, *fig5, *fig6, *fig7, *fig8 = true, true, true, true, true, true
+		*baselines, *churn, *dims, *repairs, *scale = true, true, true, true, true
+	}
+	if !*table1 && !*fig4 && !*fig5 && !*fig6 && !*fig7 && !*fig8 && !*baselines && !*churn && !*dims && !*repairs && !*scale {
+		flag.Usage()
+		return fmt.Errorf("nothing selected (try -all)")
+	}
+
+	sizes := defaultSizes
+	nTrials := 20
+	if *paper {
+		sizes = paperSizes
+		nTrials = 200
+	}
+	if *sizesFlag != "" {
+		parsed, err := parseSizes(*sizesFlag)
+		if err != nil {
+			return err
+		}
+		sizes = parsed
+	}
+	if *trials > 0 {
+		nTrials = *trials
+	}
+
+	manifest := struct {
+		Seed      uint64                   `json:"seed"`
+		Trials    int                      `json:"trials"`
+		Disk      []experiment.Row         `json:"disk,omitempty"`
+		Ball      []experiment.Row         `json:"ball,omitempty"`
+		Baselines []experiment.BaselineRow `json:"baselines,omitempty"`
+		Scalable  []experiment.ScalableRow `json:"scalable,omitempty"`
+		Churn     []experiment.ChurnRow    `json:"churn,omitempty"`
+		Dims      []experiment.DimRow      `json:"dims,omitempty"`
+		Repairs   []experiment.RepairRow   `json:"repairs,omitempty"`
+	}{Seed: *seed}
+
+	need2D := *table1 || *fig4 || *fig5 || *fig6 || *fig7
+	var rows2 []experiment.Row
+	if need2D {
+		cfg := experiment.DiskConfig(sizes, nTrials, *seed)
+		cfg.Workers = *workers
+		cfg.Progress = func(m string) { fmt.Fprintln(os.Stderr, "[disk]", m) }
+		var err error
+		if rows2, err = experiment.Run(cfg); err != nil {
+			return err
+		}
+		manifest.Disk = rows2
+	}
+	manifest.Trials = nTrials
+
+	if *table1 {
+		fmt.Println("Table I: unit disk, uniform points, source at center")
+		fmt.Printf("(%d trials per size, seed %d)\n\n", nTrials, *seed)
+		if err := experiment.Table1(rows2).Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if *csvPath != "" && rows2 != nil {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteCSV(rows2, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	type figure struct {
+		enabled bool
+		build   func() (renderer, error)
+	}
+	figures := []figure{
+		{*fig4, func() (renderer, error) { return experiment.Figure4(rows2) }},
+		{*fig5, func() (renderer, error) {
+			return experiment.Figure5(rows2, "Figure 5: max delay, out-degree 2 vs 6 (unit disk)")
+		}},
+		{*fig6, func() (renderer, error) { return experiment.Figure6(rows2) }},
+		{*fig7, func() (renderer, error) { return experiment.Figure7(rows2) }},
+	}
+	for _, f := range figures {
+		if !f.enabled {
+			continue
+		}
+		p, err := f.build()
+		if err != nil {
+			return err
+		}
+		if err := p.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if *fig8 {
+		cfg := experiment.BallConfig(sizes, nTrials, *seed)
+		cfg.Workers = *workers
+		cfg.Progress = func(m string) { fmt.Fprintln(os.Stderr, "[ball]", m) }
+		rows3, err := experiment.Run(cfg)
+		if err != nil {
+			return err
+		}
+		manifest.Ball = rows3
+		p, err := experiment.Figure5(rows3,
+			"Figure 8: max delay in the 3-D unit ball, out-degree 2 vs 10")
+		if err != nil {
+			return err
+		}
+		if err := p.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Println("3-D sweep data:")
+		if err := experiment.Table1(rows3).Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if *churn {
+		cSizes := clampSizes(sizes, 5000)
+		extTrials := trialsForExtensions(nTrials)
+		fmt.Printf("Decentralized protocol vs centralized (degree 6, %d trials):\n\n", extTrials)
+		rows, err := experiment.RunChurn(experiment.ChurnConfig{
+			Sizes: cSizes, Trials: extTrials, Seed: *seed, MaxOutDegree: 6,
+		})
+		if err != nil {
+			return err
+		}
+		manifest.Churn = rows
+		if err := experiment.ChurnTable(rows).Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if *dims {
+		fmt.Println("Delay convergence across dimensions (n = 2000):")
+		fmt.Println()
+		rows, err := experiment.RunDimSweep(experiment.DimSweepConfig{
+			Dims: []int{2, 3, 4, 5}, N: 2000, Trials: trialsForExtensions(nTrials), Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		manifest.Dims = rows
+		if err := experiment.DimSweepTable(rows, 2000).Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if *scale {
+		extTrials := trialsForExtensions(nTrials)
+		fmt.Printf("Large-n comparison, near-linear algorithms only (degree 6, %d trials):\n\n", extTrials)
+		rows, err := experiment.RunScalableBaselines(experiment.BaselineConfig{
+			Sizes: sizes, Trials: extTrials, Seed: *seed, MaxOutDegree: 6, Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
+		manifest.Scalable = rows
+		if err := experiment.ScalableTable(rows).Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if *repairs {
+		fmt.Println("Failure/repair robustness (n = 2000, degree 6):")
+		fmt.Println()
+		rows, err := experiment.RunRepairs(experiment.RepairConfig{
+			N: 2000, FailFractions: []float64{0.01, 0.05, 0.10},
+			Trials: trialsForExtensions(nTrials), Seed: *seed, MaxOutDegree: 6,
+		})
+		if err != nil {
+			return err
+		}
+		manifest.Repairs = rows
+		if err := experiment.RepairTable(rows, 2000).Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if *baselines {
+		bSizes := clampSizes(sizes, 5000) // greedy baselines are O(n^2)
+		fmt.Printf("Baseline comparison (degree 6, sizes capped at 5000, %d trials):\n\n", nTrials)
+		rows, err := experiment.RunBaselines(experiment.BaselineConfig{
+			Sizes: bSizes, Trials: nTrials, Seed: *seed, MaxOutDegree: 6, Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
+		manifest.Baselines = rows
+		if err := experiment.BaselineTable(rows, 6).Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(manifest, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			return fmt.Errorf("writing JSON: %w", err)
+		}
+	}
+	return nil
+}
+
+// trialsForExtensions caps the replication of the slower extension
+// experiments at 10.
+func trialsForExtensions(n int) int {
+	if n > 10 {
+		n = 10
+	}
+	return n
+}
+
+type renderer interface {
+	Render(w io.Writer) error
+}
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	sizes := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("invalid size %q", p)
+		}
+		sizes = append(sizes, v)
+	}
+	return sizes, nil
+}
+
+func clampSizes(sizes []int, maxSize int) []int {
+	out := make([]int, 0, len(sizes))
+	for _, s := range sizes {
+		if s <= maxSize {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{100, 500, 1000, 2000, 5000}
+	}
+	return out
+}

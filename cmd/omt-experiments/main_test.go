@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("100, 500,1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{100, 500, 1000}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "10,-5", "10,,20"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestClampSizes(t *testing.T) {
+	got := clampSizes([]int{100, 5000, 100000}, 5000)
+	if len(got) != 2 || got[0] != 100 || got[1] != 5000 {
+		t.Errorf("got %v", got)
+	}
+	// All too large: falls back to defaults.
+	fallback := clampSizes([]int{1000000}, 5000)
+	if len(fallback) == 0 {
+		t.Error("empty fallback")
+	}
+	for _, s := range fallback {
+		if s > 5000 {
+			t.Errorf("fallback size %d exceeds cap", s)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Command omt-sim builds a minimum-delay multicast tree and runs the
+// discrete-event overlay simulator over it: packet propagation, optional
+// node failures, and subtree repair.
+//
+//	omt-sim -n 1000 -degree 6 -seed 1 -packets 5 -fail 3 -repair bestdelay
+//
+// It prints the simulated delivery (cross-checked against the analytic
+// radius), the damage failures cause, and the post-repair delay.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"omtree"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "omt-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("omt-sim", flag.ContinueOnError)
+	n := fs.Int("n", 1000, "number of receivers")
+	degree := fs.Int("degree", 6, "max out-degree")
+	seed := fs.Uint64("seed", 1, "random seed")
+	packets := fs.Int("packets", 5, "packets per session")
+	failCount := fs.Int("fail", 0, "number of internal nodes to fail mid-session")
+	repairFlag := fs.String("repair", "bestdelay", "repair strategy: grandparent or bestdelay")
+	procDelay := fs.Float64("proc", 0, "per-hop forwarding delay")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var strategy omtree.RepairStrategy
+	switch *repairFlag {
+	case "grandparent":
+		strategy = omtree.RepairGrandparent
+	case "bestdelay":
+		strategy = omtree.RepairBestDelay
+	default:
+		return fmt.Errorf("unknown repair strategy %q", *repairFlag)
+	}
+
+	r := omtree.NewRand(*seed)
+	receivers := r.UniformDiskN(*n, 1)
+	source := omtree.Point2{}
+	res, err := omtree.Build(source, receivers, omtree.WithMaxOutDegree(*degree))
+	if err != nil {
+		return err
+	}
+	dist := omtree.Dist(source, receivers)
+	fmt.Printf("tree: %d nodes, variant %v, k=%d, radius %.4f (bound %.4f)\n",
+		res.Tree.N(), res.Variant, res.K, res.Radius, res.Bound)
+
+	sim, err := omtree.NewSim(res.Tree, omtree.SimConfig{Latency: dist, ProcDelay: *procDelay})
+	if err != nil {
+		return err
+	}
+	d := sim.Multicast()
+	fmt.Printf("simulated delivery: max delay %.4f, %d forwards\n", d.MaxDelay, d.Forwards)
+	if *procDelay == 0 && !almost(d.MaxDelay, res.Radius) {
+		return fmt.Errorf("simulation disagrees with analytic radius: %v vs %v", d.MaxDelay, res.Radius)
+	}
+
+	if *failCount <= 0 {
+		return nil
+	}
+
+	// Fail the first internal (forwarding) nodes mid-session.
+	var failed []int
+	for i := 1; i < res.Tree.N() && len(failed) < *failCount; i++ {
+		if res.Tree.OutDegree(i) > 0 {
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) == 0 {
+		return fmt.Errorf("no internal nodes to fail")
+	}
+	failures := make([]omtree.Failure, 0, len(failed))
+	interval := 2 * res.Radius
+	failTime := float64(*packets/2) * interval
+	for _, f := range failed {
+		failures = append(failures, omtree.Failure{Node: f, Time: failTime})
+	}
+	session := sim.Session(*packets, interval, failures)
+	var affected, lostTotal int
+	for i, lost := range session.Lost {
+		if lost > 0 && i != res.Tree.Root() {
+			affected++
+			lostTotal += lost
+		}
+	}
+	fmt.Printf("failures: %d internal nodes at t=%.2f -> %d receivers lost %d packets total\n",
+		len(failed), failTime, affected, lostTotal)
+
+	rep, err := omtree.Repair(res.Tree, failed, *degree, dist, strategy)
+	if err != nil {
+		return err
+	}
+	repairedDist := func(a, b int) float64 { return dist(rep.OldID[a], rep.OldID[b]) }
+	repairedRadius := rep.Tree.Radius(repairedDist)
+	fmt.Printf("repair (%s): %d orphan subtrees reattached, radius %.4f -> %.4f (%.1f%% change)\n",
+		*repairFlag, rep.Reattached, res.Radius, repairedRadius,
+		100*(repairedRadius-res.Radius)/res.Radius)
+
+	repairedSim, err := omtree.NewSim(rep.Tree, omtree.SimConfig{Latency: repairedDist, ProcDelay: *procDelay})
+	if err != nil {
+		return err
+	}
+	d2 := repairedSim.Multicast()
+	missing := 0
+	for _, got := range d2.Received {
+		if !got {
+			missing++
+		}
+	}
+	fmt.Printf("post-repair delivery: max delay %.4f, %d survivors missing\n", d2.MaxDelay, missing)
+	return nil
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunBasic(t *testing.T) {
+	if err := run([]string{"-n", "300", "-degree", "6", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithFailuresAndRepair(t *testing.T) {
+	for _, strategy := range []string{"grandparent", "bestdelay"} {
+		if err := run([]string{"-n", "300", "-degree", "2", "-fail", "3", "-repair", strategy}); err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+	}
+}
+
+func TestRunWithProcDelay(t *testing.T) {
+	if err := run([]string{"-n", "100", "-proc", "0.01"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadStrategy(t *testing.T) {
+	if err := run([]string{"-repair", "magic"}); err == nil {
+		t.Error("accepted unknown repair strategy")
+	}
+}

@@ -1,0 +1,111 @@
+package omtree_test
+
+import (
+	"fmt"
+	"log"
+
+	"omtree"
+)
+
+// Example builds the out-degree-6 Polar_Grid tree over random receivers
+// and prints the certified quantities.
+func Example() {
+	r := omtree.NewRand(7)
+	receivers := r.UniformDiskN(10000, 1)
+	source := omtree.Point2{}
+
+	res, err := omtree.Build(source, receivers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("nodes: %d\n", res.Tree.N())
+	fmt.Printf("variant: %v (max out-degree %d)\n", res.Variant, res.MaxOutDegree)
+	fmt.Printf("radius within bound: %v\n", res.Radius <= res.Bound)
+	fmt.Printf("radius at least scale: %v\n", res.Radius >= res.Scale)
+	// Output:
+	// nodes: 10001
+	// variant: natural (max out-degree 6)
+	// radius within bound: true
+	// radius at least scale: true
+}
+
+// ExampleBuild_binary selects the out-degree-2 variant for
+// bandwidth-starved hosts.
+func ExampleBuild_binary() {
+	r := omtree.NewRand(8)
+	receivers := r.UniformDiskN(5000, 1)
+
+	res, err := omtree.Build(omtree.Point2{}, receivers, omtree.WithMaxOutDegree(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max out-degree used: %d\n", res.Tree.MaxOutDegree())
+	fmt.Printf("variant: %v\n", res.Variant)
+	// Output:
+	// max out-degree used: 2
+	// variant: binary
+}
+
+// ExampleBuildBisection runs the stand-alone constant-factor algorithm and
+// checks its certificate.
+func ExampleBuildBisection() {
+	r := omtree.NewRand(9)
+	pts := r.UniformDiskN(1000, 1)
+
+	tree, report, err := omtree.BuildBisection(pts, 0, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist := func(i, j int) float64 { return pts[i].Dist(pts[j]) }
+	fmt.Printf("radius within path bound: %v\n", tree.Radius(dist) <= report.PathBound)
+	// Output:
+	// radius within path bound: true
+}
+
+// ExampleNewSim cross-checks the analytic radius with the discrete-event
+// simulator.
+func ExampleNewSim() {
+	r := omtree.NewRand(10)
+	receivers := r.UniformDiskN(2000, 1)
+	source := omtree.Point2{}
+	res, err := omtree.Build(source, receivers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := omtree.NewSim(res.Tree, omtree.SimConfig{Latency: omtree.Dist(source, receivers)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := sim.Multicast()
+	fmt.Printf("everyone received: %v\n", d.Forwards == res.Tree.N()-1)
+	fmt.Printf("simulated equals analytic: %v\n",
+		d.MaxDelay-res.Radius < 1e-9 && res.Radius-d.MaxDelay < 1e-9)
+	// Output:
+	// everyone received: true
+	// simulated equals analytic: true
+}
+
+// ExampleNewOverlay runs a tiny decentralized session.
+func ExampleNewOverlay() {
+	overlay, err := omtree.NewOverlay(omtree.OverlayConfig{
+		Source: omtree.Point2{}, Scale: 1, K: 3, MaxOutDegree: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := omtree.NewRand(11)
+	for i := 0; i < 100; i++ {
+		if _, _, err := overlay.Join(r.UniformDisk(1)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("members: %d\n", overlay.N()-1)
+	tree, _, _, err := overlay.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("valid degree-6 tree: %v\n", tree.Validate(6) == nil)
+	// Output:
+	// members: 100
+	// valid degree-6 tree: true
+}

@@ -1,0 +1,101 @@
+// Churn scenario: a live session where members join and leave continuously
+// — the decentralized protocol the paper names as future work. The example
+// tracks delay quality and control-message cost through a flash crowd, a
+// departure wave, maintenance rounds, and a coordinated rebuild.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"omtree"
+)
+
+func main() {
+	const expected = 3000
+	source := omtree.Point2{}
+	overlay, err := omtree.NewOverlay(omtree.OverlayConfig{
+		Source:       source,
+		Scale:        1,
+		K:            omtree.SuggestOverlayK(expected),
+		MaxOutDegree: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := omtree.NewRand(777)
+
+	report := func(phase string) {
+		radius, err := overlay.Radius()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s members=%5d radius=%.3f\n", phase, overlay.N()-1, radius)
+	}
+
+	// Flash crowd: 3000 members join one by one; each join costs O(log n)
+	// control messages (routing down the representative core).
+	var joinMsgs int
+	ids := make([]int, 0, expected)
+	for i := 0; i < expected; i++ {
+		id, st, err := overlay.Join(r.UniformDisk(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		joinMsgs += st.Messages
+		ids = append(ids, id)
+	}
+	report("after flash crowd:")
+	fmt.Printf("%-28s %.1f control messages per join (k=%d)\n", "",
+		float64(joinMsgs)/float64(expected), omtree.SuggestOverlayK(expected))
+
+	// Departure wave: a third of the membership leaves; orphans are
+	// adopted locally.
+	r.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for _, id := range ids[:expected/3] {
+		if _, err := overlay.Leave(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report("after departure wave:")
+
+	// Periodic maintenance: local re-homing forgets unlucky join-order
+	// decisions.
+	for round := 0; ; round++ {
+		st, err := overlay.Optimize()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st.Moves == 0 || round >= 4 {
+			break
+		}
+	}
+	report("after maintenance rounds:")
+
+	// Coordinated rebuild: the source re-runs the centralized algorithm
+	// over the surviving membership — O(n) messages, optimal tree.
+	st, err := overlay.Rebuild()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("after coordinated rebuild:")
+	fmt.Printf("%-28s rebuild cost: %d messages\n", "", st.Messages)
+
+	// The rebuilt session keeps serving churn.
+	for i := 0; i < 200; i++ {
+		if _, _, err := overlay.Join(r.UniformDisk(1)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report("after 200 more joins:")
+
+	tr, _, _, err := overlay.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.Validate(6); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfinal tree validated: spanning, acyclic, out-degree <= 6")
+	fmt.Printf("session totals: %+v\n", overlay.Stats)
+}

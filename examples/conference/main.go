@@ -1,0 +1,63 @@
+// Conference scenario: a speaker streams to participants whose home uplinks
+// forward at most two copies (the paper's out-degree-2 regime). The example
+// shows the degree-2 delay premium over degree-6, audits the heuristic
+// against the exhaustive optimum on a small breakout group, and demonstrates
+// the §V convergence: more participants -> relatively better trees.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"omtree"
+)
+
+func main() {
+	r := omtree.NewRand(2024)
+
+	// A 300-participant plenary, participants spread across the region.
+	participants := r.UniformDiskN(300, 1)
+	speaker := omtree.Point2{}
+
+	deg2, err := omtree.Build(speaker, participants, omtree.WithMaxOutDegree(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	deg6, err := omtree.Build(speaker, participants) // what beefier uplinks would buy
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plenary with %d participants:\n", len(participants))
+	fmt.Printf("  out-degree 2 (home uplinks): max delay %.4f\n", deg2.Radius)
+	fmt.Printf("  out-degree 6 (fat uplinks):  max delay %.4f\n", deg6.Radius)
+	fmt.Printf("  degree-2 premium: %.1f%% (overhead roughly doubles, §V)\n",
+		100*(deg2.Radius-deg6.Radius)/deg6.Radius)
+
+	// Breakout group of 7: small enough to check against the true optimum.
+	breakout := r.UniformDiskN(7, 1)
+	pts := append([]omtree.Point2{speaker}, breakout...)
+	dist := func(i, j int) float64 { return pts[i].Dist(pts[j]) }
+	_, opt, err := omtree.ExactOptimal(len(pts), 0, dist, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	small, err := omtree.Build(speaker, breakout, omtree.WithMaxOutDegree(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbreakout group of %d: heuristic %.4f vs optimum %.4f (ratio %.2f)\n",
+		len(breakout), small.Radius, opt, small.Radius/opt)
+
+	// Convergence (Theorem 2): as attendance grows, the degree-2 tree's
+	// delay approaches the unconstrained lower bound.
+	fmt.Println("\nconvergence with attendance (out-degree 2):")
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		crowd := r.UniformDiskN(n, 1)
+		res, err := omtree.Build(speaker, crowd, omtree.WithMaxOutDegree(2))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  n=%6d: delay/lower-bound = %.3f (k=%d rings)\n",
+			n, res.Radius/res.Scale, res.K)
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: build a minimum-delay degree-constrained multicast tree over
+// random hosts and inspect the quantities the library certifies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"omtree"
+)
+
+func main() {
+	// 2000 receivers uniformly at random in the unit disk; the source
+	// multicasts from the center. Delays are Euclidean distances (the
+	// paper's network-coordinates model).
+	r := omtree.NewRand(42)
+	receivers := r.UniformDiskN(2000, 1)
+	source := omtree.Point2{}
+
+	// Build the out-degree-6 Polar_Grid tree (the paper's main algorithm).
+	res, err := omtree.Build(source, receivers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built a %v tree over %d nodes\n", res.Variant, res.Tree.N())
+	fmt.Printf("  grid rings k:        %d\n", res.K)
+	fmt.Printf("  max delay (radius):  %.4f\n", res.Radius)
+	fmt.Printf("  core delay:          %.4f\n", res.CoreDelay)
+	fmt.Printf("  paper bound (7):     %.4f\n", res.Bound)
+
+	// The unconstrained lower bound: the farthest receiver's direct delay.
+	// No tree, whatever its degree, can beat it.
+	fmt.Printf("  lower bound (star):  %.4f\n", res.Scale)
+	fmt.Printf("  optimality gap:      <= %.1f%%\n", 100*(res.Radius/res.Scale-1))
+
+	// Bandwidth-constrained hosts? The binary variant caps out-degree at 2.
+	res2, err := omtree.Build(source, receivers, omtree.WithMaxOutDegree(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("out-degree 2 variant: radius %.4f (max degree %d)\n",
+		res2.Radius, res2.Tree.MaxOutDegree())
+
+	// Trees are plain data: walk a path, export DOT, serialize JSON.
+	dist := omtree.Dist(source, receivers)
+	delays := res.Tree.Delays(dist)
+	worst := 0
+	for i, d := range delays {
+		if d > delays[worst] {
+			worst = i
+		}
+	}
+	fmt.Printf("worst receiver %d reached via %d overlay hops\n",
+		worst, len(res.Tree.PathToRoot(worst))-1)
+}

@@ -1,0 +1,3 @@
+module omtree
+
+go 1.22

@@ -1,0 +1,255 @@
+// Package baseline implements the comparison tree-construction strategies
+// the paper positions itself against, plus an exact brute-force optimum for
+// small instances:
+//
+//   - Star: every receiver attaches directly to the source, ignoring degree
+//     constraints. Its radius is the unbeatable lower bound max_i d(s, i);
+//     it witnesses how far any degree-constrained tree is from the
+//     unconstrained ideal.
+//   - GreedyClosest: the "compact tree" greedy in the spirit of Shi &
+//     Turner — repeatedly attach the (parent, child) pair minimizing the
+//     child's resulting root delay, subject to residual degree.
+//   - BandwidthLatency: the heuristic of Chu et al. [5] as described in
+//     [19] — nodes join in arrival order, each picking the attached node
+//     with the most residual out-degree (the "highest available bandwidth"
+//     path), breaking ties by smallest resulting delay.
+//   - BalancedKary: receivers sorted by distance from the source, packed
+//     into a balanced k-ary tree — the structure-oblivious strawman.
+//   - Random: receivers attach in random order to a uniformly random
+//     feasible parent.
+//   - Exact: exhaustive search over all labeled spanning trees via Prüfer
+//     sequences — the true optimum, for n small enough to enumerate.
+//
+// All constructors are metric-agnostic: they take a node count, a source id
+// and a distance oracle, so they run identically on 2-D/3-D points or on
+// delay matrices from the coords package.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"omtree/internal/rng"
+	"omtree/internal/tree"
+)
+
+// Star attaches every node directly to the source with no degree
+// constraint. Tree.Radius of the result equals the instance's unconstrained
+// lower bound.
+func Star(n, source int) (*tree.Tree, error) {
+	b, err := tree.NewBuilder(n, source, 0)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if i == source {
+			continue
+		}
+		if err := b.Attach(i, source); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// GreedyClosest grows the tree by always attaching the unattached node
+// whose best feasible parent yields the smallest root delay (a compact-tree
+// greedy). O(n^2) time, O(n) space.
+func GreedyClosest(n, source int, dist tree.DistFunc, maxOutDegree int) (*tree.Tree, error) {
+	if maxOutDegree < 1 {
+		return nil, fmt.Errorf("baseline: out-degree %d < 1", maxOutDegree)
+	}
+	b, err := tree.NewBuilder(n, source, maxOutDegree)
+	if err != nil {
+		return nil, err
+	}
+	delay := make([]float64, n)
+
+	// bestParent[i] is the current best feasible parent of unattached i;
+	// recomputed lazily when the cached parent saturates.
+	type cand struct {
+		parent int
+		delay  float64
+	}
+	best := make([]cand, n)
+	for i := 0; i < n; i++ {
+		best[i] = cand{parent: source, delay: dist(source, i)}
+	}
+
+	attached := []int{source}
+	for b.Remaining() > 0 {
+		// Pick the unattached node with the smallest candidate delay,
+		// refreshing stale candidates (saturated parents) on the fly.
+		pick, pickDelay := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if b.Attached(i) {
+				continue
+			}
+			if b.ResidualDegree(best[i].parent) == 0 {
+				// Recompute from scratch over attached nodes with room.
+				best[i] = cand{parent: -1, delay: math.Inf(1)}
+				for _, p := range attached {
+					if b.ResidualDegree(p) == 0 {
+						continue
+					}
+					if d := delay[p] + dist(p, i); d < best[i].delay {
+						best[i] = cand{parent: p, delay: d}
+					}
+				}
+			}
+			if best[i].delay < pickDelay {
+				pick, pickDelay = i, best[i].delay
+			}
+		}
+		if pick < 0 {
+			return nil, fmt.Errorf("baseline: no feasible parent (degree %d too small?)", maxOutDegree)
+		}
+		if err := b.Attach(pick, best[pick].parent); err != nil {
+			return nil, err
+		}
+		delay[pick] = pickDelay
+		attached = append(attached, pick)
+		// The new node may improve other candidates.
+		for i := 0; i < n; i++ {
+			if !b.Attached(i) {
+				if d := delay[pick] + dist(pick, i); d < best[i].delay {
+					best[i] = cand{parent: pick, delay: d}
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// BandwidthLatency joins nodes in the given arrival order (all non-source
+// nodes; nil means id order): each node attaches to the attached node whose
+// overlay path from the source has the largest bottleneck residual
+// out-degree (the "highest available bandwidth" path of [5], [19], with
+// residual fan-out standing in for link bandwidth), breaking ties by
+// smallest resulting delay.
+func BandwidthLatency(n, source int, dist tree.DistFunc, maxOutDegree int, order []int) (*tree.Tree, error) {
+	if maxOutDegree < 1 {
+		return nil, fmt.Errorf("baseline: out-degree %d < 1", maxOutDegree)
+	}
+	b, err := tree.NewBuilder(n, source, maxOutDegree)
+	if err != nil {
+		return nil, err
+	}
+	if order == nil {
+		order = make([]int, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i != source {
+				order = append(order, i)
+			}
+		}
+	}
+	if len(order) != n-1 {
+		return nil, fmt.Errorf("baseline: arrival order has %d nodes, want %d", len(order), n-1)
+	}
+	delay := make([]float64, n)
+	parent := make([]int, n)
+	parent[source] = -1
+	bw := make([]int, n) // bottleneck residual along the path, incl. the node
+	attached := []int{source}
+	for _, v := range order {
+		// Refresh bottlenecks: attached is in attach order, so parents
+		// precede children.
+		for _, u := range attached {
+			bw[u] = b.ResidualDegree(u)
+			if p := parent[u]; p >= 0 && bw[p] < bw[u] {
+				bw[u] = bw[p]
+			}
+		}
+		bestParent, bestBW, bestDelay := -1, -1, math.Inf(1)
+		for _, p := range attached {
+			if b.ResidualDegree(p) == 0 {
+				continue
+			}
+			d := delay[p] + dist(p, v)
+			if bw[p] > bestBW || (bw[p] == bestBW && d < bestDelay) {
+				bestParent, bestBW, bestDelay = p, bw[p], d
+			}
+		}
+		if bestParent < 0 {
+			return nil, fmt.Errorf("baseline: no feasible parent for node %d", v)
+		}
+		if err := b.Attach(v, bestParent); err != nil {
+			return nil, err
+		}
+		delay[v] = bestDelay
+		parent[v] = bestParent
+		attached = append(attached, v)
+	}
+	return b.Build()
+}
+
+// BalancedKary sorts the receivers by distance from the source and packs
+// them into a balanced k-ary tree in that order (closer nodes nearer the
+// root).
+func BalancedKary(n, source int, dist tree.DistFunc, maxOutDegree int) (*tree.Tree, error) {
+	if maxOutDegree < 1 {
+		return nil, fmt.Errorf("baseline: out-degree %d < 1", maxOutDegree)
+	}
+	b, err := tree.NewBuilder(n, source, maxOutDegree)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != source {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, c int) bool {
+		da, dc := dist(source, order[a]), dist(source, order[c])
+		if da != dc {
+			return da < dc
+		}
+		return order[a] < order[c]
+	})
+	nodes := make([]int, 0, n)
+	nodes = append(nodes, source)
+	for t, v := range order {
+		if err := b.Attach(v, nodes[t/maxOutDegree]); err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, v)
+	}
+	return b.Build()
+}
+
+// Random attaches the receivers in random order, each to a uniformly random
+// attached node with residual degree. It is the "no strategy" baseline.
+func Random(n, source int, maxOutDegree int, r *rng.Rand) (*tree.Tree, error) {
+	if maxOutDegree < 1 {
+		return nil, fmt.Errorf("baseline: out-degree %d < 1", maxOutDegree)
+	}
+	b, err := tree.NewBuilder(n, source, maxOutDegree)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != source {
+			order = append(order, i)
+		}
+	}
+	r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	// feasible holds attached nodes with residual degree.
+	feasible := []int{source}
+	for _, v := range order {
+		pi := r.Intn(len(feasible))
+		p := feasible[pi]
+		if err := b.Attach(v, p); err != nil {
+			return nil, err
+		}
+		if b.ResidualDegree(p) == 0 {
+			feasible[pi] = feasible[len(feasible)-1]
+			feasible = feasible[:len(feasible)-1]
+		}
+		feasible = append(feasible, v)
+	}
+	return b.Build()
+}

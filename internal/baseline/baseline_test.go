@@ -1,0 +1,318 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"omtree/internal/bisect"
+	"omtree/internal/geom"
+	"omtree/internal/rng"
+	"omtree/internal/tree"
+)
+
+func distFor(pts []geom.Point2) tree.DistFunc {
+	return func(i, j int) float64 { return pts[i].Dist(pts[j]) }
+}
+
+func TestStar(t *testing.T) {
+	r := rng.New(1)
+	pts := r.UniformDiskN(50, 1)
+	st, err := Star(len(pts), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxOutDegree() != 49 {
+		t.Errorf("star degree = %d", st.MaxOutDegree())
+	}
+	_, want := geom.FarthestFrom(pts[0], pts)
+	if got := st.Radius(distFor(pts)); math.Abs(got-want) > 1e-12 {
+		t.Errorf("star radius = %v, want %v", got, want)
+	}
+}
+
+func TestGreedyClosest(t *testing.T) {
+	r := rng.New(2)
+	for _, deg := range []int{1, 2, 4, 6} {
+		for _, n := range []int{1, 2, 5, 60} {
+			pts := r.UniformDiskN(n, 1)
+			tr, err := GreedyClosest(n, 0, distFor(pts), deg)
+			if err != nil {
+				t.Fatalf("deg=%d n=%d: %v", deg, n, err)
+			}
+			if err := tr.Validate(deg); err != nil {
+				t.Fatalf("deg=%d n=%d: %v", deg, n, err)
+			}
+			// Radius can never beat the unconstrained star.
+			_, lower := geom.FarthestFrom(pts[0], pts)
+			if got := tr.Radius(distFor(pts)); got < lower-1e-12 {
+				t.Errorf("deg=%d n=%d: radius %v below lower bound %v", deg, n, got, lower)
+			}
+		}
+	}
+}
+
+func TestGreedyClosestDegreeOneIsChain(t *testing.T) {
+	pts := []geom.Point2{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0}}
+	tr, err := GreedyClosest(4, 0, distFor(pts), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 3 {
+		t.Errorf("degree-1 tree height = %d, want 3 (chain)", tr.Height())
+	}
+	if got := tr.Radius(distFor(pts)); got != 3 {
+		t.Errorf("chain radius = %v, want 3", got)
+	}
+}
+
+func TestGreedyBeatsRandomTypically(t *testing.T) {
+	r := rng.New(3)
+	greedyWins := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		pts := r.UniformDiskN(80, 1)
+		g, err := GreedyClosest(len(pts), 0, distFor(pts), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rand, err := Random(len(pts), 0, 3, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Radius(distFor(pts)) <= rand.Radius(distFor(pts)) {
+			greedyWins++
+		}
+	}
+	if greedyWins < trials*3/4 {
+		t.Errorf("greedy won only %d/%d against random", greedyWins, trials)
+	}
+}
+
+func TestBandwidthLatency(t *testing.T) {
+	r := rng.New(4)
+	pts := r.UniformDiskN(50, 1)
+	tr, err := BandwidthLatency(len(pts), 0, distFor(pts), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	// Custom arrival order must also work.
+	order := make([]int, 0, len(pts)-1)
+	for i := len(pts) - 1; i >= 1; i-- {
+		order = append(order, i)
+	}
+	tr2, err := BandwidthLatency(len(pts), 0, distFor(pts), 4, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong-size order is rejected.
+	if _, err := BandwidthLatency(len(pts), 0, distFor(pts), 4, []int{1}); err == nil {
+		t.Error("accepted short arrival order")
+	}
+}
+
+func TestBandwidthLatencyPrefersFanout(t *testing.T) {
+	// With max degree 2 and three arrivals, the third must go under an
+	// earlier arrival once the source saturates.
+	pts := []geom.Point2{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: -1, Y: 0}}
+	tr, err := BandwidthLatency(4, 0, distFor(pts), 2, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.OutDegree(0) != 2 {
+		t.Errorf("source degree = %d, want 2", tr.OutDegree(0))
+	}
+	if tr.Parent(3) == 0 {
+		t.Error("third arrival attached to saturated source")
+	}
+}
+
+func TestBalancedKary(t *testing.T) {
+	r := rng.New(5)
+	pts := r.UniformDiskN(40, 1)
+	for _, deg := range []int{1, 2, 3} {
+		tr, err := BalancedKary(len(pts), 0, distFor(pts), deg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(deg); err != nil {
+			t.Fatalf("deg=%d: %v", deg, err)
+		}
+	}
+	// Closest node sits directly under the source.
+	tr, err := BalancedKary(len(pts), 0, distFor(pts), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closest, d := 0, math.Inf(1)
+	for i := 1; i < len(pts); i++ {
+		if dd := pts[0].Dist(pts[i]); dd < d {
+			closest, d = i, dd
+		}
+	}
+	if tr.Parent(closest) != 0 {
+		t.Errorf("closest node %d not under source", closest)
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	r := rng.New(6)
+	pts := r.UniformDiskN(60, 1)
+	for _, deg := range []int{1, 2, 5} {
+		tr, err := Random(len(pts), 0, deg, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(deg); err != nil {
+			t.Fatalf("deg=%d: %v", deg, err)
+		}
+	}
+	// Determinism under a fixed seed.
+	a, err := Random(len(pts), 0, 2, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(len(pts), 0, 2, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.Parent(i) != b.Parent(i) {
+			t.Fatal("random tree not reproducible under fixed seed")
+		}
+	}
+}
+
+func TestInvalidDegrees(t *testing.T) {
+	pts := rng.New(9).UniformDiskN(5, 1)
+	d := distFor(pts)
+	if _, err := GreedyClosest(5, 0, d, 0); err == nil {
+		t.Error("greedy accepted degree 0")
+	}
+	if _, err := BandwidthLatency(5, 0, d, 0, nil); err == nil {
+		t.Error("bandwidth-latency accepted degree 0")
+	}
+	if _, err := BalancedKary(5, 0, d, 0); err == nil {
+		t.Error("kary accepted degree 0")
+	}
+	if _, err := Random(5, 0, 0, rng.New(1)); err == nil {
+		t.Error("random accepted degree 0")
+	}
+	if _, _, err := Exact(5, 0, d, 0); err == nil {
+		t.Error("exact accepted degree 0")
+	}
+}
+
+func TestExactTiny(t *testing.T) {
+	// n = 1, 2 are special-cased.
+	d := distFor([]geom.Point2{{X: 0, Y: 0}, {X: 3, Y: 4}})
+	tr, radius, err := Exact(1, 0, d, 2)
+	if err != nil || tr.N() != 1 || radius != 0 {
+		t.Fatalf("n=1: %v %v %v", tr, radius, err)
+	}
+	tr, radius, err = Exact(2, 0, d, 2)
+	if err != nil || radius != 5 {
+		t.Fatalf("n=2: radius %v err %v", radius, err)
+	}
+	if tr.Parent(1) != 0 {
+		t.Error("n=2 tree wrong")
+	}
+}
+
+func TestExactKnownInstance(t *testing.T) {
+	// Four collinear points with out-degree 1: forced chain.
+	pts := []geom.Point2{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0}}
+	_, radius, err := Exact(4, 0, distFor(pts), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(radius-3) > 1e-12 {
+		t.Errorf("radius = %v, want 3", radius)
+	}
+	// With out-degree 3 the star is optimal.
+	_, radius, err = Exact(4, 0, distFor(pts), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(radius-3) > 1e-12 {
+		t.Errorf("radius = %v, want 3 (farthest point)", radius)
+	}
+}
+
+func TestExactRejectsLargeN(t *testing.T) {
+	if _, _, err := Exact(MaxExactNodes+1, 0, nil, 2); err == nil {
+		t.Error("accepted n beyond enumeration limit")
+	}
+}
+
+func TestExactBeatsHeuristics(t *testing.T) {
+	r := rng.New(10)
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + r.Intn(4) // 4..7
+		pts := r.UniformDiskN(n, 1)
+		d := distFor(pts)
+		for _, deg := range []int{2, 3} {
+			_, opt, err := Exact(n, 0, d, deg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := GreedyClosest(n, 0, d, deg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Radius(d) < opt-1e-9 {
+				t.Errorf("n=%d deg=%d: greedy %v beat exact %v", n, deg, g.Radius(d), opt)
+			}
+			bl, err := BandwidthLatency(n, 0, d, deg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bl.Radius(d) < opt-1e-9 {
+				t.Errorf("n=%d deg=%d: bandwidth-latency beat exact", n, deg)
+			}
+		}
+	}
+}
+
+func TestBisectionWithinTheoremFactor(t *testing.T) {
+	// Theorem 1 audit: Bisection radius <= 5*OPT at out-degree 4 and
+	// <= 9*OPT at out-degree 2, with OPT from exhaustive search.
+	r := rng.New(11)
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + r.Intn(4)
+		pts := r.UniformDiskN(n, 1)
+		d := distFor(pts)
+
+		_, opt4, err := Exact(n, 0, d, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t4, _, err := bisect.BuildTree(pts, 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt4 > 0 && t4.Radius(d) > 5*opt4+1e-9 {
+			t.Errorf("n=%d: bisect-4 radius %v > 5*OPT %v", n, t4.Radius(d), 5*opt4)
+		}
+
+		_, opt2, err := Exact(n, 0, d, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, _, err := bisect.BuildTree(pts, 0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt2 > 0 && t2.Radius(d) > 9*opt2+1e-9 {
+			t.Errorf("n=%d: bisect-2 radius %v > 9*OPT %v", n, t2.Radius(d), 9*opt2)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"omtree/internal/tree"
+)
+
+// MaxExactNodes bounds the exhaustive search: Prüfer enumeration visits
+// n^(n-2) labeled trees, which is ~4.8M decode operations at n = 9.
+const MaxExactNodes = 9
+
+// Exact returns a minimum-radius spanning tree with out-degree at most
+// maxOutDegree, found by exhaustive enumeration of all labeled spanning
+// trees via Prüfer sequences. It is exponential; n must be at most
+// MaxExactNodes. Use it to audit the approximation factor of the fast
+// algorithms on small instances.
+func Exact(n, source int, dist tree.DistFunc, maxOutDegree int) (*tree.Tree, float64, error) {
+	if n < 1 {
+		return nil, 0, fmt.Errorf("baseline: n = %d < 1", n)
+	}
+	if n > MaxExactNodes {
+		return nil, 0, fmt.Errorf("baseline: n = %d exceeds exhaustive-search limit %d", n, MaxExactNodes)
+	}
+	if source < 0 || source >= n {
+		return nil, 0, fmt.Errorf("baseline: source %d out of range", source)
+	}
+	if maxOutDegree < 1 {
+		return nil, 0, fmt.Errorf("baseline: out-degree %d < 1", maxOutDegree)
+	}
+	if n == 1 {
+		b, err := tree.NewBuilder(1, 0, maxOutDegree)
+		if err != nil {
+			return nil, 0, err
+		}
+		t, err := b.Build()
+		return t, 0, err
+	}
+	if n == 2 {
+		b, err := tree.NewBuilder(2, source, maxOutDegree)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := b.Attach(1-source, source); err != nil {
+			return nil, 0, err
+		}
+		t, err := b.Build()
+		return t, dist(0, 1), err
+	}
+
+	e := &exactSearch{
+		n: n, source: source, dist: dist, maxDeg: maxOutDegree,
+		prufer:     make([]int, n-2),
+		bestRadius: math.Inf(1),
+	}
+	e.enumerate(0)
+	if e.bestParents == nil {
+		return nil, 0, fmt.Errorf("baseline: no spanning tree with out-degree <= %d (impossible for maxOutDegree >= 1)", maxOutDegree)
+	}
+	t, err := tree.FromParents(source, e.bestParents, maxOutDegree)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, e.bestRadius, nil
+}
+
+// exactSearch carries the enumeration state.
+type exactSearch struct {
+	n, source   int
+	dist        tree.DistFunc
+	maxDeg      int
+	prufer      []int
+	bestRadius  float64
+	bestParents []int32
+
+	// scratch reused across decodes
+	degree  []int
+	parent  []int32
+	delay   []float64
+	visited []bool
+}
+
+func (e *exactSearch) enumerate(pos int) {
+	if pos == len(e.prufer) {
+		e.evaluate()
+		return
+	}
+	for v := 0; v < e.n; v++ {
+		e.prufer[pos] = v
+		e.enumerate(pos + 1)
+	}
+}
+
+// evaluate decodes the current Prüfer sequence into a labeled tree, orients
+// it away from the source, prunes by out-degree, and records the radius.
+func (e *exactSearch) evaluate() {
+	n := e.n
+	if e.degree == nil {
+		e.degree = make([]int, n)
+		e.parent = make([]int32, n)
+		e.delay = make([]float64, n)
+		e.visited = make([]bool, n)
+	}
+	degree := e.degree
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range e.prufer {
+		degree[v]++
+	}
+	// In the undirected tree, a node of (undirected) degree g has out-degree
+	// g-1 when it is not the root, g when it is. Prune early.
+	for v := 0; v < n; v++ {
+		out := degree[v] - 1
+		if v == e.source {
+			out = degree[v]
+		}
+		if out > e.maxDeg {
+			return
+		}
+	}
+
+	// Decode: adjacency as edge list.
+	type edge struct{ a, b int }
+	edges := make([]edge, 0, n-1)
+	work := append([]int(nil), degree...)
+	// ptr/leaf scan decode (O(n^2) here, fine for n <= 9).
+	used := make([]bool, n)
+	for _, v := range e.prufer {
+		leaf := -1
+		for u := 0; u < n; u++ {
+			if !used[u] && work[u] == 1 {
+				leaf = u
+				break
+			}
+		}
+		edges = append(edges, edge{leaf, v})
+		used[leaf] = true
+		work[leaf]--
+		work[v]--
+	}
+	var last [2]int
+	li := 0
+	for u := 0; u < n && li < 2; u++ {
+		if !used[u] && work[u] == 1 {
+			last[li] = u
+			li++
+		}
+	}
+	edges = append(edges, edge{last[0], last[1]})
+
+	// Orient from the source with BFS over an adjacency built on the fly.
+	adj := make([][]int, n)
+	for _, ed := range edges {
+		adj[ed.a] = append(adj[ed.a], ed.b)
+		adj[ed.b] = append(adj[ed.b], ed.a)
+	}
+	parent := e.parent
+	delay := e.delay
+	visited := e.visited
+	for i := range visited {
+		visited[i] = false
+	}
+	parent[e.source] = tree.NoParent
+	delay[e.source] = 0
+	visited[e.source] = true
+	queue := []int{e.source}
+	var radius float64
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[u] {
+			if visited[w] {
+				continue
+			}
+			visited[w] = true
+			parent[w] = int32(u)
+			delay[w] = delay[u] + e.dist(u, w)
+			if delay[w] > radius {
+				radius = delay[w]
+			}
+			if radius >= e.bestRadius {
+				// Cannot improve; abandon this tree.
+				return
+			}
+			queue = append(queue, w)
+		}
+	}
+	if radius < e.bestRadius {
+		e.bestRadius = radius
+		e.bestParents = append(e.bestParents[:0], parent...)
+	}
+}

@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"omtree/internal/geom"
+	"omtree/internal/rng"
+)
+
+func TestGreedyKNNBasics(t *testing.T) {
+	r := rng.New(51)
+	for _, deg := range []int{1, 2, 6} {
+		for _, n := range []int{1, 2, 10, 500} {
+			pts := append([]geom.Point2{{}}, r.UniformDiskN(n-1+1, 1)[:n-1]...)
+			if n == 1 {
+				pts = []geom.Point2{{}}
+			}
+			tr, err := GreedyKNN(pts, deg, 0)
+			if err != nil {
+				t.Fatalf("deg=%d n=%d: %v", deg, n, err)
+			}
+			if err := tr.Validate(deg); err != nil {
+				t.Fatalf("deg=%d n=%d: %v", deg, n, err)
+			}
+		}
+	}
+	if _, err := GreedyKNN(nil, 2, 0); err == nil {
+		t.Error("accepted empty input")
+	}
+	if _, err := GreedyKNN([]geom.Point2{{}}, 0, 0); err == nil {
+		t.Error("accepted degree 0")
+	}
+}
+
+func TestGreedyKNNQualityNearGreedyClosest(t *testing.T) {
+	// The probe-limited greedy should track the exact greedy closely on
+	// uniform instances.
+	r := rng.New(52)
+	var knnWorse int
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		pts := append([]geom.Point2{{}}, r.UniformDiskN(400, 1)...)
+		dist := func(i, j int) float64 { return pts[i].Dist(pts[j]) }
+		exact, err := GreedyClosest(len(pts), 0, dist, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := GreedyKNN(pts, 6, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, rf := exact.Radius(dist), fast.Radius(dist)
+		if rf > 1.5*re {
+			knnWorse++
+		}
+	}
+	if knnWorse > 2 {
+		t.Errorf("probe greedy was >1.5x worse than exact greedy in %d/%d trials", knnWorse, trials)
+	}
+}
+
+func TestGreedyKNNScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling check")
+	}
+	// 50k nodes must finish quickly — the point of the k-d tree. (The
+	// O(n^2) GreedyClosest would take minutes here.)
+	r := rng.New(53)
+	pts := append([]geom.Point2{{}}, r.UniformDiskN(50000, 1)...)
+	start := time.Now()
+	tr, err := GreedyKNN(pts, 6, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed > 30*time.Second {
+		t.Errorf("GreedyKNN took %v for 50k nodes", elapsed)
+	}
+	if err := tr.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	dist := func(i, j int) float64 { return pts[i].Dist(pts[j]) }
+	radius := tr.Radius(dist)
+	if radius < 0.99 || radius > 1.5 {
+		t.Errorf("50k greedy radius %v implausible", radius)
+	}
+}
+
+func TestGreedyKNNSaturationFallback(t *testing.T) {
+	// Degree 1 forces a chain: every attached node saturates immediately,
+	// exercising the probe-then-nearest fallback continuously.
+	r := rng.New(54)
+	pts := append([]geom.Point2{{}}, r.UniformDiskN(50, 1)...)
+	tr, err := GreedyKNN(pts, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(1); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 50 {
+		t.Errorf("degree-1 height %d, want 50 (chain)", tr.Height())
+	}
+}

@@ -1,0 +1,150 @@
+package bisect
+
+import (
+	"omtree/internal/geom"
+	"omtree/internal/tree"
+)
+
+// maxDepth caps geometric recursion; splitting halves at least one axis per
+// level, so float64 resolution is exhausted (and Degenerate fires) long
+// before this. It is a pure safety net.
+const maxDepth = 4096
+
+// partition2 reorders idx so that elements with pred false come first,
+// returning the boundary. Order within halves is not preserved (not needed:
+// representatives are selected by radius, not position).
+func partition2(idx []int32, pred func(int32) bool) int {
+	i := 0
+	for j, id := range idx {
+		if !pred(id) {
+			idx[i], idx[j] = idx[j], idx[i]
+			i++
+		}
+	}
+	return i
+}
+
+// Ctx2 carries the shared state of a 2-D Bisection run: the polar
+// coordinates of every node (indexed by node id) and the tree under
+// construction. One Ctx2 may be reused across many cells of a grid.
+type Ctx2 struct {
+	B   *tree.Builder
+	Pts []geom.Polar
+}
+
+func (c *Ctx2) radius(id int32) float64 { return c.Pts[id].R }
+
+// quarterBuckets partitions idx in place into the four Quarters of seg,
+// returning contiguous sub-slices ordered like seg.Quarters().
+func (c *Ctx2) quarterBuckets(idx []int32, seg geom.RingSegment) [4][]int32 {
+	mr, mt := seg.MidR(), seg.MidTheta()
+	outer := partition2(idx, func(id int32) bool { return c.Pts[id].R >= mr })
+	hiIn := partition2(idx[:outer], func(id int32) bool { return c.Pts[id].Theta >= mt })
+	hiOut := outer + partition2(idx[outer:], func(id int32) bool { return c.Pts[id].Theta >= mt })
+	return [4][]int32{idx[:hiIn], idx[hiIn:outer], idx[outer:hiOut], idx[hiOut:]}
+}
+
+// Connect4 runs the out-degree-4 Bisection over the points idx (node ids,
+// excluding src) inside segment seg, attaching everything under src. src
+// must already be attached in the builder. idx is clobbered.
+func (c *Ctx2) Connect4(idx []int32, src int32, seg geom.RingSegment) {
+	c.connect4(idx, src, seg, 0)
+}
+
+func (c *Ctx2) connect4(idx []int32, src int32, seg geom.RingSegment, depth int) {
+	switch len(idx) {
+	case 0:
+		return
+	case 1:
+		c.B.MustAttach(int(idx[0]), int(src))
+		return
+	}
+	if seg.Degenerate() || depth > maxDepth {
+		attachKary(c.B, idx, src, 4)
+		return
+	}
+	buckets := c.quarterBuckets(idx, seg)
+	quarters := seg.Quarters()
+	srcR := c.Pts[src].R
+	for q, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		rep, rest := takeRep(bucket, c.radius, srcR)
+		c.B.MustAttach(int(rep), int(src))
+		c.connect4(rest, rep, quarters[q], depth+1)
+	}
+}
+
+// Connect2 runs the out-degree-2 Bisection (§II, final paragraph) over the
+// points idx inside segment seg, attaching everything under src. src must
+// already be attached. idx is clobbered.
+func (c *Ctx2) Connect2(idx []int32, src int32, seg geom.RingSegment) {
+	c.connect2(idx, src, seg, 0)
+}
+
+func (c *Ctx2) connect2(idx []int32, src int32, seg geom.RingSegment, depth int) {
+	switch len(idx) {
+	case 0:
+		return
+	case 1:
+		c.B.MustAttach(int(idx[0]), int(src))
+		return
+	case 2:
+		c.B.MustAttach(int(idx[0]), int(src))
+		c.B.MustAttach(int(idx[1]), int(src))
+		return
+	}
+	if seg.Degenerate() || depth > maxDepth {
+		attachKary(c.B, idx, src, 2)
+		return
+	}
+	buckets := c.quarterBuckets(idx, seg)
+	quarters := seg.Quarters()
+	c.relay2(buckets[:], src, func(rest []int32, rep int32, q int) {
+		c.connect2(rest, rep, quarters[q], depth+1)
+	})
+}
+
+// relay2 connects the representatives of buckets under src with out-degree
+// 2: if at most two buckets are occupied their representatives attach
+// directly (and recurse); otherwise the two points with radius closest to
+// src become helpers, each relaying half of the bucket list.
+func (c *Ctx2) relay2(buckets [][]int32, src int32,
+	recurse func(rest []int32, rep int32, bucket int)) {
+	c.relayAt(buckets, 0, src, recurse)
+}
+
+func (c *Ctx2) relayAt(buckets [][]int32, base int, src int32,
+	recurse func(rest []int32, rep int32, bucket int)) {
+	srcR := c.Pts[src].R
+	if countNonEmpty(buckets) <= 2 {
+		for bi, bucket := range buckets {
+			if len(bucket) == 0 {
+				continue
+			}
+			rep, rest := takeRep(bucket, c.radius, srcR)
+			c.B.MustAttach(int(rep), int(src))
+			recurse(rest, rep, base+bi)
+		}
+		return
+	}
+	// Three or more occupied buckets imply at least three points, so both
+	// helpers exist.
+	h1 := c.takeHelper(buckets, srcR)
+	h2 := c.takeHelper(buckets, srcR)
+	c.B.MustAttach(int(h1), int(src))
+	c.B.MustAttach(int(h2), int(src))
+	mid := len(buckets) / 2
+	c.relayAt(buckets[:mid], base, h1, recurse)
+	c.relayAt(buckets[mid:], base+mid, h2, recurse)
+}
+
+// takeHelper removes and returns the point across all buckets with radius
+// closest to srcR.
+func (c *Ctx2) takeHelper(buckets [][]int32, srcR float64) int32 {
+	ref := pickHelper(buckets, c.radius, srcR)
+	id, shorter := removeAt(buckets[ref.bucket], ref.pos)
+	buckets[ref.bucket] = shorter
+	return id
+}

@@ -1,0 +1,132 @@
+package bisect
+
+import (
+	"omtree/internal/geom"
+	"omtree/internal/tree"
+)
+
+// Ctx3 carries the shared state of a 3-D Bisection run: the spherical
+// coordinates of every node and the tree under construction.
+type Ctx3 struct {
+	B   *tree.Builder
+	Pts []geom.Spherical
+}
+
+func (c *Ctx3) radius(id int32) float64 { return c.Pts[id].R }
+
+// octantBuckets partitions idx in place into the eight Octants of cell,
+// returning contiguous sub-slices ordered like cell.Octants() (bit 2 =
+// outer radial half, bit 1 = upper U half, bit 0 = upper theta half).
+func (c *Ctx3) octantBuckets(idx []int32, cell geom.ShellCell) [8][]int32 {
+	mr := (cell.RMin + cell.RMax) / 2
+	mu := (cell.UMin + cell.UMax) / 2
+	mt := (cell.ThetaMin + cell.ThetaMax) / 2
+
+	rSplit := partition2(idx, func(id int32) bool { return c.Pts[id].R >= mr })
+	var out [8][]int32
+	halves := [2][]int32{idx[:rSplit], idx[rSplit:]}
+	for h, half := range halves {
+		uSplit := partition2(half, func(id int32) bool { return c.Pts[id].U >= mu })
+		quarts := [2][]int32{half[:uSplit], half[uSplit:]}
+		for u, quart := range quarts {
+			tSplit := partition2(quart, func(id int32) bool { return c.Pts[id].Theta >= mt })
+			out[4*h+2*u+0] = quart[:tSplit]
+			out[4*h+2*u+1] = quart[tSplit:]
+		}
+	}
+	return out
+}
+
+// Connect8 runs the natural out-degree-8 Bisection over the points idx
+// inside cell, attaching everything under src (already attached). idx is
+// clobbered. Together with the two core links of a cell representative this
+// yields the paper's out-degree-10 3-D trees.
+func (c *Ctx3) Connect8(idx []int32, src int32, cell geom.ShellCell) {
+	c.connect8(idx, src, cell, 0)
+}
+
+func (c *Ctx3) connect8(idx []int32, src int32, cell geom.ShellCell, depth int) {
+	switch len(idx) {
+	case 0:
+		return
+	case 1:
+		c.B.MustAttach(int(idx[0]), int(src))
+		return
+	}
+	if cell.Degenerate() || depth > maxDepth {
+		attachKary(c.B, idx, src, 8)
+		return
+	}
+	buckets := c.octantBuckets(idx, cell)
+	octants := cell.Octants()
+	srcR := c.Pts[src].R
+	for q, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		rep, rest := takeRep(bucket, c.radius, srcR)
+		c.B.MustAttach(int(rep), int(src))
+		c.connect8(rest, rep, octants[q], depth+1)
+	}
+}
+
+// Connect2 runs the out-degree-2 3-D Bisection: octant representatives are
+// relayed through a binary helper tree (two levels for eight octants),
+// generalizing the planar §IV-A construction. idx is clobbered.
+func (c *Ctx3) Connect2(idx []int32, src int32, cell geom.ShellCell) {
+	c.connect2(idx, src, cell, 0)
+}
+
+func (c *Ctx3) connect2(idx []int32, src int32, cell geom.ShellCell, depth int) {
+	switch len(idx) {
+	case 0:
+		return
+	case 1:
+		c.B.MustAttach(int(idx[0]), int(src))
+		return
+	case 2:
+		c.B.MustAttach(int(idx[0]), int(src))
+		c.B.MustAttach(int(idx[1]), int(src))
+		return
+	}
+	if cell.Degenerate() || depth > maxDepth {
+		attachKary(c.B, idx, src, 2)
+		return
+	}
+	buckets := c.octantBuckets(idx, cell)
+	octants := cell.Octants()
+	c.relayAt(buckets[:], 0, src, func(rest []int32, rep int32, q int) {
+		c.connect2(rest, rep, octants[q], depth+1)
+	})
+}
+
+// relayAt mirrors Ctx2.relayAt for spherical coordinates.
+func (c *Ctx3) relayAt(buckets [][]int32, base int, src int32,
+	recurse func(rest []int32, rep int32, bucket int)) {
+	srcR := c.Pts[src].R
+	if countNonEmpty(buckets) <= 2 {
+		for bi, bucket := range buckets {
+			if len(bucket) == 0 {
+				continue
+			}
+			rep, rest := takeRep(bucket, c.radius, srcR)
+			c.B.MustAttach(int(rep), int(src))
+			recurse(rest, rep, base+bi)
+		}
+		return
+	}
+	h1 := c.takeHelper(buckets, srcR)
+	h2 := c.takeHelper(buckets, srcR)
+	c.B.MustAttach(int(h1), int(src))
+	c.B.MustAttach(int(h2), int(src))
+	mid := len(buckets) / 2
+	c.relayAt(buckets[:mid], base, h1, recurse)
+	c.relayAt(buckets[mid:], base+mid, h2, recurse)
+}
+
+func (c *Ctx3) takeHelper(buckets [][]int32, srcR float64) int32 {
+	ref := pickHelper(buckets, c.radius, srcR)
+	id, shorter := removeAt(buckets[ref.bucket], ref.pos)
+	buckets[ref.bucket] = shorter
+	return id
+}

@@ -1,0 +1,121 @@
+package bisect
+
+import (
+	"omtree/internal/geom"
+	"omtree/internal/tree"
+)
+
+// CtxD carries the shared state of a d-dimensional Bisection run: the
+// hyperspherical coordinates of every node and the tree under construction.
+type CtxD struct {
+	B   *tree.Builder
+	Pts []geom.Hyperspherical
+}
+
+func (c *CtxD) radius(id int32) float64 { return c.Pts[id].R }
+
+// subcellBuckets partitions idx into the 2^d Subcells of cell, ordered by
+// the CellD subcell index convention.
+func (c *CtxD) subcellBuckets(idx []int32, cell geom.CellD) [][]int32 {
+	m := 1 << uint(cell.Dim())
+	buckets := make([][]int32, m)
+	for _, id := range idx {
+		q := cell.SubcellIndex(c.Pts[id])
+		buckets[q] = append(buckets[q], id)
+	}
+	return buckets
+}
+
+// ConnectFull runs the natural out-degree-2^d Bisection over the points idx
+// inside cell, attaching everything under src (already attached). Together
+// with the two core links of a representative this yields trees of
+// out-degree 2^d + 2.
+func (c *CtxD) ConnectFull(idx []int32, src int32, cell geom.CellD) {
+	c.connectFull(idx, src, cell, 0)
+}
+
+func (c *CtxD) connectFull(idx []int32, src int32, cell geom.CellD, depth int) {
+	switch len(idx) {
+	case 0:
+		return
+	case 1:
+		c.B.MustAttach(int(idx[0]), int(src))
+		return
+	}
+	k := 1 << uint(cell.Dim())
+	if cell.Degenerate() || depth > maxDepth {
+		attachKary(c.B, idx, src, k)
+		return
+	}
+	buckets := c.subcellBuckets(idx, cell)
+	subcells := cell.Subcells()
+	srcR := c.Pts[src].R
+	for q, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		rep, rest := takeRep(bucket, c.radius, srcR)
+		c.B.MustAttach(int(rep), int(src))
+		c.connectFull(rest, rep, subcells[q], depth+1)
+	}
+}
+
+// Connect2 runs the out-degree-2 d-dimensional Bisection, relaying the 2^d
+// sub-cell representatives through a binary helper tree of depth d-1.
+func (c *CtxD) Connect2(idx []int32, src int32, cell geom.CellD) {
+	c.connect2(idx, src, cell, 0)
+}
+
+func (c *CtxD) connect2(idx []int32, src int32, cell geom.CellD, depth int) {
+	switch len(idx) {
+	case 0:
+		return
+	case 1:
+		c.B.MustAttach(int(idx[0]), int(src))
+		return
+	case 2:
+		c.B.MustAttach(int(idx[0]), int(src))
+		c.B.MustAttach(int(idx[1]), int(src))
+		return
+	}
+	if cell.Degenerate() || depth > maxDepth {
+		attachKary(c.B, idx, src, 2)
+		return
+	}
+	buckets := c.subcellBuckets(idx, cell)
+	subcells := cell.Subcells()
+	c.relayAt(buckets, 0, src, func(rest []int32, rep int32, q int) {
+		c.connect2(rest, rep, subcells[q], depth+1)
+	})
+}
+
+// relayAt mirrors Ctx2.relayAt for hyperspherical coordinates.
+func (c *CtxD) relayAt(buckets [][]int32, base int, src int32,
+	recurse func(rest []int32, rep int32, bucket int)) {
+	srcR := c.Pts[src].R
+	if countNonEmpty(buckets) <= 2 {
+		for bi, bucket := range buckets {
+			if len(bucket) == 0 {
+				continue
+			}
+			rep, rest := takeRep(bucket, c.radius, srcR)
+			c.B.MustAttach(int(rep), int(src))
+			recurse(rest, rep, base+bi)
+		}
+		return
+	}
+	h1 := c.takeHelper(buckets, srcR)
+	h2 := c.takeHelper(buckets, srcR)
+	c.B.MustAttach(int(h1), int(src))
+	c.B.MustAttach(int(h2), int(src))
+	mid := len(buckets) / 2
+	c.relayAt(buckets[:mid], base, h1, recurse)
+	c.relayAt(buckets[mid:], base+mid, h2, recurse)
+}
+
+func (c *CtxD) takeHelper(buckets [][]int32, srcR float64) int32 {
+	ref := pickHelper(buckets, c.radius, srcR)
+	id, shorter := removeAt(buckets[ref.bucket], ref.pos)
+	buckets[ref.bucket] = shorter
+	return id
+}

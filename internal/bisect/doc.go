@@ -1,0 +1,31 @@
+// Package bisect implements the paper's Bisection algorithm (§II): a
+// constant-factor approximation for the degree-constrained minimum-radius
+// spanning tree of points lying in a ring segment. The segment is split
+// recursively by its mid-radius arc and mid-angle ray into four
+// sub-segments; each non-empty sub-segment contributes a representative
+// (the point whose polar radius is closest to the source's), which attaches
+// to the source and becomes the local source of the recursion.
+//
+// Variants:
+//
+//   - Connect4: the natural out-degree-4 version (approximation factor 5,
+//     Theorem 1). Paths move monotonically in radius, and the angular detour
+//     per level is bounded by the shrinking segment angle, giving the path
+//     bound max(R-q, q-r) + 2*R*a of inequality (1).
+//   - Connect2: the out-degree-2 version (factor 9) — the source first
+//     attaches the two points with radius closest to its own, and each of
+//     those relays two of the four sub-segments; the angular term doubles
+//     (inequality (2)).
+//   - Connect8 / Connect2Ball3 (3-D) and ConnectD / Connect2BallD (general
+//     d): cells split along every axis into 2^d sub-cells; the natural
+//     out-degree is 2^d, and the out-degree-2 versions relay the sub-cell
+//     representatives through a binary helper tree.
+//
+// Standalone entry points (BuildTree, BuildTree3, BuildTreeD) cover an
+// arbitrary point set with a thin, nearly-flat ring segment whose polar
+// origin is placed far away — far enough that sin(a) > (5/6)a and
+// r > 0.6R, the preconditions of the factor-5 proof.
+//
+// The package attaches nodes into a tree.Builder so that the degree caps
+// are machine-checked during construction.
+package bisect

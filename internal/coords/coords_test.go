@@ -1,0 +1,265 @@
+package coords
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"omtree/internal/geom"
+	"omtree/internal/rng"
+	"omtree/internal/stats"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m, err := NewMatrix(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Set(0, 1, 5)
+	m.Set(1, 2, 3)
+	if m.At(1, 0) != 5 || m.At(0, 1) != 5 {
+		t.Error("not symmetric")
+	}
+	if m.At(0, 0) != 0 {
+		t.Error("diagonal nonzero")
+	}
+	m.Set(1, 1, 9) // ignored
+	if m.At(1, 1) != 0 {
+		t.Error("diagonal settable")
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+	if got := m.MeanDelay(); math.Abs(got-8.0/3) > 1e-12 {
+		t.Errorf("mean = %v", got)
+	}
+	if _, err := NewMatrix(0); err == nil {
+		t.Error("accepted n=0")
+	}
+}
+
+func TestMatrixValidateRejects(t *testing.T) {
+	m, _ := NewMatrix(2)
+	m.d[1] = -1
+	if err := m.Validate(); err == nil {
+		t.Error("accepted negative delay")
+	}
+	m.d[1] = 1 // asymmetric now (d[2] still 0)
+	if err := m.Validate(); err == nil {
+		t.Error("accepted asymmetry")
+	}
+}
+
+func TestEuclideanMatrixExact(t *testing.T) {
+	pts := []geom.Point2{{X: 0, Y: 0}, {X: 3, Y: 4}, {X: 1, Y: 1}}
+	m, err := EuclideanMatrix(pts, 0, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 5 {
+		t.Errorf("d(0,1) = %v", m.At(0, 1))
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+	if _, err := EuclideanMatrix(pts, -1, rng.New(1)); err == nil {
+		t.Error("accepted negative sigma")
+	}
+}
+
+func TestEuclideanMatrixNoiseInflates(t *testing.T) {
+	r := rng.New(2)
+	pts := r.UniformDiskN(30, 1)
+	m, err := EuclideanMatrix(pts, 0.2, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multiplicative |N| noise only inflates.
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if m.At(i, j) < pts[i].Dist(pts[j])-1e-12 {
+				t.Fatalf("noise deflated delay at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransitStub(t *testing.T) {
+	cfg := TransitStubConfig{TransitRouters: 5, StubsPerRouter: 2, HostsPerStub: 3}
+	m, err := TransitStub(cfg, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 30 {
+		t.Fatalf("hosts = %d, want 30", m.N())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Same-stub hosts are closest (LAN).
+	if m.At(0, 1) >= m.At(0, 29) {
+		t.Errorf("LAN delay %v not below WAN delay %v", m.At(0, 1), m.At(0, 29))
+	}
+	// Triangle inequality holds for shortest-path metrics.
+	for i := 0; i < m.N(); i += 7 {
+		for j := 1; j < m.N(); j += 5 {
+			for k := 2; k < m.N(); k += 3 {
+				if m.At(i, j) > m.At(i, k)+m.At(k, j)+1e-9 {
+					t.Fatalf("triangle violated at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestTransitStubValidation(t *testing.T) {
+	if _, err := TransitStub(TransitStubConfig{TransitRouters: 2, StubsPerRouter: 1, HostsPerStub: 1}, rng.New(1)); err == nil {
+		t.Error("accepted 2 transit routers")
+	}
+	if _, err := TransitStub(TransitStubConfig{TransitRouters: 3}, rng.New(1)); err == nil {
+		t.Error("accepted zero stubs")
+	}
+}
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	// Minimize (x-2)^2 + (y+1)^2.
+	f := func(x []float64) float64 {
+		return (x[0]-2)*(x[0]-2) + (x[1]+1)*(x[1]+1)
+	}
+	x, v, err := NelderMead(f, []float64{0, 0}, NelderMeadConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-4 || math.Abs(x[1]+1) > 1e-4 {
+		t.Errorf("minimum at %v", x)
+	}
+	if v > 1e-8 {
+		t.Errorf("value %v", v)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	x, _, err := NelderMead(f, []float64{-1, 1}, NelderMeadConfig{MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 0.05 || math.Abs(x[1]-1) > 0.05 {
+		t.Errorf("Rosenbrock minimum at %v, want (1,1)", x)
+	}
+}
+
+func TestNelderMeadEmptyInput(t *testing.T) {
+	if _, _, err := NelderMead(func([]float64) float64 { return 0 }, nil, NelderMeadConfig{}); err == nil {
+		t.Error("accepted empty start")
+	}
+}
+
+func TestEmbedRecoversEuclidean(t *testing.T) {
+	// Noise-free Euclidean delays must embed with small relative error.
+	r := rng.New(5)
+	pts := r.UniformDiskN(40, 1)
+	m, err := EuclideanMatrix(pts, 0, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := Embed(m, EmbedConfig{Dim: 2, Landmarks: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := RelativeErrors(m, emb)
+	sort.Float64s(errs)
+	med := stats.Percentile(errs, 0.5)
+	if med > 0.05 {
+		t.Errorf("median relative error %v, want < 0.05", med)
+	}
+}
+
+func TestEmbedTransitStubReasonable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("embedding many hosts is slow")
+	}
+	m, err := TransitStub(TransitStubConfig{TransitRouters: 6, StubsPerRouter: 2, HostsPerStub: 3}, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := Embed(m, EmbedConfig{Dim: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := RelativeErrors(m, emb)
+	sort.Float64s(errs)
+	med := stats.Percentile(errs, 0.5)
+	// Internet-like metrics don't embed perfectly; GNP reports useful
+	// accuracy at median relative error well under 1.
+	if med > 0.5 {
+		t.Errorf("median relative error %v, want < 0.5", med)
+	}
+}
+
+func TestEmbedValidation(t *testing.T) {
+	m, _ := NewMatrix(4)
+	if _, err := Embed(m, EmbedConfig{Dim: 2, Landmarks: 10}); err == nil {
+		t.Error("accepted more landmarks than hosts")
+	}
+	if _, err := Embed(m, EmbedConfig{Dim: 3, Landmarks: 2}); err == nil {
+		t.Error("accepted underdetermined landmarks")
+	}
+	if _, err := Embed(m, EmbedConfig{Dim: -1}); err == nil {
+		t.Error("accepted negative dimension")
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	r := rng.New(10)
+	pts := r.UniformDiskN(20, 1)
+	m, err := EuclideanMatrix(pts, 0, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Embed(m, EmbedConfig{Dim: 2, Landmarks: 5, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Embed(m, EmbedConfig{Dim: 2, Landmarks: 5, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Coords {
+		if a.Coords[i].Dist(b.Coords[i]) != 0 {
+			t.Fatal("embedding not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestSelectLandmarksSpread(t *testing.T) {
+	// Two tight clusters: landmark selection must hit both.
+	r := rng.New(13)
+	var pts []geom.Point2
+	for i := 0; i < 10; i++ {
+		pts = append(pts, geom.Point2{X: 0.01 * r.Float64(), Y: 0})
+	}
+	for i := 0; i < 10; i++ {
+		pts = append(pts, geom.Point2{X: 10 + 0.01*r.Float64(), Y: 0})
+	}
+	m, err := EuclideanMatrix(pts, 0, rng.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := selectLandmarks(m, 4)
+	var left, right int
+	for _, id := range lm {
+		if id < 10 {
+			left++
+		} else {
+			right++
+		}
+	}
+	if left == 0 || right == 0 {
+		t.Errorf("landmarks not spread: %v", lm)
+	}
+}

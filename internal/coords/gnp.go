@@ -1,0 +1,221 @@
+package coords
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"omtree/internal/geom"
+	"omtree/internal/rng"
+)
+
+// EmbedConfig parameterizes the GNP-style embedding.
+type EmbedConfig struct {
+	// Dim is the target Euclidean dimension (default 3, matching [12]'s
+	// observation that 3 and above predict Internet distances well).
+	Dim int
+	// Landmarks is the number of landmark hosts (default Dim+3, at least
+	// Dim+1 for a well-posed embedding).
+	Landmarks int
+	// Restarts is the number of random restarts per optimization
+	// (default 3); the best result wins.
+	Restarts int
+	// Seed drives the deterministic restart initializations.
+	Seed uint64
+}
+
+// Embedding is the result of embedding a delay matrix.
+type Embedding struct {
+	// Coords[i] is host i's position (dimension Dim).
+	Coords []geom.Vec
+	// LandmarkIDs are the hosts used as landmarks.
+	LandmarkIDs []int
+	// Stress is the final relative-error objective over landmark pairs.
+	Stress float64
+}
+
+// Embed places every host of the delay matrix into Dim-dimensional
+// Euclidean space following the two-phase GNP procedure: first the
+// landmarks are positioned by minimizing the squared relative error of
+// their pairwise delays, then every other host is positioned independently
+// against the fixed landmarks. Landmarks are selected greedily for spread
+// (farthest-point traversal from the host with the largest total delay).
+func Embed(m *Matrix, cfg EmbedConfig) (*Embedding, error) {
+	if cfg.Dim == 0 {
+		cfg.Dim = 3
+	}
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("coords: embedding dimension %d < 1", cfg.Dim)
+	}
+	if cfg.Landmarks == 0 {
+		cfg.Landmarks = cfg.Dim + 3
+	}
+	if cfg.Landmarks < cfg.Dim+1 {
+		return nil, fmt.Errorf("coords: %d landmarks underdetermine a %d-dim embedding", cfg.Landmarks, cfg.Dim)
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 3
+	}
+	n := m.N()
+	if n < cfg.Landmarks {
+		return nil, fmt.Errorf("coords: %d hosts < %d landmarks", n, cfg.Landmarks)
+	}
+
+	landmarks := selectLandmarks(m, cfg.Landmarks)
+	r := rng.New(cfg.Seed)
+	scale := m.MeanDelay()
+	if scale == 0 {
+		scale = 1
+	}
+
+	// Phase 1: position the landmarks jointly.
+	L := len(landmarks)
+	objLandmarks := func(x []float64) float64 {
+		var sum float64
+		for a := 0; a < L; a++ {
+			for b := a + 1; b < L; b++ {
+				measured := m.At(landmarks[a], landmarks[b])
+				if measured <= 0 {
+					continue
+				}
+				dist := vecDist(x[a*cfg.Dim:(a+1)*cfg.Dim], x[b*cfg.Dim:(b+1)*cfg.Dim])
+				rel := (dist - measured) / measured
+				sum += rel * rel
+			}
+		}
+		return sum
+	}
+	bestX, bestVal := []float64(nil), math.Inf(1)
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		x0 := make([]float64, L*cfg.Dim)
+		for i := range x0 {
+			x0[i] = scale * (r.Float64() - 0.5)
+		}
+		x, v, err := NelderMead(objLandmarks, x0, NelderMeadConfig{InitStep: scale / 4})
+		if err != nil {
+			return nil, err
+		}
+		if v < bestVal {
+			bestX, bestVal = x, v
+		}
+	}
+	landmarkPos := make([]geom.Vec, L)
+	for a := 0; a < L; a++ {
+		landmarkPos[a] = append(geom.Vec(nil), bestX[a*cfg.Dim:(a+1)*cfg.Dim]...)
+	}
+
+	// Phase 2: position every other host against the fixed landmarks.
+	emb := &Embedding{
+		Coords:      make([]geom.Vec, n),
+		LandmarkIDs: landmarks,
+		Stress:      bestVal,
+	}
+	isLandmark := make(map[int]int, L)
+	for a, id := range landmarks {
+		isLandmark[id] = a
+		emb.Coords[id] = landmarkPos[a]
+	}
+	for h := 0; h < n; h++ {
+		if _, ok := isLandmark[h]; ok {
+			continue
+		}
+		objHost := func(x []float64) float64 {
+			var sum float64
+			for a, id := range landmarks {
+				measured := m.At(h, id)
+				if measured <= 0 {
+					continue
+				}
+				rel := (vecDist(x, landmarkPos[a]) - measured) / measured
+				sum += rel * rel
+			}
+			return sum
+		}
+		bestH, bestHV := []float64(nil), math.Inf(1)
+		for restart := 0; restart < cfg.Restarts; restart++ {
+			x0 := make([]float64, cfg.Dim)
+			// Start near the landmark centroid with jitter.
+			for _, lp := range landmarkPos {
+				for k := range x0 {
+					x0[k] += lp[k] / float64(L)
+				}
+			}
+			for k := range x0 {
+				x0[k] += scale * 0.2 * (r.Float64() - 0.5)
+			}
+			x, v, err := NelderMead(objHost, x0, NelderMeadConfig{InitStep: scale / 4})
+			if err != nil {
+				return nil, err
+			}
+			if v < bestHV {
+				bestH, bestHV = x, v
+			}
+		}
+		emb.Coords[h] = bestH
+	}
+	return emb, nil
+}
+
+// selectLandmarks picks spread-out hosts: start from the host with the
+// largest total delay, then repeat farthest-point selection.
+func selectLandmarks(m *Matrix, count int) []int {
+	n := m.N()
+	first, bestSum := 0, -1.0
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += m.At(i, j)
+		}
+		if sum > bestSum {
+			first, bestSum = i, sum
+		}
+	}
+	chosen := []int{first}
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = m.At(i, first)
+	}
+	for len(chosen) < count {
+		next, nextD := -1, -1.0
+		for i := 0; i < n; i++ {
+			if minDist[i] > nextD {
+				next, nextD = i, minDist[i]
+			}
+		}
+		chosen = append(chosen, next)
+		minDist[next] = -1
+		for i := 0; i < n; i++ {
+			if d := m.At(i, next); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// RelativeErrors returns |embedded - measured| / measured for every host
+// pair with positive measured delay.
+func RelativeErrors(m *Matrix, emb *Embedding) []float64 {
+	var errs []float64
+	for i := 0; i < m.N(); i++ {
+		for j := i + 1; j < m.N(); j++ {
+			measured := m.At(i, j)
+			if measured <= 0 {
+				continue
+			}
+			d := emb.Coords[i].Dist(emb.Coords[j])
+			errs = append(errs, math.Abs(d-measured)/measured)
+		}
+	}
+	return errs
+}
+
+func vecDist(a, b []float64) float64 {
+	var s float64
+	for k := range a {
+		d := a[k] - b[k]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,83 @@
+// Package coords provides the host-to-point mapping substrate the paper
+// assumes as given (§I): synthetic inter-host delay matrices (Euclidean
+// ground truth with noise, or a transit–stub router topology with
+// shortest-path routing) and a from-scratch GNP-style embedding (Ng & Zhang
+// [12]) that places hosts into d-dimensional Euclidean space from measured
+// delays using landmarks and Nelder–Mead simplex descent.
+//
+// Together with package core this closes the paper's full pipeline: measure
+// (or synthesize) delays -> embed hosts -> build the minimum-delay
+// degree-constrained multicast tree on the embedded points.
+package coords
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a symmetric host-to-host delay matrix with zero diagonal.
+type Matrix struct {
+	n int
+	d []float64 // row-major n*n
+}
+
+// NewMatrix returns a zero matrix over n hosts.
+func NewMatrix(n int) (*Matrix, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("coords: matrix needs n >= 1, got %d", n)
+	}
+	return &Matrix{n: n, d: make([]float64, n*n)}, nil
+}
+
+// N returns the number of hosts.
+func (m *Matrix) N() int { return m.n }
+
+// At returns the delay between hosts i and j.
+func (m *Matrix) At(i, j int) float64 { return m.d[i*m.n+j] }
+
+// Set sets the delay between i and j (symmetric; ignores i == j).
+func (m *Matrix) Set(i, j int, v float64) {
+	if i == j {
+		return
+	}
+	m.d[i*m.n+j] = v
+	m.d[j*m.n+i] = v
+}
+
+// Validate checks symmetry, zero diagonal, and non-negativity.
+func (m *Matrix) Validate() error {
+	for i := 0; i < m.n; i++ {
+		if m.At(i, i) != 0 {
+			return fmt.Errorf("coords: nonzero diagonal at %d", i)
+		}
+		for j := i + 1; j < m.n; j++ {
+			v := m.At(i, j)
+			if v < 0 || math.IsNaN(v) {
+				return fmt.Errorf("coords: invalid delay %v at (%d, %d)", v, i, j)
+			}
+			if v != m.At(j, i) {
+				return fmt.Errorf("coords: asymmetric at (%d, %d)", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// DistFunc adapts the matrix to the tree-metric interface.
+func (m *Matrix) DistFunc() func(i, j int) float64 {
+	return func(i, j int) float64 { return m.At(i, j) }
+}
+
+// MeanDelay returns the average off-diagonal delay.
+func (m *Matrix) MeanDelay() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			sum += m.At(i, j)
+		}
+	}
+	return sum / float64(m.n*(m.n-1)/2)
+}

@@ -1,0 +1,137 @@
+package coords
+
+import (
+	"fmt"
+	"math"
+)
+
+// NelderMeadConfig tunes the downhill-simplex minimizer. Zero values select
+// the standard coefficients.
+type NelderMeadConfig struct {
+	MaxIter    int     // default 200 * dim
+	Tolerance  float64 // stop when the simplex f-spread falls below this (default 1e-10)
+	InitStep   float64 // initial simplex edge length (default 0.1)
+	Reflection float64 // default 1
+	Expansion  float64 // default 2
+	Contract   float64 // default 0.5
+	Shrink     float64 // default 0.5
+}
+
+func (c *NelderMeadConfig) defaults(dim int) {
+	if c.MaxIter == 0 {
+		c.MaxIter = 200 * dim
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 1e-10
+	}
+	if c.InitStep == 0 {
+		c.InitStep = 0.1
+	}
+	if c.Reflection == 0 {
+		c.Reflection = 1
+	}
+	if c.Expansion == 0 {
+		c.Expansion = 2
+	}
+	if c.Contract == 0 {
+		c.Contract = 0.5
+	}
+	if c.Shrink == 0 {
+		c.Shrink = 0.5
+	}
+}
+
+// NelderMead minimizes f starting from x0, returning the best point found
+// and its value. It is derivative-free, which suits the non-smooth
+// relative-error objectives of GNP.
+func NelderMead(f func([]float64) float64, x0 []float64, cfg NelderMeadConfig) ([]float64, float64, error) {
+	dim := len(x0)
+	if dim == 0 {
+		return nil, 0, fmt.Errorf("coords: Nelder-Mead needs at least one dimension")
+	}
+	cfg.defaults(dim)
+
+	// Initial simplex: x0 plus one perturbed vertex per axis.
+	verts := make([][]float64, dim+1)
+	vals := make([]float64, dim+1)
+	for i := range verts {
+		v := append([]float64(nil), x0...)
+		if i > 0 {
+			v[i-1] += cfg.InitStep
+		}
+		verts[i] = v
+		vals[i] = f(v)
+	}
+
+	order := make([]int, dim+1)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		// Order vertices by value (simple insertion sort; dim is small).
+		for i := range order {
+			order[i] = i
+		}
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && vals[order[j]] < vals[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		best, worst := order[0], order[dim]
+		second := order[dim-1]
+		if vals[worst]-vals[best] < cfg.Tolerance {
+			break
+		}
+
+		// Centroid of all but the worst.
+		centroid := make([]float64, dim)
+		for _, vi := range order[:dim] {
+			for k, x := range verts[vi] {
+				centroid[k] += x
+			}
+		}
+		for k := range centroid {
+			centroid[k] /= float64(dim)
+		}
+
+		mix := func(a float64) []float64 {
+			out := make([]float64, dim)
+			for k := range out {
+				out[k] = centroid[k] + a*(centroid[k]-verts[worst][k])
+			}
+			return out
+		}
+
+		reflected := mix(cfg.Reflection)
+		fr := f(reflected)
+		switch {
+		case fr < vals[best]:
+			expanded := mix(cfg.Reflection * cfg.Expansion)
+			if fe := f(expanded); fe < fr {
+				verts[worst], vals[worst] = expanded, fe
+			} else {
+				verts[worst], vals[worst] = reflected, fr
+			}
+		case fr < vals[second]:
+			verts[worst], vals[worst] = reflected, fr
+		default:
+			contracted := mix(-cfg.Contract)
+			if fc := f(contracted); fc < vals[worst] {
+				verts[worst], vals[worst] = contracted, fc
+			} else {
+				// Shrink toward the best vertex.
+				for _, vi := range order[1:] {
+					for k := range verts[vi] {
+						verts[vi][k] = verts[best][k] + cfg.Shrink*(verts[vi][k]-verts[best][k])
+					}
+					vals[vi] = f(verts[vi])
+				}
+			}
+		}
+	}
+
+	best, bestVal := 0, math.Inf(1)
+	for i, v := range vals {
+		if v < bestVal {
+			best, bestVal = i, v
+		}
+	}
+	return verts[best], bestVal, nil
+}

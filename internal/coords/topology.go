@@ -1,0 +1,192 @@
+package coords
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"omtree/internal/geom"
+	"omtree/internal/rng"
+)
+
+// EuclideanMatrix synthesizes a delay matrix from planar host positions:
+// delay = distance * (1 + noise), with noise drawn per pair as
+// |N(0, sigma)|-style multiplicative perturbation. sigma = 0 reproduces the
+// exact metric. This is the controlled workload for auditing embedding
+// error.
+func EuclideanMatrix(hosts []geom.Point2, sigma float64, r *rng.Rand) (*Matrix, error) {
+	if sigma < 0 {
+		return nil, fmt.Errorf("coords: negative noise sigma %v", sigma)
+	}
+	m, err := NewMatrix(len(hosts))
+	if err != nil {
+		return nil, err
+	}
+	for i := range hosts {
+		for j := i + 1; j < len(hosts); j++ {
+			d := hosts[i].Dist(hosts[j])
+			if sigma > 0 {
+				d *= 1 + sigma*math.Abs(r.NormFloat64())
+			}
+			m.Set(i, j, d)
+		}
+	}
+	return m, nil
+}
+
+// TransitStubConfig parameterizes the synthetic Internet-like topology: a
+// ring-plus-chords transit backbone, stub routers hanging off transit
+// routers, and hosts attached to stub routers. Delays follow Euclidean
+// distances between router positions, scaled per link tier.
+type TransitStubConfig struct {
+	TransitRouters int     // backbone size (>= 3)
+	StubsPerRouter int     // stub routers per transit router (>= 1)
+	HostsPerStub   int     // hosts per stub router (>= 1)
+	TransitScale   float64 // backbone propagation multiplier (default 1)
+	StubScale      float64 // stub uplink multiplier (default 1)
+	AccessDelay    float64 // fixed host access-link delay (default 0.01)
+	ChordFraction  float64 // extra backbone chords as a fraction of ring edges (default 0.5)
+}
+
+// TransitStub synthesizes a delay matrix by building the router topology,
+// computing all-pairs shortest paths with Dijkstra, and deriving
+// host-to-host delays. It returns the matrix and the host count
+// (TransitRouters * StubsPerRouter * HostsPerStub).
+func TransitStub(cfg TransitStubConfig, r *rng.Rand) (*Matrix, error) {
+	if cfg.TransitRouters < 3 {
+		return nil, fmt.Errorf("coords: need >= 3 transit routers, got %d", cfg.TransitRouters)
+	}
+	if cfg.StubsPerRouter < 1 || cfg.HostsPerStub < 1 {
+		return nil, fmt.Errorf("coords: need >= 1 stub per router and host per stub")
+	}
+	if cfg.TransitScale == 0 {
+		cfg.TransitScale = 1
+	}
+	if cfg.StubScale == 0 {
+		cfg.StubScale = 1
+	}
+	if cfg.AccessDelay == 0 {
+		cfg.AccessDelay = 0.01
+	}
+	if cfg.ChordFraction == 0 {
+		cfg.ChordFraction = 0.5
+	}
+
+	numTransit := cfg.TransitRouters
+	numStub := numTransit * cfg.StubsPerRouter
+	numRouters := numTransit + numStub
+	hosts := numStub * cfg.HostsPerStub
+
+	// Router positions: transit on a circle (geographic backbone), stubs
+	// scattered near their transit router.
+	pos := make([]geom.Point2, numRouters)
+	for t := 0; t < numTransit; t++ {
+		angle := geom.TwoPi * float64(t) / float64(numTransit)
+		s, c := math.Sincos(angle)
+		pos[t] = geom.Point2{X: c, Y: s}
+	}
+	for s := 0; s < numStub; s++ {
+		parent := s / cfg.StubsPerRouter
+		jitter := geom.Point2{X: 0.2 * (r.Float64() - 0.5), Y: 0.2 * (r.Float64() - 0.5)}
+		pos[numTransit+s] = pos[parent].Add(jitter)
+	}
+
+	// Graph edges.
+	adj := make([][]edge, numRouters)
+	addEdge := func(a, b int, w float64) {
+		adj[a] = append(adj[a], edge{to: b, w: w})
+		adj[b] = append(adj[b], edge{to: a, w: w})
+	}
+	// Backbone ring.
+	for t := 0; t < numTransit; t++ {
+		u := (t + 1) % numTransit
+		addEdge(t, u, cfg.TransitScale*pos[t].Dist(pos[u]))
+	}
+	// Random chords.
+	chords := int(cfg.ChordFraction * float64(numTransit))
+	for c := 0; c < chords; c++ {
+		a, b := r.Intn(numTransit), r.Intn(numTransit)
+		if a != b {
+			addEdge(a, b, cfg.TransitScale*pos[a].Dist(pos[b]))
+		}
+	}
+	// Stub uplinks.
+	for s := 0; s < numStub; s++ {
+		parent := s / cfg.StubsPerRouter
+		addEdge(numTransit+s, parent, cfg.StubScale*pos[numTransit+s].Dist(pos[parent]))
+	}
+
+	// All-pairs shortest paths between stub routers (sources: each stub).
+	stubDist := make([][]float64, numStub)
+	for s := 0; s < numStub; s++ {
+		stubDist[s] = dijkstra(adj, numTransit+s)
+	}
+
+	m, err := NewMatrix(hosts)
+	if err != nil {
+		return nil, err
+	}
+	stubOf := func(h int) int { return h / cfg.HostsPerStub }
+	for i := 0; i < hosts; i++ {
+		for j := i + 1; j < hosts; j++ {
+			si, sj := stubOf(i), stubOf(j)
+			var d float64
+			if si == sj {
+				d = 2 * cfg.AccessDelay // same LAN: two access hops
+			} else {
+				d = stubDist[si][numTransit+sj] + 2*cfg.AccessDelay
+			}
+			m.Set(i, j, d)
+		}
+	}
+	return m, nil
+}
+
+// edge is a weighted router-graph link.
+type edge struct {
+	to int
+	w  float64
+}
+
+// dijkstra returns shortest-path distances from src over the adjacency.
+func dijkstra(adj [][]edge, src int) []float64 {
+	n := len(adj)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &distHeap{{node: src, d: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.d > dist[item.node] {
+			continue
+		}
+		for _, e := range adj[item.node] {
+			if nd := item.d + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(pq, distItem{node: e.to, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	node int
+	d    float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"omtree/internal/bisect"
+	"omtree/internal/geom"
+	"omtree/internal/grid"
+	"omtree/internal/tree"
+)
+
+// naturalDegree2D is 2 core links + the 4-way Bisection fan-out.
+const naturalDegree2D = 6
+
+// conn2 adapts the 2-D grid and Bisection context to the wiring interface.
+type conn2 struct {
+	ctx *bisect.Ctx2
+	g   grid.PolarGrid
+}
+
+// repScore is the squared distance from the node to the center of the
+// cell's inner arc, computed in polar coordinates via the law of cosines.
+func (c *conn2) repScore(cellID int, id int32) float64 {
+	ring, j := grid.RingIdx(cellID)
+	seg := c.g.Segment(ring, j)
+	p := c.ctx.Pts[id]
+	return p.R*p.R + seg.RMin*seg.RMin -
+		2*p.R*seg.RMin*math.Cos(p.Theta-seg.MidTheta())
+}
+
+// relayScore is the squared distance to the center of the cell's outer arc.
+func (c *conn2) relayScore(cellID int, id int32) float64 {
+	ring, j := grid.RingIdx(cellID)
+	seg := c.g.Segment(ring, j)
+	p := c.ctx.Pts[id]
+	return p.R*p.R + seg.RMax*seg.RMax -
+		2*p.R*seg.RMax*math.Cos(p.Theta-seg.MidTheta())
+}
+
+func (c *conn2) pointDist2(a, b int32) float64 {
+	pa, pb := c.ctx.Pts[a], c.ctx.Pts[b]
+	return pa.R*pa.R + pb.R*pb.R - 2*pa.R*pb.R*math.Cos(pa.Theta-pb.Theta)
+}
+
+func (c *conn2) connectNatural(idx []int32, src int32, cellID int) {
+	ring, j := grid.RingIdx(cellID)
+	c.ctx.Connect4(idx, src, c.g.Segment(ring, j))
+}
+
+func (c *conn2) connectBinary(idx []int32, src int32, cellID int) {
+	ring, j := grid.RingIdx(cellID)
+	c.ctx.Connect2(idx, src, c.g.Segment(ring, j))
+}
+
+// Build2 runs Algorithm Polar_Grid over planar receivers with the given
+// source. Node 0 of the resulting tree is the source and node i >= 1 is
+// receivers[i-1]. The default (no options) builds the natural out-degree-6
+// variant; WithMaxOutDegree(2) or (3) selects the binary variant.
+//
+// The construction works for any receiver layout (§IV-C): coordinates are
+// taken relative to the source and the grid is scaled to the farthest
+// receiver. Asymptotic optimality additionally needs the receivers to fill
+// a convex region around the source with density bounded below.
+func Build2(source geom.Point2, receivers []geom.Point2, opts ...Option) (*Result, error) {
+	o := buildOptions(opts)
+	variant, degCap, err := variantFor(o.maxOutDegree, naturalDegree2D)
+	if err != nil {
+		return nil, err
+	}
+	n := len(receivers)
+	b, err := tree.NewBuilder(n+1, 0, degCap)
+	if err != nil {
+		return nil, err
+	}
+
+	polars := make([]geom.Polar, n+1)
+	var scale float64
+	for i, p := range receivers {
+		c := p.PolarAround(source)
+		polars[i+1] = c
+		if c.R > scale {
+			scale = c.R
+		}
+	}
+	dist := func(i, j int) float64 {
+		pi, pj := source, source
+		if i > 0 {
+			pi = receivers[i-1]
+		}
+		if j > 0 {
+			pj = receivers[j-1]
+		}
+		return pi.Dist(pj)
+	}
+
+	res := &Result{Dim: 2, Variant: variant, MaxOutDegree: degCap, Scale: scale}
+	if n == 0 || scale == 0 {
+		// No receivers, or all coincident with the source: geometry is
+		// degenerate and any balanced tree is optimal (zero-length edges).
+		attachAllKary(b, n, degCap)
+		if res.Tree, err = b.Build(); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+
+	k, err := pickK(o, n, func(k int) bool {
+		return grid.PolarGrid{K: k, Scale: scale}.InteriorOccupied(polars[1:])
+	}, func(kMax int) int {
+		return grid.MaxFeasibleK(polars[1:], scale, kMax)
+	})
+	if err != nil {
+		return nil, err
+	}
+	g := grid.PolarGrid{K: k, Scale: scale}
+
+	cellOf := make([]int32, n)
+	for i := 1; i <= n; i++ {
+		cellOf[i-1] = int32(g.CellOf(polars[i]))
+	}
+	groups := groupByCell(cellOf, g.NumCells())
+	conn := &conn2{ctx: &bisect.Ctx2{B: b, Pts: polars}, g: g}
+	reps := chooseReps(groups, conn, g.NumCells())
+	reps[0] = -1 // the source itself anchors ring 0; cell 0 has no separate representative
+	wireCore(b, k, groups, reps, conn, variant)
+
+	if res.Tree, err = b.Build(); err != nil {
+		return nil, fmt.Errorf("core: incomplete wiring (bug): %w", err)
+	}
+	delays := res.Tree.Delays(dist)
+	res.K = k
+	res.Radius = maxOf(delays)
+	res.CoreDelay = coreDelay(delays, reps)
+	res.Bound = g.UpperBound(arcCoeff(variant))
+	return res, nil
+}
+
+// arcCoeff is the Delta_0 coefficient of upper bound (7): 2 for the natural
+// variant, doubled to 4 when the in-cell Bisection spends two links per
+// level (§IV-A) — which both the binary and the hybrid variants do.
+func arcCoeff(v Variant) float64 {
+	if v == VariantNatural {
+		return 2
+	}
+	return 4
+}
+
+// attachAllKary attaches receivers 1..n under the source as a balanced
+// k-ary tree (degenerate-geometry fallback).
+func attachAllKary(b *tree.Builder, n, k int) {
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i + 1)
+	}
+	bisect.AttachKary(b, idx, 0, k)
+}
+
+// pickK resolves the ring count: a forced value (validated for interior
+// occupancy) or the largest feasible value up to the search ceiling.
+func pickK(o options, n int, feasible func(k int) bool, search func(kMax int) int) (int, error) {
+	if o.forceK > 0 {
+		if !feasible(o.forceK) {
+			return 0, fmt.Errorf("core: forced k = %d leaves an interior grid cell empty", o.forceK)
+		}
+		return o.forceK, nil
+	}
+	kMax := o.kMax
+	if kMax <= 0 {
+		kMax = grid.DefaultKMax(n)
+	}
+	return search(kMax), nil
+}

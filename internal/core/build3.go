@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"omtree/internal/bisect"
+	"omtree/internal/geom"
+	"omtree/internal/grid"
+	"omtree/internal/tree"
+)
+
+// naturalDegree3D is 2 core links + the 8-way Bisection fan-out (§V: "the
+// straightforward extension of our algorithm builds a tree of out-degree
+// 10").
+const naturalDegree3D = 10
+
+// conn3 adapts the 3-D grid and Bisection context to the wiring interface.
+type conn3 struct {
+	ctx *bisect.Ctx3
+	g   grid.SphereGrid3
+}
+
+// repScore is the squared distance from the node to the center of the
+// cell's inner (spherical) arc: the point at radius RMin in the middle of
+// the cell's angular box.
+func (c *conn3) repScore(cellID int, id int32) float64 {
+	shell, j := grid.RingIdx(cellID)
+	cell := c.g.Cell(shell, j)
+	// Middle of the polar-angle interval (arc-length midpoint), not of the
+	// u interval, so the generic BuildD path agrees exactly.
+	phiMid := (math.Acos(clampUnit(cell.UMax)) + math.Acos(clampUnit(cell.UMin))) / 2
+	center := geom.Spherical{
+		R:     cell.RMin,
+		Theta: (cell.ThetaMin + cell.ThetaMax) / 2,
+		U:     math.Cos(phiMid),
+	}.ToPoint()
+	return c.ctx.Pts[id].ToPoint().Dist2(center)
+}
+
+// relayScore is the squared distance to the center of the cell's outer arc.
+func (c *conn3) relayScore(cellID int, id int32) float64 {
+	shell, j := grid.RingIdx(cellID)
+	cell := c.g.Cell(shell, j)
+	phiMid := (math.Acos(clampUnit(cell.UMax)) + math.Acos(clampUnit(cell.UMin))) / 2
+	center := geom.Spherical{
+		R:     cell.RMax,
+		Theta: (cell.ThetaMin + cell.ThetaMax) / 2,
+		U:     math.Cos(phiMid),
+	}.ToPoint()
+	return c.ctx.Pts[id].ToPoint().Dist2(center)
+}
+
+func (c *conn3) pointDist2(a, b int32) float64 {
+	return c.ctx.Pts[a].ToPoint().Dist2(c.ctx.Pts[b].ToPoint())
+}
+
+func (c *conn3) connectNatural(idx []int32, src int32, cellID int) {
+	shell, j := grid.RingIdx(cellID)
+	c.ctx.Connect8(idx, src, c.g.Cell(shell, j))
+}
+
+func (c *conn3) connectBinary(idx []int32, src int32, cellID int) {
+	shell, j := grid.RingIdx(cellID)
+	c.ctx.Connect2(idx, src, c.g.Cell(shell, j))
+}
+
+func clampUnit(x float64) float64 {
+	if x < -1 {
+		return -1
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Build3 runs Algorithm Polar_Grid in three dimensions (§IV-B, Figure 8's
+// experiment). Node 0 is the source; node i >= 1 is receivers[i-1]. The
+// default builds the natural out-degree-10 variant; WithMaxOutDegree(d) for
+// d in [2, 10) selects the binary out-degree-2 variant.
+func Build3(source geom.Point3, receivers []geom.Point3, opts ...Option) (*Result, error) {
+	o := buildOptions(opts)
+	variant, degCap, err := variantFor(o.maxOutDegree, naturalDegree3D)
+	if err != nil {
+		return nil, err
+	}
+	n := len(receivers)
+	b, err := tree.NewBuilder(n+1, 0, degCap)
+	if err != nil {
+		return nil, err
+	}
+
+	sph := make([]geom.Spherical, n+1)
+	sph[0] = geom.Spherical{U: 1}
+	var scale float64
+	for i, p := range receivers {
+		c := p.SphericalAround(source)
+		sph[i+1] = c
+		if c.R > scale {
+			scale = c.R
+		}
+	}
+	dist := func(i, j int) float64 {
+		pi, pj := source, source
+		if i > 0 {
+			pi = receivers[i-1]
+		}
+		if j > 0 {
+			pj = receivers[j-1]
+		}
+		return pi.Dist(pj)
+	}
+
+	res := &Result{Dim: 3, Variant: variant, MaxOutDegree: degCap, Scale: scale}
+	if n == 0 || scale == 0 {
+		attachAllKary(b, n, degCap)
+		if res.Tree, err = b.Build(); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+
+	k, err := pickK(o, n, func(k int) bool {
+		return grid.SphereGrid3{K: k, Scale: scale}.InteriorOccupied(sph[1:])
+	}, func(kMax int) int {
+		return grid.MaxFeasibleK3(sph[1:], scale, kMax)
+	})
+	if err != nil {
+		return nil, err
+	}
+	g := grid.SphereGrid3{K: k, Scale: scale}
+
+	cellOf := make([]int32, n)
+	for i := 1; i <= n; i++ {
+		cellOf[i-1] = int32(g.CellOf(sph[i]))
+	}
+	groups := groupByCell(cellOf, g.NumCells())
+	conn := &conn3{ctx: &bisect.Ctx3{B: b, Pts: sph}, g: g}
+	reps := chooseReps(groups, conn, g.NumCells())
+	reps[0] = -1 // the source itself anchors ring 0; cell 0 has no separate representative
+	wireCore(b, k, groups, reps, conn, variant)
+
+	if res.Tree, err = b.Build(); err != nil {
+		return nil, fmt.Errorf("core: incomplete wiring (bug): %w", err)
+	}
+	delays := res.Tree.Delays(dist)
+	res.K = k
+	res.Radius = maxOf(delays)
+	res.CoreDelay = coreDelay(delays, reps)
+	res.Bound = g.UpperBound(arcCoeff(variant))
+	return res, nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"omtree/internal/bisect"
+	"omtree/internal/geom"
+	"omtree/internal/grid"
+	"omtree/internal/tree"
+)
+
+// connD adapts the d-dimensional grid and Bisection context to the wiring
+// interface.
+type connD struct {
+	ctx *bisect.CtxD
+	g   *grid.GridD
+}
+
+// repScore is the squared distance from the node to the center of the
+// cell's inner arc: radius RMin at the middle of every angular interval.
+func (c *connD) repScore(cellID int, id int32) float64 {
+	shell, j := grid.RingIdx(cellID)
+	cell := c.g.Cell(shell, j)
+	center := geom.Hyperspherical{
+		R:     cell.RMin,
+		Theta: (cell.ThetaMin + cell.ThetaMax) / 2,
+		Phi:   make([]float64, len(cell.PhiMin)),
+	}
+	for m := range center.Phi {
+		center.Phi[m] = (cell.PhiMin[m] + cell.PhiMax[m]) / 2
+	}
+	return c.ctx.Pts[id].ToVec().Dist2(center.ToVec())
+}
+
+// relayScore is the squared distance to the center of the cell's outer arc.
+func (c *connD) relayScore(cellID int, id int32) float64 {
+	shell, j := grid.RingIdx(cellID)
+	cell := c.g.Cell(shell, j)
+	center := geom.Hyperspherical{
+		R:     cell.RMax,
+		Theta: (cell.ThetaMin + cell.ThetaMax) / 2,
+		Phi:   make([]float64, len(cell.PhiMin)),
+	}
+	for m := range center.Phi {
+		center.Phi[m] = (cell.PhiMin[m] + cell.PhiMax[m]) / 2
+	}
+	return c.ctx.Pts[id].ToVec().Dist2(center.ToVec())
+}
+
+func (c *connD) pointDist2(a, b int32) float64 {
+	return c.ctx.Pts[a].ToVec().Dist2(c.ctx.Pts[b].ToVec())
+}
+
+func (c *connD) connectNatural(idx []int32, src int32, cellID int) {
+	shell, j := grid.RingIdx(cellID)
+	c.ctx.ConnectFull(idx, src, c.g.Cell(shell, j))
+}
+
+func (c *connD) connectBinary(idx []int32, src int32, cellID int) {
+	shell, j := grid.RingIdx(cellID)
+	c.ctx.Connect2(idx, src, c.g.Cell(shell, j))
+}
+
+// BuildD runs Algorithm Polar_Grid in general dimension d >= 2 (§IV-B).
+// The source and all receivers must share dimension d; node 0 is the
+// source. The natural variant has out-degree 2^d + 2; WithMaxOutDegree in
+// [2, 2^d+2) selects the binary variant. For heavy 2-D or 3-D workloads
+// prefer Build2 / Build3, which use specialized coordinates.
+func BuildD(source geom.Vec, receivers []geom.Vec, opts ...Option) (*Result, error) {
+	d := len(source)
+	if d < 2 {
+		return nil, fmt.Errorf("core: dimension %d < 2", d)
+	}
+	for i, p := range receivers {
+		if len(p) != d {
+			return nil, fmt.Errorf("core: receiver %d has dimension %d, want %d", i, len(p), d)
+		}
+	}
+	o := buildOptions(opts)
+	natural := 1<<uint(d) + 2
+	variant, degCap, err := variantFor(o.maxOutDegree, natural)
+	if err != nil {
+		return nil, err
+	}
+	n := len(receivers)
+	b, err := tree.NewBuilder(n+1, 0, degCap)
+	if err != nil {
+		return nil, err
+	}
+
+	hs := make([]geom.Hyperspherical, n+1)
+	hs[0] = geom.Hyperspherical{Phi: make([]float64, d-2)}
+	var scale float64
+	for i, p := range receivers {
+		c := p.Sub(source).ToHyperspherical()
+		hs[i+1] = c
+		if c.R > scale {
+			scale = c.R
+		}
+	}
+	dist := func(i, j int) float64 {
+		pi, pj := source, source
+		if i > 0 {
+			pi = receivers[i-1]
+		}
+		if j > 0 {
+			pj = receivers[j-1]
+		}
+		return pi.Dist(pj)
+	}
+
+	res := &Result{Dim: d, Variant: variant, MaxOutDegree: degCap, Scale: scale}
+	if n == 0 || scale == 0 {
+		attachAllKary(b, n, degCap)
+		if res.Tree, err = b.Build(); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+
+	var g *grid.GridD
+	if o.forceK > 0 {
+		g, err = grid.NewGridD(d, o.forceK, scale)
+		if err != nil {
+			return nil, err
+		}
+		if o.forceK > 1 && !g.InteriorOccupied(hs[1:]) {
+			return nil, fmt.Errorf("core: forced k = %d leaves an interior grid cell empty", o.forceK)
+		}
+	} else {
+		kMax := o.kMax
+		if kMax <= 0 {
+			kMax = grid.DefaultKMax(n)
+		}
+		g, err = grid.MaxFeasibleKD(d, hs[1:], scale, kMax)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cellOf := make([]int32, n)
+	for i := 1; i <= n; i++ {
+		cellOf[i-1] = int32(g.CellOf(hs[i]))
+	}
+	groups := groupByCell(cellOf, g.NumCells())
+	conn := &connD{ctx: &bisect.CtxD{B: b, Pts: hs}, g: g}
+	reps := chooseReps(groups, conn, g.NumCells())
+	reps[0] = -1 // the source itself anchors ring 0; cell 0 has no separate representative
+	wireCore(b, g.K, groups, reps, conn, variant)
+
+	if res.Tree, err = b.Build(); err != nil {
+		return nil, fmt.Errorf("core: incomplete wiring (bug): %w", err)
+	}
+	delays := res.Tree.Delays(dist)
+	res.K = g.K
+	res.Radius = maxOf(delays)
+	res.CoreDelay = coreDelay(delays, reps)
+	res.Bound = g.UpperBound(arcCoeff(variant))
+	return res, nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"omtree/internal/geom"
+)
+
+// DiameterResult is the outcome of a minimum-diameter build (§VI): a
+// degree-constrained spanning tree over a host set with no designated
+// source, minimizing the largest host-to-host path (the MDDL objective of
+// Shi & Turner).
+type DiameterResult struct {
+	// Build is the underlying Polar_Grid result; its tree's node 0 is the
+	// artificial root points[RootIdx].
+	Build *Result
+	// RootIdx is the host chosen as the artificial root — the point
+	// closest to the center of the smallest enclosing circle, per the
+	// paper's prescription "an artificial root node should be chosen among
+	// nodes closest to the sphere center".
+	RootIdx int
+	// Diameter is the realized largest host-to-host path length.
+	Diameter float64
+	// NodeOf maps host indices (into points) to tree node ids.
+	NodeOf []int
+	// HostOf maps tree node ids back to host indices.
+	HostOf []int
+}
+
+// BuildMinDiameter2 applies Polar_Grid to the minimum-diameter problem over
+// a planar host set: it roots the tree at the host nearest the enclosing
+// circle's center and builds the minimum-radius tree from there. For hosts
+// filling a disk this is asymptotically optimal for the diameter too; for
+// general convex regions the paper guarantees only a factor-2
+// approximation (diameter <= 2 * radius always).
+func BuildMinDiameter2(points []geom.Point2, opts ...Option) (*DiameterResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("core: no hosts")
+	}
+
+	cover := geom.EnclosingCircle(points)
+	rootIdx, bestD2 := 0, points[0].Dist2(cover.Center)
+	for i := 1; i < n; i++ {
+		if d2 := points[i].Dist2(cover.Center); d2 < bestD2 {
+			rootIdx, bestD2 = i, d2
+		}
+	}
+
+	receivers := make([]geom.Point2, 0, n-1)
+	hostOf := make([]int, 0, n)
+	hostOf = append(hostOf, rootIdx)
+	for i, p := range points {
+		if i == rootIdx {
+			continue
+		}
+		receivers = append(receivers, p)
+		hostOf = append(hostOf, i)
+	}
+
+	build, err := Build2(points[rootIdx], receivers, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	nodeOf := make([]int, n)
+	for node, host := range hostOf {
+		nodeOf[host] = node
+	}
+	dist := func(i, j int) float64 {
+		return points[hostOf[i]].Dist(points[hostOf[j]])
+	}
+	return &DiameterResult{
+		Build:    build,
+		RootIdx:  rootIdx,
+		Diameter: build.Tree.WeightedDiameter(dist),
+		NodeOf:   nodeOf,
+		HostOf:   hostOf,
+	}, nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"omtree/internal/geom"
+	"omtree/internal/rng"
+)
+
+func TestBuildMinDiameter2Basics(t *testing.T) {
+	r := rng.New(31)
+	pts := r.UniformDiskN(2000, 1)
+	res, err := BuildMinDiameter2(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Build.Tree.N() != 2000 {
+		t.Fatalf("tree size %d", res.Build.Tree.N())
+	}
+	if err := res.Build.Tree.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	// Diameter is bracketed by radius and twice the radius.
+	if res.Diameter < res.Build.Radius-1e-9 || res.Diameter > 2*res.Build.Radius+1e-9 {
+		t.Errorf("diameter %v outside [radius, 2*radius] = [%v, %v]",
+			res.Diameter, res.Build.Radius, 2*res.Build.Radius)
+	}
+	// The mappings are mutually inverse and the root maps to node 0.
+	if res.NodeOf[res.RootIdx] != 0 || res.HostOf[0] != res.RootIdx {
+		t.Error("root mapping broken")
+	}
+	for host, node := range res.NodeOf {
+		if res.HostOf[node] != host {
+			t.Fatalf("mapping broken at host %d", host)
+		}
+	}
+}
+
+func TestBuildMinDiameter2RootNearCenter(t *testing.T) {
+	// Hosts fill the unit disk; the chosen root must be central — far
+	// closer to the center than a typical host.
+	r := rng.New(32)
+	pts := r.UniformDiskN(3000, 1)
+	res, err := BuildMinDiameter2(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pts[res.RootIdx].Norm(); d > 0.1 {
+		t.Errorf("root at distance %v from center", d)
+	}
+	// The resulting diameter approaches the point-set diameter (~2) from
+	// above as n grows; at 3000 hosts it should be well under 3.
+	if res.Diameter > 3 {
+		t.Errorf("diameter %v too large", res.Diameter)
+	}
+	// Lower bound: the tree diameter can never beat the farthest pair's
+	// direct distance. Estimate it with the enclosing circle: any cover of
+	// radius R has a pair at distance >= R (source-centered trees must
+	// reach both extremes).
+	cover := geom.EnclosingCircle(pts)
+	if res.Diameter < cover.Radius {
+		t.Errorf("diameter %v below cover radius %v", res.Diameter, cover.Radius)
+	}
+}
+
+func TestBuildMinDiameter2CenterRootBeatsRimRoot(t *testing.T) {
+	// The paper's prescription: rooting at the center is what makes the
+	// diameter near-optimal. Compare against rooting at the rim.
+	r := rng.New(33)
+	pts := r.UniformDiskN(2000, 1)
+	central, err := BuildMinDiameter2(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rim root: farthest point from the center.
+	rim, _ := geom.FarthestFrom(geom.Point2{}, pts)
+	receivers := make([]geom.Point2, 0, len(pts)-1)
+	hostOf := []int{rim}
+	for i, p := range pts {
+		if i != rim {
+			receivers = append(receivers, p)
+			hostOf = append(hostOf, i)
+		}
+	}
+	rimBuild, err := Build2(pts[rim], receivers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rimDiameter := rimBuild.Tree.WeightedDiameter(func(i, j int) float64 {
+		return pts[hostOf[i]].Dist(pts[hostOf[j]])
+	})
+	if central.Diameter >= rimDiameter {
+		t.Errorf("central root diameter %v not better than rim root %v",
+			central.Diameter, rimDiameter)
+	}
+}
+
+func TestBuildMinDiameter2SmallInputs(t *testing.T) {
+	if _, err := BuildMinDiameter2(nil); err == nil {
+		t.Error("accepted empty host set")
+	}
+	one, err := BuildMinDiameter2([]geom.Point2{{X: 1, Y: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Diameter != 0 || one.RootIdx != 0 {
+		t.Errorf("singleton: %+v", one)
+	}
+	two, err := BuildMinDiameter2([]geom.Point2{{X: 0, Y: 0}, {X: 3, Y: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Diameter != 5 {
+		t.Errorf("pair diameter %v", two.Diameter)
+	}
+}
+
+func TestBuildMinDiameter2Binary(t *testing.T) {
+	r := rng.New(34)
+	pts := r.UniformDiskN(500, 1)
+	res, err := BuildMinDiameter2(pts, WithMaxOutDegree(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Build.Tree.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import "fmt"
+
+// Variant selects the wiring style of Polar_Grid.
+type Variant int
+
+const (
+	// VariantNatural is the paper's default wiring: two core links plus a
+	// full Bisection fan-out per node (out-degree 6 in 2-D, 10 in 3-D,
+	// 2^d + 2 in dimension d).
+	VariantNatural Variant = iota + 1
+	// VariantHybrid is an engineering middle ground for degree caps in
+	// [4, natural): the natural core wiring (two links per representative)
+	// combined with the out-degree-2 Bisection inside cells, for a total
+	// out-degree of 4. It preserves asymptotic optimality (the in-cell arc
+	// term doubles, which is still infinitesimal).
+	VariantHybrid
+	// VariantBinary is the §IV-A wiring with out-degree 2 at every node.
+	VariantBinary
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case VariantNatural:
+		return "natural"
+	case VariantHybrid:
+		return "hybrid"
+	case VariantBinary:
+		return "binary"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// options collects the tunables of a Build call.
+type options struct {
+	maxOutDegree int // 0 = natural degree for the dimension
+	forceK       int // 0 = automatic (largest feasible)
+	kMax         int // 0 = grid.DefaultKMax
+}
+
+// Option configures a Build call.
+type Option func(*options)
+
+// WithMaxOutDegree caps the out-degree of every node. Values at or above
+// the dimension's natural degree select the natural variant; values in
+// [2, natural) select the binary variant; values below 2 are rejected at
+// build time.
+func WithMaxOutDegree(d int) Option {
+	return func(o *options) { o.maxOutDegree = d }
+}
+
+// WithForceK pins the number of grid rings instead of choosing the largest
+// feasible value — an ablation hook. Build fails if the forced grid has an
+// unoccupied interior cell.
+func WithForceK(k int) Option {
+	return func(o *options) { o.forceK = k }
+}
+
+// WithKMax caps the automatic ring search (useful to bound preprocessing
+// cost on enormous inputs).
+func WithKMax(k int) Option {
+	return func(o *options) { o.kMax = k }
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// variantFor maps a requested out-degree cap to a wiring variant and the
+// degree cap actually enforced on the tree builder.
+func variantFor(requested, natural int) (Variant, int, error) {
+	if requested == 0 {
+		requested = natural
+	}
+	switch {
+	case requested >= natural:
+		return VariantNatural, natural, nil
+	case requested >= 4:
+		return VariantHybrid, 4, nil
+	case requested >= 2:
+		return VariantBinary, 2, nil
+	default:
+		return 0, 0, fmt.Errorf("core: out-degree %d < 2 cannot span arbitrary point sets", requested)
+	}
+}

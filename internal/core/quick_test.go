@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"omtree/internal/geom"
+	"omtree/internal/rng"
+)
+
+// TestBuild2InvariantsQuick fuzzes Build2 across sizes, degrees and
+// layouts: the result must always be a valid degree-capped spanning tree
+// whose radius sits between the direct-unicast lower bound and the paper's
+// upper bound.
+func TestBuild2InvariantsQuick(t *testing.T) {
+	f := func(seed uint64, sizeRaw uint16, degRaw uint8, clustered bool) bool {
+		r := rng.New(seed)
+		n := int(sizeRaw)%600 + 2
+		deg := []int{2, 3, 4, 5, 6, 8}[int(degRaw)%6]
+
+		var recv []geom.Point2
+		if clustered {
+			recv = r.MixedDensityDiskN(n, 1, 0.3, []rng.Cluster{
+				{Center: geom.Point2{X: 0.4, Y: 0.1}, Sigma: 0.1, Weight: 1},
+			})
+		} else {
+			recv = r.UniformDiskN(n, 1)
+		}
+		res, err := Build2(geom.Point2{}, recv, WithMaxOutDegree(deg))
+		if err != nil {
+			return false
+		}
+		if err := res.Tree.Validate(res.MaxOutDegree); err != nil {
+			return false
+		}
+		if res.Radius < res.Scale-1e-9 {
+			return false
+		}
+		if res.Radius > res.Bound+1e-9 {
+			return false
+		}
+		return res.CoreDelay <= res.Radius+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBuild2TranslationInvarianceQuick: shifting the whole instance moves
+// no distances, so the tree and its radius are unchanged.
+func TestBuild2TranslationInvarianceQuick(t *testing.T) {
+	f := func(seed uint64, dxRaw, dyRaw int16) bool {
+		r := rng.New(seed)
+		recv := r.UniformDiskN(150, 1)
+		dx, dy := float64(dxRaw)/100, float64(dyRaw)/100
+		shifted := make([]geom.Point2, len(recv))
+		for i, p := range recv {
+			shifted[i] = geom.Point2{X: p.X + dx, Y: p.Y + dy}
+		}
+		a, err := Build2(geom.Point2{}, recv)
+		if err != nil {
+			return false
+		}
+		b, err := Build2(geom.Point2{X: dx, Y: dy}, shifted)
+		if err != nil {
+			return false
+		}
+		if math.Abs(a.Radius-b.Radius) > 1e-9 || a.K != b.K {
+			return false
+		}
+		for i := 0; i < a.Tree.N(); i++ {
+			if a.Tree.Parent(i) != b.Tree.Parent(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBuild2ScaleEquivarianceQuick: scaling the instance by s scales every
+// reported length by s and preserves the tree.
+func TestBuild2ScaleEquivarianceQuick(t *testing.T) {
+	f := func(seed uint64, sRaw uint8) bool {
+		s := 0.25 + float64(sRaw)/64 // in [0.25, ~4.2]
+		r := rng.New(seed)
+		recv := r.UniformDiskN(150, 1)
+		scaled := make([]geom.Point2, len(recv))
+		for i, p := range recv {
+			scaled[i] = p.Scale(s)
+		}
+		a, err := Build2(geom.Point2{}, recv)
+		if err != nil {
+			return false
+		}
+		b, err := Build2(geom.Point2{}, scaled)
+		if err != nil {
+			return false
+		}
+		tol := 1e-9 * (1 + s)
+		if math.Abs(b.Radius-s*a.Radius) > tol ||
+			math.Abs(b.Bound-s*a.Bound) > tol ||
+			math.Abs(b.CoreDelay-s*a.CoreDelay) > tol ||
+			a.K != b.K {
+			return false
+		}
+		for i := 0; i < a.Tree.N(); i++ {
+			if a.Tree.Parent(i) != b.Tree.Parent(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBuild3InvariantsQuick fuzzes the 3-D build.
+func TestBuild3InvariantsQuick(t *testing.T) {
+	f := func(seed uint64, sizeRaw uint16, binary bool) bool {
+		r := rng.New(seed)
+		n := int(sizeRaw)%400 + 2
+		deg := 10
+		if binary {
+			deg = 2
+		}
+		recv := r.UniformBall3N(n, 1)
+		res, err := Build3(geom.Point3{}, recv, WithMaxOutDegree(deg))
+		if err != nil {
+			return false
+		}
+		if err := res.Tree.Validate(res.MaxOutDegree); err != nil {
+			return false
+		}
+		return res.Radius >= res.Scale-1e-9 && res.Radius <= res.Bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBuildDInvariantsQuick fuzzes general dimensions.
+func TestBuildDInvariantsQuick(t *testing.T) {
+	f := func(seed uint64, sizeRaw uint8, dimRaw uint8, binary bool) bool {
+		r := rng.New(seed)
+		n := int(sizeRaw)%150 + 2
+		d := int(dimRaw)%4 + 2 // 2..5
+		deg := 0
+		if binary {
+			deg = 2
+		}
+		recv := r.UniformBallDN(n, d, 1)
+		res, err := BuildD(make(geom.Vec, d), recv, WithMaxOutDegree(deg))
+		if err != nil {
+			return false
+		}
+		if err := res.Tree.Validate(res.MaxOutDegree); err != nil {
+			return false
+		}
+		return res.Radius >= res.Scale-1e-9 && res.Radius <= res.Bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBuild2RotationStability: the grid's theta = 0 ray is an arbitrary
+// choice, so rotating the instance produces a different tree — but the
+// radius must stay within a narrow band across rotations (no privileged
+// direction in expectation).
+func TestBuild2RotationStability(t *testing.T) {
+	r := rng.New(71)
+	recv := r.UniformDiskN(3000, 1)
+	var radii []float64
+	for _, angle := range []float64{0, 0.31, 0.94, 1.7, 2.6, 4.1, 5.5} {
+		rotated := make([]geom.Point2, len(recv))
+		for i, p := range recv {
+			rotated[i] = p.Rotate(angle)
+		}
+		res, err := Build2(geom.Point2{}, rotated)
+		if err != nil {
+			t.Fatal(err)
+		}
+		radii = append(radii, res.Radius)
+	}
+	lo, hi := radii[0], radii[0]
+	for _, x := range radii[1:] {
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	if hi > 1.15*lo {
+		t.Errorf("rotation sensitivity too high: radii span [%v, %v]", lo, hi)
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"omtree/internal/grid"
+	"omtree/internal/tree"
+)
+
+// connector abstracts the dimension-specific pieces of the core wiring: the
+// polar radius of a node, the representative score, and the in-cell
+// Bisection runs. Node ids follow the Result convention (0 = source).
+type connector interface {
+	// repScore ranks members as cell representatives: the distance to the
+	// center of the cell's inner arc ("the point that is closest to the
+	// center on the inner arc of the segment", §III-B). Smaller is better.
+	repScore(cellID int, id int32) float64
+	// relayScore ranks members as the next-ring relay of the binary
+	// variant: the distance to the center of the cell's outer arc, which
+	// lies between the two child-cell representatives. Smaller is better.
+	relayScore(cellID int, id int32) float64
+	// pointDist2 is the squared Euclidean distance between two nodes.
+	pointDist2(a, b int32) float64
+	// connectNatural runs the full-degree Bisection over the member nodes
+	// idx inside the given grid cell with src as local source.
+	connectNatural(idx []int32, src int32, cellID int)
+	// connectBinary is the out-degree-2 Bisection counterpart.
+	connectBinary(idx []int32, src int32, cellID int)
+}
+
+// cellGroups is the receivers-by-cell index: CSR over global cell ids.
+// order holds receiver node ids (>= 1); cell c owns
+// order[start[c]:start[c+1]].
+type cellGroups struct {
+	start []int32
+	order []int32
+}
+
+// groupByCell counting-sorts the receiver node ids by cell id.
+func groupByCell(cellOf []int32, numCells int) cellGroups {
+	start := make([]int32, numCells+1)
+	for _, c := range cellOf {
+		start[c+1]++
+	}
+	for c := 0; c < numCells; c++ {
+		start[c+1] += start[c]
+	}
+	order := make([]int32, len(cellOf))
+	fill := append([]int32(nil), start[:numCells]...)
+	for i, c := range cellOf {
+		order[fill[c]] = int32(i + 1) // receiver i is node i+1
+		fill[c]++
+	}
+	return cellGroups{start: start, order: order}
+}
+
+// chooseReps returns, per cell, the representative node: the member closest
+// to the center of the cell's inner arc (§III-B), ties broken by smallest
+// node id; -1 for empty cells.
+func chooseReps(g cellGroups, conn connector, numCells int) []int32 {
+	reps := make([]int32, numCells)
+	for c := 0; c < numCells; c++ {
+		members := g.order[g.start[c]:g.start[c+1]]
+		if len(members) == 0 {
+			reps[c] = -1
+			continue
+		}
+		best := members[0]
+		bestScore := conn.repScore(c, best)
+		for _, id := range members[1:] {
+			s := conn.repScore(c, id)
+			if s < bestScore || (s == bestScore && id < best) {
+				best, bestScore = id, s
+			}
+		}
+		reps[c] = best
+	}
+	return reps
+}
+
+// wireCore attaches the entire tree: core edges between representatives,
+// ring by ring from the center out, plus the in-cell Bisection runs. The
+// source (node 0) acts as ring 0's representative. Interior cells (rings
+// 1..k-1) must be occupied.
+func wireCore(b *tree.Builder, k int, g cellGroups, reps []int32, conn connector, variant Variant) {
+	for ring := 0; ring <= k; ring++ {
+		for idx := 0; idx < grid.CellsInRing(ring); idx++ {
+			id := grid.CellID(ring, idx)
+			var repNode int32
+			if ring == 0 {
+				repNode = 0
+			} else {
+				repNode = reps[id]
+				if repNode < 0 {
+					continue // empty outermost-ring cell
+				}
+			}
+
+			members := g.order[g.start[id]:g.start[id+1]]
+			if ring > 0 {
+				// Exclude the representative (already attached while
+				// processing its parent ring).
+				for p, v := range members {
+					if v == repNode {
+						members[0], members[p] = members[p], members[0]
+						break
+					}
+				}
+				members = members[1:]
+			}
+
+			var childReps []int32
+			if ring < k {
+				c1, c2 := grid.ChildCells(idx)
+				for _, child := range [2]int{grid.CellID(ring+1, c1), grid.CellID(ring+1, c2)} {
+					if reps[child] >= 0 {
+						childReps = append(childReps, reps[child])
+					}
+				}
+			}
+
+			switch variant {
+			case VariantNatural:
+				for _, cr := range childReps {
+					b.MustAttach(int(cr), int(repNode))
+				}
+				conn.connectNatural(members, repNode, id)
+			case VariantHybrid:
+				// Natural core wiring, binary in-cell fan-out: 2 + 2 = 4.
+				for _, cr := range childReps {
+					b.MustAttach(int(cr), int(repNode))
+				}
+				conn.connectBinary(members, repNode, id)
+			default:
+				wireBinaryCell(b, conn, repNode, members, childReps, id)
+			}
+		}
+	}
+}
+
+// wireBinaryCell realizes the three cases of §IV-A for one cell in the
+// out-degree-2 variant. rep is attached; members excludes rep; childReps
+// are the (at most two) representatives of the aligned next-ring cells.
+func wireBinaryCell(b *tree.Builder, conn connector, rep int32, members, childReps []int32, cellID int) {
+	if len(childReps) == 0 {
+		// Leaf cell: no relay duty, the representative is a plain local
+		// source.
+		conn.connectBinary(members, rep, cellID)
+		return
+	}
+	switch len(members) {
+	case 0:
+		// Case 1: the representative relays the next ring itself.
+		for _, cr := range childReps {
+			b.MustAttach(int(cr), int(rep))
+		}
+	case 1:
+		// Case 2: the single extra member relays the next ring.
+		b.MustAttach(int(members[0]), int(rep))
+		for _, cr := range childReps {
+			b.MustAttach(int(cr), int(members[0]))
+		}
+	default:
+		// Case 3: one member becomes the in-cell Bisection source, another
+		// (nearest the outer arc center, between the two child-cell
+		// representatives) relays the next ring.
+		bi := 0
+		bScore := conn.relayScore(cellID, members[0])
+		for p := 1; p < len(members); p++ {
+			if s := conn.relayScore(cellID, members[p]); s < bScore || (s == bScore && members[p] < members[bi]) {
+				bi, bScore = p, s
+			}
+		}
+		relay := members[bi]
+		members[bi] = members[len(members)-1]
+		members = members[:len(members)-1]
+
+		ai := 0
+		aD := conn.pointDist2(members[0], rep)
+		for p := 1; p < len(members); p++ {
+			if d := conn.pointDist2(members[p], rep); d < aD || (d == aD && members[p] < members[ai]) {
+				ai, aD = p, d
+			}
+		}
+		local := members[ai]
+		members[ai] = members[len(members)-1]
+		members = members[:len(members)-1]
+
+		b.MustAttach(int(local), int(rep))
+		b.MustAttach(int(relay), int(rep))
+		for _, cr := range childReps {
+			b.MustAttach(int(cr), int(relay))
+		}
+		conn.connectBinary(members, local, cellID)
+	}
+}
+
+// coreDelay returns the longest source-to-representative delay — the
+// paper's "Core" column. delays must be indexed by node id.
+func coreDelay(delays []float64, reps []int32) float64 {
+	var maxDelay float64
+	for _, rep := range reps {
+		if rep >= 0 && delays[rep] > maxDelay {
+			maxDelay = delays[rep]
+		}
+	}
+	return maxDelay
+}
+
+func maxOf(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,219 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"omtree/internal/baseline"
+	"omtree/internal/core"
+	"omtree/internal/geom"
+	"omtree/internal/rng"
+	"omtree/internal/stats"
+	"omtree/internal/tree"
+)
+
+// BaselineConfig parameterizes the comparison sweep of Polar_Grid against
+// the prior-work heuristics. The greedy baselines are O(n^2), so sizes
+// should stay in the thousands.
+type BaselineConfig struct {
+	Sizes        []int
+	Trials       int
+	Seed         uint64
+	MaxOutDegree int // degree cap for every constrained algorithm
+	Workers      int
+}
+
+// BaselineRow holds mean maximum delays per algorithm at one size. Star is
+// the unconstrained lower-bound witness.
+type BaselineRow struct {
+	Nodes                                                 int
+	Star, PolarGrid, Greedy, BandwidthLatency, Kary, Rand float64
+}
+
+// RunBaselines executes the comparison sweep.
+func RunBaselines(cfg BaselineConfig) ([]BaselineRow, error) {
+	if len(cfg.Sizes) == 0 || cfg.Trials < 1 {
+		return nil, fmt.Errorf("experiment: empty baseline config")
+	}
+	if cfg.MaxOutDegree < 2 {
+		return nil, fmt.Errorf("experiment: baseline degree %d < 2", cfg.MaxOutDegree)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	rows := make([]BaselineRow, 0, len(cfg.Sizes))
+	for sizeIdx, n := range cfg.Sizes {
+		type trialOut struct{ star, pg, greedy, bl, kary, rnd float64 }
+		outs := make([]trialOut, cfg.Trials)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		var firstErr error
+		var errMu sync.Mutex
+		fail := func(err error) {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+		}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(trial int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				r := rng.New(trialSeed(cfg.Seed^0xba5e11e5, sizeIdx, trial))
+				recv := r.UniformDiskN(n, 1)
+				// Node 0 is the source at the disk center.
+				pts := append([]geom.Point2{{}}, recv...)
+				dist := func(i, j int) float64 { return pts[i].Dist(pts[j]) }
+				total := len(pts)
+
+				radius := func(t *tree.Tree, err error) float64 {
+					if err != nil {
+						fail(err)
+						return 0
+					}
+					return t.Radius(dist)
+				}
+				var o trialOut
+				o.star = radius(baseline.Star(total, 0))
+				pg, err := core.Build2(geom.Point2{}, recv, core.WithMaxOutDegree(cfg.MaxOutDegree))
+				if err != nil {
+					fail(err)
+					return
+				}
+				o.pg = pg.Radius
+				o.greedy = radius(baseline.GreedyClosest(total, 0, dist, cfg.MaxOutDegree))
+				o.bl = radius(baseline.BandwidthLatency(total, 0, dist, cfg.MaxOutDegree, nil))
+				o.kary = radius(baseline.BalancedKary(total, 0, dist, cfg.MaxOutDegree))
+				o.rnd = radius(baseline.Random(total, 0, cfg.MaxOutDegree, r))
+				outs[trial] = o
+			}(trial)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+
+		var star, pg, greedy, bl, kary, rnd stats.Accumulator
+		for _, o := range outs {
+			star.Add(o.star)
+			pg.Add(o.pg)
+			greedy.Add(o.greedy)
+			bl.Add(o.bl)
+			kary.Add(o.kary)
+			rnd.Add(o.rnd)
+		}
+		rows = append(rows, BaselineRow{
+			Nodes: n,
+			Star:  star.Mean(), PolarGrid: pg.Mean(), Greedy: greedy.Mean(),
+			BandwidthLatency: bl.Mean(), Kary: kary.Mean(), Rand: rnd.Mean(),
+		})
+	}
+	return rows, nil
+}
+
+// BaselineTable renders the comparison.
+func BaselineTable(rows []BaselineRow, degree int) *stats.Table {
+	t := stats.NewTable("Nodes", "Star(LB)", "PolarGrid",
+		fmt.Sprintf("Greedy(d%d)", degree), "BwLatency", "BalancedKary", "Random")
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%.3f", r.Star),
+			fmt.Sprintf("%.3f", r.PolarGrid),
+			fmt.Sprintf("%.3f", r.Greedy),
+			fmt.Sprintf("%.3f", r.BandwidthLatency),
+			fmt.Sprintf("%.3f", r.Kary),
+			fmt.Sprintf("%.3f", r.Rand),
+		)
+	}
+	return t
+}
+
+// ScalableRow holds the large-n comparison restricted to near-linear
+// algorithms.
+type ScalableRow struct {
+	Nodes                            int
+	Star, PolarGrid, GreedyKNN, Kary float64
+	PolarSec, GreedySec              float64
+}
+
+// RunScalableBaselines compares Polar_Grid against the k-d-tree greedy at
+// sizes the O(n^2) heuristics cannot reach — the scalability half of the
+// "who wins" question.
+func RunScalableBaselines(cfg BaselineConfig) ([]ScalableRow, error) {
+	if len(cfg.Sizes) == 0 || cfg.Trials < 1 {
+		return nil, fmt.Errorf("experiment: empty baseline config")
+	}
+	if cfg.MaxOutDegree < 2 {
+		return nil, fmt.Errorf("experiment: baseline degree %d < 2", cfg.MaxOutDegree)
+	}
+	rows := make([]ScalableRow, 0, len(cfg.Sizes))
+	for sizeIdx, n := range cfg.Sizes {
+		var star, pg, gk, kary, pgSec, gkSec stats.Accumulator
+		for trial := 0; trial < cfg.Trials; trial++ {
+			r := rng.New(trialSeed(cfg.Seed^0x5ca1e, sizeIdx, trial))
+			recv := r.UniformDiskN(n, 1)
+			pts := append([]geom.Point2{{}}, recv...)
+			dist := func(i, j int) float64 { return pts[i].Dist(pts[j]) }
+
+			stTree, err := baseline.Star(len(pts), 0)
+			if err != nil {
+				return nil, err
+			}
+			star.Add(stTree.Radius(dist))
+
+			t0 := time.Now()
+			res, err := core.Build2(geom.Point2{}, recv, core.WithMaxOutDegree(cfg.MaxOutDegree))
+			if err != nil {
+				return nil, err
+			}
+			pgSec.Add(time.Since(t0).Seconds())
+			pg.Add(res.Radius)
+
+			t0 = time.Now()
+			gkTree, err := baseline.GreedyKNN(pts, cfg.MaxOutDegree, 0)
+			if err != nil {
+				return nil, err
+			}
+			gkSec.Add(time.Since(t0).Seconds())
+			gk.Add(gkTree.Radius(dist))
+
+			kTree, err := baseline.BalancedKary(len(pts), 0, dist, cfg.MaxOutDegree)
+			if err != nil {
+				return nil, err
+			}
+			kary.Add(kTree.Radius(dist))
+		}
+		rows = append(rows, ScalableRow{
+			Nodes: n,
+			Star:  star.Mean(), PolarGrid: pg.Mean(), GreedyKNN: gk.Mean(), Kary: kary.Mean(),
+			PolarSec: pgSec.Mean(), GreedySec: gkSec.Mean(),
+		})
+	}
+	return rows, nil
+}
+
+// ScalableTable renders the large-n comparison.
+func ScalableTable(rows []ScalableRow) *stats.Table {
+	t := stats.NewTable("Nodes", "Star(LB)", "PolarGrid", "GreedyKNN", "BalancedKary",
+		"PG sec", "GK sec")
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%.3f", r.Star),
+			fmt.Sprintf("%.3f", r.PolarGrid),
+			fmt.Sprintf("%.3f", r.GreedyKNN),
+			fmt.Sprintf("%.3f", r.Kary),
+			fmt.Sprintf("%.3g", r.PolarSec),
+			fmt.Sprintf("%.3g", r.GreedySec),
+		)
+	}
+	return t
+}

@@ -1,0 +1,223 @@
+// Package experiment is the evaluation harness reproducing the paper's §V:
+// problem-size sweeps over uniformly random points in the unit disk (Table
+// I, Figures 4–7) and the unit ball (Figure 8), with per-size replication,
+// aggregation, and rendering as the paper's table, CSV series, and ASCII
+// figures. It also runs the baseline comparison that situates Polar_Grid
+// against the heuristics of prior work.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"omtree/internal/core"
+	"omtree/internal/geom"
+	"omtree/internal/rng"
+	"omtree/internal/stats"
+)
+
+// Config parameterizes a sweep.
+type Config struct {
+	// Sizes lists the receiver counts (paper: 100 .. 5,000,000).
+	Sizes []int
+	// Trials is the replication per size (paper: 200).
+	Trials int
+	// Seed drives all randomness; per-trial substreams are derived
+	// deterministically, so results do not depend on scheduling.
+	Seed uint64
+	// Dim selects the geometry: 2 (unit disk) or 3 (unit ball).
+	Dim int
+	// Degrees lists the out-degree variants to run (paper: 6 and 2 for the
+	// disk, 10 and 2 for the ball). Values map to variants per core rules.
+	Degrees []int
+	// Workers bounds trial parallelism; 0 means GOMAXPROCS. CPU seconds are
+	// measured per build and are unaffected by parallelism (wall-clock per
+	// call), though heavy oversubscription can inflate them.
+	Workers int
+	// Progress, when non-nil, receives one line per completed size.
+	Progress func(msg string)
+}
+
+// Aggregate is one (size, degree) cell of Table I.
+type Aggregate struct {
+	Degree      int     // requested out-degree
+	Core        float64 // mean longest source-to-representative delay
+	Delay       float64 // mean maximum delay (tree radius)
+	DelayStdDev float64 // std dev of the maximum delay
+	Bound       float64 // mean upper bound (7) at j = 0
+	CPUSec      float64 // mean build wall-clock seconds
+}
+
+// Row aggregates one problem size.
+type Row struct {
+	Nodes    int
+	Rings    float64 // mean k (identical across degrees: k depends on points only)
+	ByDegree []Aggregate
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if len(c.Sizes) == 0 {
+		return fmt.Errorf("experiment: no sizes")
+	}
+	for _, n := range c.Sizes {
+		if n < 1 {
+			return fmt.Errorf("experiment: invalid size %d", n)
+		}
+	}
+	if c.Trials < 1 {
+		return fmt.Errorf("experiment: trials %d < 1", c.Trials)
+	}
+	if c.Dim != 2 && c.Dim != 3 {
+		return fmt.Errorf("experiment: dim %d (want 2 or 3)", c.Dim)
+	}
+	if len(c.Degrees) == 0 {
+		return fmt.Errorf("experiment: no degrees")
+	}
+	return nil
+}
+
+// DiskConfig returns the paper's Table I setup at the given sizes and
+// replication.
+func DiskConfig(sizes []int, trials int, seed uint64) Config {
+	return Config{Sizes: sizes, Trials: trials, Seed: seed, Dim: 2, Degrees: []int{6, 2}}
+}
+
+// BallConfig returns the Figure 8 setup (3-D, out-degrees 10 and 2).
+func BallConfig(sizes []int, trials int, seed uint64) Config {
+	return Config{Sizes: sizes, Trials: trials, Seed: seed, Dim: 3, Degrees: []int{10, 2}}
+}
+
+// trialResult carries one trial's measurements for all degrees.
+type trialResult struct {
+	rings  float64
+	core   []float64
+	delay  []float64
+	bound  []float64
+	cpuSec []float64
+}
+
+// Run executes the sweep and returns one row per size, in order.
+func Run(cfg Config) ([]Row, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	rows := make([]Row, 0, len(cfg.Sizes))
+	for sizeIdx, n := range cfg.Sizes {
+		results := make([]trialResult, cfg.Trials)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		var firstErr error
+		var errMu sync.Mutex
+		for trial := 0; trial < cfg.Trials; trial++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(trial int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				res, err := runTrial(cfg, sizeIdx, n, trial)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				results[trial] = res
+			}(trial)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+
+		row := Row{Nodes: n}
+		var rings stats.Accumulator
+		aggs := make([]struct{ core, delay, bound, cpu stats.Accumulator }, len(cfg.Degrees))
+		for _, res := range results {
+			rings.Add(res.rings)
+			for di := range cfg.Degrees {
+				aggs[di].core.Add(res.core[di])
+				aggs[di].delay.Add(res.delay[di])
+				aggs[di].bound.Add(res.bound[di])
+				aggs[di].cpu.Add(res.cpuSec[di])
+			}
+		}
+		row.Rings = rings.Mean()
+		for di, deg := range cfg.Degrees {
+			row.ByDegree = append(row.ByDegree, Aggregate{
+				Degree:      deg,
+				Core:        aggs[di].core.Mean(),
+				Delay:       aggs[di].delay.Mean(),
+				DelayStdDev: aggs[di].delay.StdDev(),
+				Bound:       aggs[di].bound.Mean(),
+				CPUSec:      aggs[di].cpu.Mean(),
+			})
+		}
+		rows = append(rows, row)
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("n=%d done (%d trials, k=%.2f)", n, cfg.Trials, row.Rings))
+		}
+	}
+	return rows, nil
+}
+
+// trialSeed derives a deterministic per-trial seed independent of
+// scheduling.
+func trialSeed(base uint64, sizeIdx, trial int) uint64 {
+	x := base ^ (uint64(sizeIdx)+1)<<32 ^ uint64(trial+1)
+	// splitmix64 finalizer for dispersion.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func runTrial(cfg Config, sizeIdx, n, trial int) (trialResult, error) {
+	r := rng.New(trialSeed(cfg.Seed, sizeIdx, trial))
+	res := trialResult{
+		core:   make([]float64, len(cfg.Degrees)),
+		delay:  make([]float64, len(cfg.Degrees)),
+		bound:  make([]float64, len(cfg.Degrees)),
+		cpuSec: make([]float64, len(cfg.Degrees)),
+	}
+	switch cfg.Dim {
+	case 2:
+		recv := r.UniformDiskN(n, 1)
+		for di, deg := range cfg.Degrees {
+			start := time.Now()
+			out, err := core.Build2(geom.Point2{}, recv, core.WithMaxOutDegree(deg))
+			if err != nil {
+				return res, fmt.Errorf("experiment: n=%d deg=%d trial=%d: %w", n, deg, trial, err)
+			}
+			res.cpuSec[di] = time.Since(start).Seconds()
+			res.rings = float64(out.K)
+			res.core[di] = out.CoreDelay
+			res.delay[di] = out.Radius
+			res.bound[di] = out.Bound
+		}
+	case 3:
+		recv := r.UniformBall3N(n, 1)
+		for di, deg := range cfg.Degrees {
+			start := time.Now()
+			out, err := core.Build3(geom.Point3{}, recv, core.WithMaxOutDegree(deg))
+			if err != nil {
+				return res, fmt.Errorf("experiment: n=%d deg=%d trial=%d: %w", n, deg, trial, err)
+			}
+			res.cpuSec[di] = time.Since(start).Seconds()
+			res.rings = float64(out.K)
+			res.core[di] = out.CoreDelay
+			res.delay[di] = out.Radius
+			res.bound[di] = out.Bound
+		}
+	}
+	return res, nil
+}

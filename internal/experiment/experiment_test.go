@@ -1,0 +1,269 @@
+package experiment
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func smallDiskConfig() Config {
+	cfg := DiskConfig([]int{100, 500, 1000}, 5, 42)
+	return cfg
+}
+
+func TestValidate(t *testing.T) {
+	cases := []Config{
+		{},
+		{Sizes: []int{0}, Trials: 1, Dim: 2, Degrees: []int{6}},
+		{Sizes: []int{10}, Trials: 0, Dim: 2, Degrees: []int{6}},
+		{Sizes: []int{10}, Trials: 1, Dim: 4, Degrees: []int{6}},
+		{Sizes: []int{10}, Trials: 1, Dim: 2},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	good := smallDiskConfig()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestRunDisk(t *testing.T) {
+	var progress []string
+	cfg := smallDiskConfig()
+	cfg.Progress = func(m string) { progress = append(progress, m) }
+	rows, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if len(progress) != 3 {
+		t.Errorf("progress lines = %d", len(progress))
+	}
+	prevDelay6 := 100.0
+	for i, row := range rows {
+		if row.Nodes != cfg.Sizes[i] {
+			t.Fatalf("row %d nodes = %d", i, row.Nodes)
+		}
+		if len(row.ByDegree) != 2 || row.ByDegree[0].Degree != 6 || row.ByDegree[1].Degree != 2 {
+			t.Fatalf("row %d degrees wrong: %+v", i, row.ByDegree)
+		}
+		d6, d2 := row.ByDegree[0], row.ByDegree[1]
+		// Paper shape: delay decreases with n, degree-2 above degree-6,
+		// bound above delay, core below delay.
+		if d6.Delay >= prevDelay6 {
+			t.Errorf("row %d: delay did not decrease (%v)", i, d6.Delay)
+		}
+		prevDelay6 = d6.Delay
+		if d2.Delay < d6.Delay {
+			t.Errorf("row %d: degree-2 delay %v below degree-6 %v", i, d2.Delay, d6.Delay)
+		}
+		if d6.Bound < d6.Delay || d2.Bound < d2.Delay {
+			t.Errorf("row %d: bound below delay", i)
+		}
+		if d6.Core > d6.Delay || d6.Core <= 0 {
+			t.Errorf("row %d: core %v vs delay %v", i, d6.Core, d6.Delay)
+		}
+		if d6.CPUSec <= 0 {
+			t.Errorf("row %d: no time measured", i)
+		}
+		if row.Rings < 1 {
+			t.Errorf("row %d: rings %v", i, row.Rings)
+		}
+	}
+	// Rings grow with n (Figure 6 shape).
+	if rows[2].Rings <= rows[0].Rings {
+		t.Errorf("rings did not grow: %v .. %v", rows[0].Rings, rows[2].Rings)
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := DiskConfig([]int{200}, 4, 7)
+	cfg.Workers = 1
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All statistics except CPU seconds must agree exactly.
+	if seq[0].Rings != par[0].Rings {
+		t.Error("rings differ across worker counts")
+	}
+	for di := range seq[0].ByDegree {
+		a, b := seq[0].ByDegree[di], par[0].ByDegree[di]
+		if a.Delay != b.Delay || a.Core != b.Core || a.Bound != b.Bound || a.DelayStdDev != b.DelayStdDev {
+			t.Errorf("degree %d stats differ across worker counts", a.Degree)
+		}
+	}
+}
+
+func TestRunBall(t *testing.T) {
+	cfg := BallConfig([]int{200, 1000}, 3, 11)
+	rows, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatal("rows")
+	}
+	if rows[0].ByDegree[0].Degree != 10 {
+		t.Errorf("first degree = %d", rows[0].ByDegree[0].Degree)
+	}
+	// Figure 8 shape: converging downward, degree 2 above degree 10.
+	if rows[1].ByDegree[0].Delay >= rows[0].ByDegree[0].Delay {
+		t.Error("3-D delay did not decrease with n")
+	}
+	if rows[0].ByDegree[1].Delay < rows[0].ByDegree[0].Delay {
+		t.Error("degree-2 below degree-10")
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	rows, err := Run(DiskConfig([]int{100}, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Table1(rows).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Nodes", "Rings", "Delay(d6)", "Bound(d2)", "100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	var csv strings.Builder
+	if err := WriteCSV(rows, &csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "Nodes,Rings,") {
+		t.Errorf("csv header: %q", csv.String())
+	}
+}
+
+func TestFigures(t *testing.T) {
+	rows, err := Run(DiskConfig([]int{100, 1000}, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, build := range map[string]func() error{
+		"fig4": func() error { p, err := Figure4(rows); renderOK(t, p, err); return err },
+		"fig5": func() error { p, err := Figure5(rows, "Figure 5"); renderOK(t, p, err); return err },
+		"fig6": func() error { p, err := Figure6(rows); renderOK(t, p, err); return err },
+		"fig7": func() error { p, err := Figure7(rows); renderOK(t, p, err); return err },
+	} {
+		if err := build(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// Empty inputs are rejected.
+	if _, err := Figure4(nil); err == nil {
+		t.Error("figure 4 accepted no data")
+	}
+	if _, err := Figure5(nil, "x"); err == nil {
+		t.Error("figure 5 accepted no data")
+	}
+	if _, err := Figure6(nil); err == nil {
+		t.Error("figure 6 accepted no data")
+	}
+	if _, err := Figure7(nil); err == nil {
+		t.Error("figure 7 accepted no data")
+	}
+}
+
+func renderOK(t *testing.T, p interface{ Render(w io.Writer) error }, err error) {
+	t.Helper()
+	if err != nil || p == nil {
+		return
+	}
+	var b strings.Builder
+	if rerr := p.Render(&b); rerr != nil {
+		t.Error(rerr)
+	}
+	if b.Len() == 0 {
+		t.Error("empty plot output")
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	rows, err := RunBaselines(BaselineConfig{
+		Sizes: []int{200, 600}, Trials: 3, Seed: 5, MaxOutDegree: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatal("rows")
+	}
+	for _, r := range rows {
+		// Star is the unconstrained lower bound: nothing beats it.
+		for name, v := range map[string]float64{
+			"polar": r.PolarGrid, "greedy": r.Greedy, "bl": r.BandwidthLatency,
+			"kary": r.Kary, "random": r.Rand,
+		} {
+			if v < r.Star-1e-9 {
+				t.Errorf("n=%d: %s radius %v beat the star lower bound %v", r.Nodes, name, v, r.Star)
+			}
+		}
+		// Structure-aware beats structure-oblivious on uniform disks.
+		if r.PolarGrid > r.Rand {
+			t.Errorf("n=%d: Polar_Grid %v worse than random %v", r.Nodes, r.PolarGrid, r.Rand)
+		}
+	}
+	var b strings.Builder
+	if err := BaselineTable(rows, 6).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "PolarGrid") {
+		t.Error("baseline table header missing")
+	}
+}
+
+func TestRunBaselinesValidation(t *testing.T) {
+	if _, err := RunBaselines(BaselineConfig{}); err == nil {
+		t.Error("accepted empty config")
+	}
+	if _, err := RunBaselines(BaselineConfig{Sizes: []int{10}, Trials: 1, MaxOutDegree: 1}); err == nil {
+		t.Error("accepted degree 1")
+	}
+}
+
+func TestRunScalableBaselines(t *testing.T) {
+	rows, err := RunScalableBaselines(BaselineConfig{
+		Sizes: []int{500, 2000}, Trials: 2, Seed: 9, MaxOutDegree: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatal("rows")
+	}
+	for _, r := range rows {
+		if r.PolarGrid < r.Star-1e-9 || r.GreedyKNN < r.Star-1e-9 {
+			t.Errorf("n=%d: an algorithm beat the lower bound", r.Nodes)
+		}
+		if r.PolarSec <= 0 || r.GreedySec <= 0 {
+			t.Errorf("n=%d: timings missing", r.Nodes)
+		}
+		// The structure-oblivious k-ary strawman loses to both.
+		if r.Kary < r.PolarGrid || r.Kary < r.GreedyKNN {
+			t.Errorf("n=%d: balanced k-ary unexpectedly won", r.Nodes)
+		}
+	}
+	var b strings.Builder
+	if err := ScalableTable(rows).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "GreedyKNN") {
+		t.Error("scalable table header missing")
+	}
+}

@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"fmt"
+
+	"omtree/internal/core"
+	"omtree/internal/geom"
+	"omtree/internal/netsim"
+	"omtree/internal/rng"
+	"omtree/internal/stats"
+)
+
+// RepairConfig parameterizes the failure/repair robustness experiment.
+type RepairConfig struct {
+	N             int
+	FailFractions []float64 // e.g. 0.01, 0.05, 0.10 of the membership
+	Trials        int
+	Seed          uint64
+	MaxOutDegree  int
+}
+
+// RepairRow reports one failure fraction: the share of receivers blacked
+// out before repair, and the post-repair delay inflation per strategy.
+type RepairRow struct {
+	FailFraction       float64
+	BlackedOutFraction float64 // receivers cut off before repair
+	GrandparentInflate float64 // repaired radius / original radius
+	BestDelayInflate   float64
+	Reattached         float64 // mean orphan subtrees per trial
+}
+
+// RunRepairs measures overlay robustness: how much damage random failures
+// cause and what each repair strategy restores.
+func RunRepairs(cfg RepairConfig) ([]RepairRow, error) {
+	if cfg.N < 10 || cfg.Trials < 1 || len(cfg.FailFractions) == 0 {
+		return nil, fmt.Errorf("experiment: invalid repair config")
+	}
+	if cfg.MaxOutDegree < 2 {
+		return nil, fmt.Errorf("experiment: repair degree %d < 2", cfg.MaxOutDegree)
+	}
+
+	rows := make([]RepairRow, 0, len(cfg.FailFractions))
+	for fi, frac := range cfg.FailFractions {
+		if frac <= 0 || frac >= 1 {
+			return nil, fmt.Errorf("experiment: failure fraction %v out of (0, 1)", frac)
+		}
+		var blacked, gpInflate, bdInflate, reattached stats.Accumulator
+		for trial := 0; trial < cfg.Trials; trial++ {
+			r := rng.New(trialSeed(cfg.Seed^0x4efa, fi, trial))
+			recv := r.UniformDiskN(cfg.N, 1)
+			res, err := core.Build2(geom.Point2{}, recv, core.WithMaxOutDegree(cfg.MaxOutDegree))
+			if err != nil {
+				return nil, err
+			}
+			dist := func(i, j int) float64 {
+				pi, pj := geom.Point2{}, geom.Point2{}
+				if i > 0 {
+					pi = recv[i-1]
+				}
+				if j > 0 {
+					pj = recv[j-1]
+				}
+				return pi.Dist(pj)
+			}
+
+			// Fail a random sample of receivers (never the source).
+			failCount := int(frac * float64(cfg.N))
+			if failCount < 1 {
+				failCount = 1
+			}
+			perm := r.Perm(cfg.N)
+			failed := make([]int, 0, failCount)
+			for _, v := range perm[:failCount] {
+				failed = append(failed, v+1)
+			}
+
+			// Damage before repair: simulate one packet with the failures
+			// active from the start.
+			sim, err := netsim.New(res.Tree, netsim.Config{Latency: dist})
+			if err != nil {
+				return nil, err
+			}
+			failures := make([]netsim.Failure, 0, len(failed))
+			for _, f := range failed {
+				failures = append(failures, netsim.Failure{Node: f, Time: -1})
+			}
+			d := sim.MulticastWithFailures(failures)
+			lost := 0
+			for i := 1; i < res.Tree.N(); i++ {
+				if !d.Received[i] {
+					lost++
+				}
+			}
+			blacked.Add(float64(lost) / float64(cfg.N))
+
+			for _, strat := range []netsim.RepairStrategy{
+				netsim.RepairGrandparent, netsim.RepairBestDelay,
+			} {
+				rep, err := netsim.Repair(res.Tree, failed, cfg.MaxOutDegree, dist, strat)
+				if err != nil {
+					return nil, err
+				}
+				newDist := func(a, b int) float64 { return dist(rep.OldID[a], rep.OldID[b]) }
+				inflate := rep.Tree.Radius(newDist) / res.Radius
+				if strat == netsim.RepairGrandparent {
+					gpInflate.Add(inflate)
+					reattached.Add(float64(rep.Reattached))
+				} else {
+					bdInflate.Add(inflate)
+				}
+			}
+		}
+		rows = append(rows, RepairRow{
+			FailFraction:       frac,
+			BlackedOutFraction: blacked.Mean(),
+			GrandparentInflate: gpInflate.Mean(),
+			BestDelayInflate:   bdInflate.Mean(),
+			Reattached:         reattached.Mean(),
+		})
+	}
+	return rows, nil
+}
+
+// RepairTable renders the robustness rows.
+func RepairTable(rows []RepairRow, n int) *stats.Table {
+	t := stats.NewTable("Fail%", fmt.Sprintf("BlackedOut%%@n=%d", n),
+		"Orphans", "Radius(grandparent)", "Radius(bestdelay)")
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%.0f%%", 100*r.FailFraction),
+			fmt.Sprintf("%.1f%%", 100*r.BlackedOutFraction),
+			fmt.Sprintf("%.1f", r.Reattached),
+			fmt.Sprintf("%.3fx", r.GrandparentInflate),
+			fmt.Sprintf("%.3fx", r.BestDelayInflate),
+		)
+	}
+	return t
+}

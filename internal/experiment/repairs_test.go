@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRepairs(t *testing.T) {
+	rows, err := RunRepairs(RepairConfig{
+		N: 500, FailFractions: []float64{0.02, 0.10}, Trials: 3, Seed: 7, MaxOutDegree: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Failures hurt at least as much as the failed nodes themselves.
+		if r.BlackedOutFraction < r.FailFraction-1e-9 {
+			t.Errorf("fail %.0f%%: blacked out %.1f%% below the failed share",
+				100*r.FailFraction, 100*r.BlackedOutFraction)
+		}
+		// Best-delay repair is never worse than grandparent repair.
+		if r.BestDelayInflate > r.GrandparentInflate+1e-9 {
+			t.Errorf("fail %.0f%%: bestdelay %.3f worse than grandparent %.3f",
+				100*r.FailFraction, r.BestDelayInflate, r.GrandparentInflate)
+		}
+		if r.Reattached <= 0 {
+			t.Errorf("fail %.0f%%: no orphans reattached", 100*r.FailFraction)
+		}
+	}
+	// More failures cut off more receivers.
+	if rows[1].BlackedOutFraction <= rows[0].BlackedOutFraction {
+		t.Error("damage did not grow with failure fraction")
+	}
+	var b strings.Builder
+	if err := RepairTable(rows, 500).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "grandparent") {
+		t.Error("repair table header missing")
+	}
+}
+
+func TestRunRepairsValidation(t *testing.T) {
+	if _, err := RunRepairs(RepairConfig{}); err == nil {
+		t.Error("accepted empty config")
+	}
+	if _, err := RunRepairs(RepairConfig{
+		N: 100, FailFractions: []float64{1.5}, Trials: 1, MaxOutDegree: 6,
+	}); err == nil {
+		t.Error("accepted fraction > 1")
+	}
+	if _, err := RunRepairs(RepairConfig{
+		N: 100, FailFractions: []float64{0.1}, Trials: 1, MaxOutDegree: 1,
+	}); err == nil {
+		t.Error("accepted degree 1")
+	}
+}

@@ -1,0 +1,197 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// ConvexHull returns the convex hull of the given planar points in
+// counter-clockwise order, starting from the lexicographically smallest
+// point (Andrew's monotone chain). Collinear points on hull edges are
+// dropped. Inputs of fewer than three distinct points return the distinct
+// points sorted lexicographically.
+func ConvexHull(pts []Point2) []Point2 {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	sorted := append([]Point2(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	// Deduplicate.
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		if p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) < 3 {
+		return uniq
+	}
+
+	cross := func(o, a, b Point2) float64 {
+		return (a.X-o.X)*(b.Y-o.Y) - (a.Y-o.Y)*(b.X-o.X)
+	}
+	hull := make([]Point2, 0, 2*len(uniq))
+	// Lower hull.
+	for _, p := range uniq {
+		for len(hull) >= 2 && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(uniq) - 2; i >= 0; i-- {
+		p := uniq[i]
+		for len(hull) >= lower && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1]
+}
+
+// PolygonArea returns the signed area of the polygon given by its vertices
+// in order (positive for counter-clockwise orientation).
+func PolygonArea(poly []Point2) float64 {
+	var a float64
+	n := len(poly)
+	for i := range n {
+		j := (i + 1) % n
+		a += poly[i].X*poly[j].Y - poly[j].X*poly[i].Y
+	}
+	return a / 2
+}
+
+// PointInConvexPolygon reports whether p lies inside or on the boundary of
+// the convex polygon poly (vertices in counter-clockwise order).
+func PointInConvexPolygon(p Point2, poly []Point2) bool {
+	n := len(poly)
+	if n == 0 {
+		return false
+	}
+	if n == 1 {
+		return p == poly[0]
+	}
+	const eps = 1e-12
+	for i := range n {
+		a, b := poly[i], poly[(i+1)%n]
+		cross := (b.X-a.X)*(p.Y-a.Y) - (b.Y-a.Y)*(p.X-a.X)
+		if cross < -eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Circle is a circle in the plane.
+type Circle struct {
+	Center Point2
+	Radius float64
+}
+
+// Contains reports whether p is inside or on the circle, with a small
+// relative tolerance for floating-point robustness.
+func (c Circle) Contains(p Point2) bool {
+	return c.Center.Dist(p) <= c.Radius*(1+1e-12)+1e-300
+}
+
+// EnclosingCircle returns the smallest circle containing all points (Welzl's
+// algorithm, iterative move-to-front variant over the given order; the order
+// dependence only affects running time, not the result).
+func EnclosingCircle(pts []Point2) Circle {
+	switch len(pts) {
+	case 0:
+		return Circle{}
+	case 1:
+		return Circle{Center: pts[0]}
+	}
+	c := circleFrom2(pts[0], pts[1])
+	for i := 2; i < len(pts); i++ {
+		if c.Contains(pts[i]) {
+			continue
+		}
+		// pts[i] is on the boundary of the new circle.
+		c = circleFrom2(pts[0], pts[i])
+		for j := 1; j < i; j++ {
+			if c.Contains(pts[j]) {
+				continue
+			}
+			c = circleFrom2(pts[i], pts[j])
+			for k := 0; k < j; k++ {
+				if !c.Contains(pts[k]) {
+					c = circleFrom3(pts[i], pts[j], pts[k])
+				}
+			}
+		}
+	}
+	return c
+}
+
+func circleFrom2(a, b Point2) Circle {
+	center := Point2{(a.X + b.X) / 2, (a.Y + b.Y) / 2}
+	return Circle{Center: center, Radius: center.Dist(a)}
+}
+
+func circleFrom3(a, b, c Point2) Circle {
+	// Circumcircle via perpendicular bisector intersection.
+	ax, ay := b.X-a.X, b.Y-a.Y
+	bx, by := c.X-a.X, c.Y-a.Y
+	d := 2 * (ax*by - ay*bx)
+	if d == 0 {
+		// Collinear: fall back to the diameter of the farthest pair.
+		best := circleFrom2(a, b)
+		if alt := circleFrom2(a, c); alt.Radius > best.Radius {
+			best = alt
+		}
+		if alt := circleFrom2(b, c); alt.Radius > best.Radius {
+			best = alt
+		}
+		return best
+	}
+	ux := (by*(ax*ax+ay*ay) - ay*(bx*bx+by*by)) / d
+	uy := (ax*(bx*bx+by*by) - bx*(ax*ax+ay*ay)) / d
+	center := Point2{a.X + ux, a.Y + uy}
+	r := center.Dist(a)
+	if r2 := center.Dist(b); r2 > r {
+		r = r2
+	}
+	if r3 := center.Dist(c); r3 > r {
+		r = r3
+	}
+	return Circle{Center: center, Radius: r}
+}
+
+// FarthestFrom returns the index of the point farthest from origin, and that
+// distance. It returns (-1, 0) for an empty slice.
+func FarthestFrom(origin Point2, pts []Point2) (int, float64) {
+	best, bestD2 := -1, -1.0
+	for i, p := range pts {
+		if d2 := origin.Dist2(p); d2 > bestD2 {
+			best, bestD2 = i, d2
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, math.Sqrt(bestD2)
+}
+
+// FarthestFromVec is FarthestFrom for d-dimensional points.
+func FarthestFromVec(origin Vec, pts []Vec) (int, float64) {
+	best, bestD2 := -1, -1.0
+	for i, p := range pts {
+		if d2 := origin.Dist2(p); d2 > bestD2 {
+			best, bestD2 = i, d2
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, math.Sqrt(bestD2)
+}

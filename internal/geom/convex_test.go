@@ -1,0 +1,152 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point2{
+		{0, 0}, {1, 0}, {1, 1}, {0, 1},
+		{0.5, 0.5}, {0.25, 0.75}, // interior
+		{0.5, 0}, // on edge
+	}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull size = %d, want 4: %v", len(hull), hull)
+	}
+	if a := PolygonArea(hull); !almostEqual(a, 1, 1e-12) {
+		t.Errorf("hull area = %v, want 1", a)
+	}
+	for _, p := range pts {
+		if !PointInConvexPolygon(p, hull) {
+			t.Errorf("point %v not in own hull", p)
+		}
+	}
+}
+
+func TestConvexHullSmallInputs(t *testing.T) {
+	if got := ConvexHull(nil); got != nil {
+		t.Errorf("hull of nil = %v", got)
+	}
+	one := []Point2{{1, 2}}
+	if got := ConvexHull(one); len(got) != 1 || got[0] != one[0] {
+		t.Errorf("hull of one point = %v", got)
+	}
+	dup := []Point2{{1, 2}, {1, 2}, {1, 2}}
+	if got := ConvexHull(dup); len(got) != 1 {
+		t.Errorf("hull of duplicates = %v", got)
+	}
+	collinear := []Point2{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	got := ConvexHull(collinear)
+	if len(got) != 2 {
+		t.Errorf("hull of collinear points = %v, want 2 extremes", got)
+	}
+}
+
+func TestConvexHullCCW(t *testing.T) {
+	pts := []Point2{{0, 0}, {2, 0}, {1, 2}, {1, 0.5}}
+	hull := ConvexHull(pts)
+	if PolygonArea(hull) <= 0 {
+		t.Errorf("hull not counter-clockwise: %v", hull)
+	}
+}
+
+func TestConvexHullContainsAllQuick(t *testing.T) {
+	f := func(coords [8]int8) bool {
+		pts := make([]Point2, 0, 4)
+		for i := 0; i < 8; i += 2 {
+			pts = append(pts, Point2{float64(coords[i]), float64(coords[i+1])})
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			return true // degenerate, nothing to check
+		}
+		for _, p := range pts {
+			if !PointInConvexPolygon(p, hull) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnclosingCircleKnown(t *testing.T) {
+	tests := []struct {
+		name   string
+		pts    []Point2
+		center Point2
+		radius float64
+	}{
+		{"two points", []Point2{{0, 0}, {2, 0}}, Point2{1, 0}, 1},
+		{"equilateral-ish square corners", []Point2{{0, 0}, {2, 0}, {2, 2}, {0, 2}},
+			Point2{1, 1}, math.Sqrt2},
+		{"single", []Point2{{3, 4}}, Point2{3, 4}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := EnclosingCircle(tt.pts)
+			if c.Center.Dist(tt.center) > 1e-9 || !almostEqual(c.Radius, tt.radius, 1e-9) {
+				t.Errorf("EnclosingCircle = %+v, want center %v radius %v", c, tt.center, tt.radius)
+			}
+		})
+	}
+}
+
+func TestEnclosingCircleCoversQuick(t *testing.T) {
+	f := func(coords [10]int8) bool {
+		pts := make([]Point2, 0, 5)
+		for i := 0; i < 10; i += 2 {
+			pts = append(pts, Point2{float64(coords[i]), float64(coords[i+1])})
+		}
+		c := EnclosingCircle(pts)
+		for _, p := range pts {
+			if c.Center.Dist(p) > c.Radius+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnclosingCircleMinimal(t *testing.T) {
+	// The circle through three corners of an equilateral triangle has
+	// circumradius side/sqrt(3); check the algorithm finds it rather than a
+	// bigger cover.
+	side := 2.0
+	pts := []Point2{
+		{0, 0}, {side, 0}, {side / 2, side * math.Sqrt(3) / 2},
+	}
+	c := EnclosingCircle(pts)
+	want := side / math.Sqrt(3)
+	if !almostEqual(c.Radius, want, 1e-9) {
+		t.Errorf("radius = %v, want %v", c.Radius, want)
+	}
+}
+
+func TestFarthestFrom(t *testing.T) {
+	pts := []Point2{{1, 0}, {0, 3}, {-2, -2}}
+	i, d := FarthestFrom(Point2{}, pts)
+	if i != 1 || !almostEqual(d, 3, 1e-15) {
+		// (-2,-2) has norm 2.83 < 3.
+		t.Errorf("FarthestFrom = (%d, %v), want (1, 3)", i, d)
+	}
+	if i, d := FarthestFrom(Point2{}, nil); i != -1 || d != 0 {
+		t.Errorf("FarthestFrom(empty) = (%d, %v)", i, d)
+	}
+}
+
+func TestFarthestFromVec(t *testing.T) {
+	pts := []Vec{{1, 0, 0}, {0, 0, -5}, {2, 2, 2}}
+	i, d := FarthestFromVec(Vec{0, 0, 0}, pts)
+	if i != 1 || !almostEqual(d, 5, 1e-15) {
+		t.Errorf("FarthestFromVec = (%d, %v), want (1, 5)", i, d)
+	}
+}

@@ -1,0 +1,99 @@
+package geom
+
+import "math"
+
+// SinPowerIntegral computes the incomplete integral
+//
+//	I_p(x) = integral from 0 to x of sin(t)^p dt,   x in [0, pi], p >= 0.
+//
+// This is the surface-measure weight of hyperspherical polar angles: angle
+// Phi[m] of a d-sphere carries measure proportional to sin^(m+1). Closed
+// forms are used for p = 0 and p = 1; the stable downward recurrence
+//
+//	I_p(x) = (-cos(x) sin(x)^(p-1) + (p-1) I_{p-2}(x)) / p
+//
+// handles larger powers exactly (up to floating-point error).
+func SinPowerIntegral(p int, x float64) float64 {
+	if p < 0 {
+		panic("geom: SinPowerIntegral requires p >= 0")
+	}
+	switch {
+	case x <= 0:
+		return 0
+	case x > math.Pi:
+		x = math.Pi
+	}
+	switch p {
+	case 0:
+		return x
+	case 1:
+		return 1 - math.Cos(x)
+	}
+	// Evaluate the recurrence iteratively from the base case of matching
+	// parity, to avoid recursion.
+	var i float64 // I_base(x)
+	base := p % 2
+	if base == 0 {
+		i = x
+	} else {
+		i = 1 - math.Cos(x)
+	}
+	sin, cos := math.Sincos(x)
+	for q := base + 2; q <= p; q += 2 {
+		i = (-cos*math.Pow(sin, float64(q-1)) + float64(q-1)*i) / float64(q)
+	}
+	return i
+}
+
+// SinPowerTotal returns I_p(pi), the full measure of the polar angle range.
+func SinPowerTotal(p int) float64 { return SinPowerIntegral(p, math.Pi) }
+
+// SinPowerSplit returns the angle m in [a, b] that splits the sin^p measure
+// of the interval [a, b] in half:
+//
+//	I_p(m) - I_p(a) = (I_p(b) - I_p(a)) / 2.
+//
+// It panics unless 0 <= a <= b <= pi. The solution is found by bisection on
+// the monotone function I_p, to ~1e-14 absolute precision, which is far below
+// any geometric tolerance used by the grid construction.
+func SinPowerSplit(p int, a, b float64) float64 {
+	if !(0 <= a && a <= b && b <= math.Pi) {
+		panic("geom: SinPowerSplit requires 0 <= a <= b <= pi")
+	}
+	if p == 0 {
+		return (a + b) / 2
+	}
+	target := (SinPowerIntegral(p, a) + SinPowerIntegral(p, b)) / 2
+	lo, hi := a, b
+	for range 100 {
+		mid := (lo + hi) / 2
+		if mid <= lo || mid >= hi {
+			break
+		}
+		if SinPowerIntegral(p, mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// BallVolume returns the volume of the d-dimensional ball of radius r:
+// V_d(r) = pi^(d/2) / Gamma(d/2 + 1) * r^d.
+func BallVolume(d int, r float64) float64 {
+	if d < 0 {
+		panic("geom: BallVolume requires d >= 0")
+	}
+	g, _ := math.Lgamma(float64(d)/2 + 1)
+	return math.Exp(float64(d)/2*math.Log(math.Pi)-g) * math.Pow(r, float64(d))
+}
+
+// SphereSurface returns the surface measure of the (d-1)-sphere of radius r
+// bounding the d-dimensional ball: S_{d-1}(r) = d * V_d(1) * r^(d-1).
+func SphereSurface(d int, r float64) float64 {
+	if d < 1 {
+		panic("geom: SphereSurface requires d >= 1")
+	}
+	return float64(d) * BallVolume(d, 1) * math.Pow(r, float64(d-1))
+}

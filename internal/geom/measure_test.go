@@ -1,0 +1,172 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// numericSinPowerIntegral is a slow trapezoid-rule reference for
+// SinPowerIntegral.
+func numericSinPowerIntegral(p int, x float64) float64 {
+	const steps = 200000
+	h := x / steps
+	var sum float64
+	for i := 0; i <= steps; i++ {
+		t := float64(i) * h
+		w := 1.0
+		if i == 0 || i == steps {
+			w = 0.5
+		}
+		sum += w * math.Pow(math.Sin(t), float64(p))
+	}
+	return sum * h
+}
+
+func TestSinPowerIntegralClosedForms(t *testing.T) {
+	if got := SinPowerIntegral(0, 1.3); !almostEqual(got, 1.3, 1e-15) {
+		t.Errorf("I_0(1.3) = %v, want 1.3", got)
+	}
+	if got := SinPowerIntegral(1, math.Pi); !almostEqual(got, 2, 1e-15) {
+		t.Errorf("I_1(pi) = %v, want 2", got)
+	}
+	// I_2(x) = x/2 - sin(2x)/4.
+	x := 0.7
+	want := x/2 - math.Sin(2*x)/4
+	if got := SinPowerIntegral(2, x); !almostEqual(got, want, 1e-12) {
+		t.Errorf("I_2(%v) = %v, want %v", x, got, want)
+	}
+}
+
+func TestSinPowerIntegralAgainstNumeric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("numeric reference is slow")
+	}
+	for p := 0; p <= 8; p++ {
+		for _, x := range []float64{0.1, 0.5, 1.0, 2.0, 3.0, math.Pi} {
+			got := SinPowerIntegral(p, x)
+			want := numericSinPowerIntegral(p, x)
+			if !almostEqual(got, want, 1e-6) {
+				t.Errorf("I_%d(%v) = %v, numeric %v", p, x, got, want)
+			}
+		}
+	}
+}
+
+func TestSinPowerIntegralEdges(t *testing.T) {
+	if got := SinPowerIntegral(3, 0); got != 0 {
+		t.Errorf("I_3(0) = %v, want 0", got)
+	}
+	if got := SinPowerIntegral(3, -1); got != 0 {
+		t.Errorf("I_3(-1) = %v, want 0 (clamped)", got)
+	}
+	// Clamped above pi.
+	if got, want := SinPowerIntegral(2, 10), SinPowerIntegral(2, math.Pi); got != want {
+		t.Errorf("I_2(10) = %v, want I_2(pi) = %v", got, want)
+	}
+}
+
+func TestSinPowerIntegralMonotone(t *testing.T) {
+	for p := 0; p <= 6; p++ {
+		prev := 0.0
+		for x := 0.05; x <= math.Pi; x += 0.05 {
+			cur := SinPowerIntegral(p, x)
+			if cur < prev-1e-12 {
+				t.Fatalf("I_%d not monotone at %v: %v < %v", p, x, cur, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestSinPowerSplitHalvesMeasure(t *testing.T) {
+	cases := []struct {
+		p    int
+		a, b float64
+	}{
+		{0, 0.2, 1.4},
+		{1, 0, math.Pi},
+		{1, 0.5, 2.0},
+		{2, 0.1, 3.0},
+		{4, 1.0, 2.5},
+		{7, 0.3, 2.9},
+	}
+	for _, c := range cases {
+		m := SinPowerSplit(c.p, c.a, c.b)
+		if m < c.a || m > c.b {
+			t.Errorf("split(%d, %v, %v) = %v outside interval", c.p, c.a, c.b, m)
+		}
+		left := SinPowerIntegral(c.p, m) - SinPowerIntegral(c.p, c.a)
+		right := SinPowerIntegral(c.p, c.b) - SinPowerIntegral(c.p, m)
+		if !almostEqual(left, right, 1e-9*(1+left+right)) {
+			t.Errorf("split(%d, %v, %v): halves %v vs %v", c.p, c.a, c.b, left, right)
+		}
+	}
+}
+
+func TestSinPowerSplitSymmetric(t *testing.T) {
+	// For any p, the measure on [0, pi] is symmetric about pi/2.
+	for p := 1; p <= 5; p++ {
+		m := SinPowerSplit(p, 0, math.Pi)
+		if !almostEqual(m, math.Pi/2, 1e-9) {
+			t.Errorf("split_%d(0, pi) = %v, want pi/2", p, m)
+		}
+	}
+}
+
+func TestSinPowerSplitDegenerateInterval(t *testing.T) {
+	m := SinPowerSplit(2, 1.0, 1.0)
+	if m != 1.0 {
+		t.Errorf("split of empty interval = %v, want 1.0", m)
+	}
+}
+
+func TestBallVolume(t *testing.T) {
+	tests := []struct {
+		d    int
+		r    float64
+		want float64
+	}{
+		{1, 1, 2},
+		{2, 1, math.Pi},
+		{3, 1, 4 * math.Pi / 3},
+		{2, 2, 4 * math.Pi},
+		{0, 1, 1},
+	}
+	for _, tt := range tests {
+		if got := BallVolume(tt.d, tt.r); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("BallVolume(%d, %v) = %v, want %v", tt.d, tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestSphereSurface(t *testing.T) {
+	tests := []struct {
+		d    int
+		r    float64
+		want float64
+	}{
+		{2, 1, 2 * math.Pi},
+		{3, 1, 4 * math.Pi},
+		{3, 2, 16 * math.Pi},
+	}
+	for _, tt := range tests {
+		if got := SphereSurface(tt.d, tt.r); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("SphereSurface(%d, %v) = %v, want %v", tt.d, tt.r, got, tt.want)
+		}
+	}
+}
+
+// The surface measure identity: S_{d-1}(1) should equal the product of
+// angular measures 2*pi * prod_m I_{m+1}(pi) for m = 0..d-3.
+func TestSurfaceMeasureFactorization(t *testing.T) {
+	for d := 2; d <= 7; d++ {
+		prod := TwoPi
+		for m := 0; m <= d-3; m++ {
+			prod *= SinPowerTotal(m + 1)
+		}
+		want := SphereSurface(d, 1)
+		if !almostEqual(prod, want, 1e-9*want) {
+			t.Errorf("d=%d: angular product %v, surface %v", d, prod, want)
+		}
+	}
+}

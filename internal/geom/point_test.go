@@ -1,0 +1,176 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestPoint2Arithmetic(t *testing.T) {
+	p := Point2{3, 4}
+	q := Point2{-1, 2}
+
+	if got := p.Add(q); got != (Point2{2, 6}) {
+		t.Errorf("Add = %v, want (2, 6)", got)
+	}
+	if got := p.Sub(q); got != (Point2{4, 2}) {
+		t.Errorf("Sub = %v, want (4, 2)", got)
+	}
+	if got := p.Scale(2); got != (Point2{6, 8}) {
+		t.Errorf("Scale = %v, want (6, 8)", got)
+	}
+	if got := p.Dot(q); got != 5 {
+		t.Errorf("Dot = %v, want 5", got)
+	}
+	if got := p.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+}
+
+func TestPoint2Dist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point2
+		want float64
+	}{
+		{"same point", Point2{1, 1}, Point2{1, 1}, 0},
+		{"axis aligned", Point2{0, 0}, Point2{3, 0}, 3},
+		{"pythagorean", Point2{0, 0}, Point2{3, 4}, 5},
+		{"negative coords", Point2{-1, -1}, Point2{2, 3}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dist(tt.q); got != tt.want {
+				t.Errorf("Dist = %v, want %v", got, tt.want)
+			}
+			if got := tt.p.Dist2(tt.q); got != tt.want*tt.want {
+				t.Errorf("Dist2 = %v, want %v", got, tt.want*tt.want)
+			}
+		})
+	}
+}
+
+func TestPoint3Arithmetic(t *testing.T) {
+	p := Point3{1, 2, 2}
+	q := Point3{2, 0, -1}
+
+	if got := p.Norm(); got != 3 {
+		t.Errorf("Norm = %v, want 3", got)
+	}
+	if got := p.Add(q); got != (Point3{3, 2, 1}) {
+		t.Errorf("Add = %v, want (3, 2, 1)", got)
+	}
+	if got := p.Sub(q); got != (Point3{-1, 2, 3}) {
+		t.Errorf("Sub = %v, want (-1, 2, 3)", got)
+	}
+	if got := p.Dot(q); got != 0 {
+		t.Errorf("Dot = %v, want 0", got)
+	}
+	if got := p.Dist(q); !almostEqual(got, math.Sqrt(14), 1e-15) {
+		t.Errorf("Dist = %v, want sqrt(14)", got)
+	}
+}
+
+func TestVecArithmetic(t *testing.T) {
+	v := Vec{1, 2, 3, 4}
+	w := Vec{4, 3, 2, 1}
+
+	got := v.Add(w)
+	for i := range got {
+		if got[i] != 5 {
+			t.Fatalf("Add[%d] = %v, want 5", i, got[i])
+		}
+	}
+	if d := v.Dot(w); d != 20 {
+		t.Errorf("Dot = %v, want 20", d)
+	}
+	if n := (Vec{2, 2, 2, 2}).Norm(); n != 4 {
+		t.Errorf("Norm = %v, want 4", n)
+	}
+	if d := v.Dist(w); !almostEqual(d, math.Sqrt(9+1+1+9), 1e-15) {
+		t.Errorf("Dist = %v", d)
+	}
+}
+
+func TestVecCloneIndependence(t *testing.T) {
+	v := Vec{1, 2}
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dimension mismatch")
+		}
+	}()
+	_ = Vec{1, 2}.Dot(Vec{1, 2, 3})
+}
+
+func TestPointVecConversions(t *testing.T) {
+	p2 := Point2{1, 2}
+	if got := p2.Vec().AsPoint2(); got != p2 {
+		t.Errorf("Point2 round trip = %v", got)
+	}
+	p3 := Point3{1, 2, 3}
+	if got := p3.Vec().AsPoint3(); got != p3 {
+		t.Errorf("Point3 round trip = %v", got)
+	}
+}
+
+func TestVecDistSymmetryQuick(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		v := Vec{ax, ay, az}
+		w := Vec{bx, by, bz}
+		d1, d2 := v.Dist(w), w.Dist(v)
+		return d1 == d2 && d1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityQuick(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Point2{float64(ax), float64(ay)}
+		b := Point2{float64(bx), float64(by)}
+		c := Point2{float64(cx), float64(cy)}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotate(t *testing.T) {
+	p := Point2{1, 0}
+	got := p.Rotate(math.Pi / 2)
+	if !almostEqual(got.X, 0, 1e-12) || !almostEqual(got.Y, 1, 1e-12) {
+		t.Errorf("Rotate = %v", got)
+	}
+	// Rotation preserves norms and distances.
+	q := Point2{0.3, -0.7}
+	if !almostEqual(q.Rotate(1.234).Norm(), q.Norm(), 1e-12) {
+		t.Error("rotation changed norm")
+	}
+	a, b := Point2{1, 2}, Point2{-1, 0.5}
+	if !almostEqual(a.Rotate(0.5).Dist(b.Rotate(0.5)), a.Dist(b), 1e-12) {
+		t.Error("rotation changed distance")
+	}
+}
+
+func TestRotateAround(t *testing.T) {
+	center := Point2{1, 1}
+	p := Point2{2, 1}
+	got := p.RotateAround(center, math.Pi)
+	if !almostEqual(got.X, 0, 1e-12) || !almostEqual(got.Y, 1, 1e-12) {
+		t.Errorf("RotateAround = %v", got)
+	}
+}

@@ -1,0 +1,72 @@
+package grid
+
+import (
+	"testing"
+
+	"omtree/internal/geom"
+	"omtree/internal/rng"
+)
+
+func benchPolars(b *testing.B, n int) []geom.Polar {
+	b.Helper()
+	r := rng.New(uint64(n))
+	polars := make([]geom.Polar, n)
+	for i := range polars {
+		polars[i] = r.UniformDisk(1).ToPolar()
+	}
+	return polars
+}
+
+func BenchmarkCellOf2D(b *testing.B) {
+	polars := benchPolars(b, 100000)
+	g := PolarGrid{K: 12, Scale: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink int
+		for _, c := range polars {
+			sink += g.CellOf(c)
+		}
+		_ = sink
+	}
+}
+
+func BenchmarkMaxFeasibleK(b *testing.B) {
+	polars := benchPolars(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MaxFeasibleK(polars, 1, DefaultKMax(len(polars)))
+	}
+}
+
+func BenchmarkCellOf3D(b *testing.B) {
+	r := rng.New(3)
+	sph := make([]geom.Spherical, 100000)
+	for i := range sph {
+		sph[i] = r.UniformBall3(1).ToSpherical()
+	}
+	g := SphereGrid3{K: 12, Scale: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink int
+		for _, c := range sph {
+			sink += g.CellOf(c)
+		}
+		_ = sink
+	}
+}
+
+func BenchmarkGridDBuild(b *testing.B) {
+	for _, d := range []int{3, 5} {
+		b.Run(dimName(d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := NewGridD(d, 12, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func dimName(d int) string {
+	return string(rune('0'+d)) + "d"
+}

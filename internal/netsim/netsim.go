@@ -1,0 +1,222 @@
+// Package netsim is a discrete-event simulator of overlay multicast over a
+// built distribution tree: the source emits packets, each overlay node
+// forwards to its children after an optional per-hop processing delay, and
+// unicast links take their configured latency (plus optional jitter).
+//
+// It serves two purposes:
+//
+//   - Validation: with zero processing delay and jitter, simulated arrival
+//     times must equal the tree's path lengths — an end-to-end check that
+//     the "radius" the algorithms optimize is the delay overlay multicast
+//     actually delivers.
+//   - Dynamics: node failures can be injected mid-session, and the repair
+//     strategies reattach orphaned subtrees, quantifying the disruption
+//     (packets lost, delay inflation) that overlay multicast incurs when
+//     end hosts leave — the operational concern that motivates the paper's
+//     degree constraints.
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"omtree/internal/tree"
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Latency returns the one-way unicast latency between two overlay
+	// nodes; it must be non-negative and is required.
+	Latency tree.DistFunc
+	// ProcDelay is a per-hop forwarding delay added at every overlay relay.
+	ProcDelay float64
+	// SerializationDelay models uplink sharing — the physical reason for
+	// degree constraints: a forwarding node transmits to its children one
+	// after another, and the i-th transmission (0-based, in child order)
+	// leaves at arrival + ProcDelay + (i+1)*SerializationDelay. Zero
+	// disables the effect (all children transmitted simultaneously).
+	SerializationDelay float64
+	// Jitter, when non-nil, returns an additive latency perturbation per
+	// (edge, packet) pair. It may be random; determinism is up to the
+	// caller's function.
+	Jitter func(from, to, packet int) float64
+}
+
+// Sim simulates multicast over one tree.
+type Sim struct {
+	tree *tree.Tree
+	cfg  Config
+}
+
+// New validates the configuration and returns a simulator.
+func New(t *tree.Tree, cfg Config) (*Sim, error) {
+	if t == nil {
+		return nil, errors.New("netsim: nil tree")
+	}
+	if cfg.Latency == nil {
+		return nil, errors.New("netsim: Latency is required")
+	}
+	if cfg.ProcDelay < 0 {
+		return nil, fmt.Errorf("netsim: negative ProcDelay %v", cfg.ProcDelay)
+	}
+	if cfg.SerializationDelay < 0 {
+		return nil, fmt.Errorf("netsim: negative SerializationDelay %v", cfg.SerializationDelay)
+	}
+	t.Prepare()
+	return &Sim{tree: t, cfg: cfg}, nil
+}
+
+// Failure marks an overlay node as crashed at a point in time: packets
+// arriving at or after Time are neither received nor forwarded by it.
+type Failure struct {
+	Node int
+	Time float64
+}
+
+// Delivery reports one packet's propagation.
+type Delivery struct {
+	// Arrival[i] is the time node i received the packet (NaN if never).
+	Arrival []float64
+	// Received[i] reports whether node i got the packet.
+	Received []bool
+	// MaxDelay is the largest arrival time among receiving nodes.
+	MaxDelay float64
+	// Forwards counts link transmissions performed.
+	Forwards int
+}
+
+// event is a packet arrival at a node.
+type event struct {
+	time float64
+	node int32
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].time < h[j].time }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) push(e event)      { heap.Push(h, e) }
+func (h *eventHeap) pop() (event, bool) {
+	if h.Len() == 0 {
+		return event{}, false
+	}
+	return heap.Pop(h).(event), true
+}
+
+// Multicast propagates one packet from the root at time 0.
+func (s *Sim) Multicast() Delivery {
+	return s.MulticastAt(0, 0, nil)
+}
+
+// MulticastWithFailures propagates one packet from the root at time 0 with
+// the given failures active.
+func (s *Sim) MulticastWithFailures(failures []Failure) Delivery {
+	return s.MulticastAt(0, 0, failures)
+}
+
+// MulticastAt propagates packet `packet` emitted by the root at the given
+// start time, honoring failures.
+func (s *Sim) MulticastAt(start float64, packet int, failures []Failure) Delivery {
+	n := s.tree.N()
+	failAt := make(map[int32]float64, len(failures))
+	for _, f := range failures {
+		if f.Node >= 0 && f.Node < n {
+			if cur, ok := failAt[int32(f.Node)]; !ok || f.Time < cur {
+				failAt[int32(f.Node)] = f.Time
+			}
+		}
+	}
+
+	d := Delivery{
+		Arrival:  make([]float64, n),
+		Received: make([]bool, n),
+		MaxDelay: math.Inf(-1),
+	}
+	for i := range d.Arrival {
+		d.Arrival[i] = math.NaN()
+	}
+
+	var h eventHeap
+	root := int32(s.tree.Root())
+	h.push(event{time: start, node: root})
+	for {
+		e, ok := h.pop()
+		if !ok {
+			break
+		}
+		if ft, failed := failAt[e.node]; failed && e.time >= ft {
+			continue // crashed before the packet arrived
+		}
+		d.Arrival[e.node] = e.time
+		d.Received[e.node] = true
+		if e.time > d.MaxDelay {
+			d.MaxDelay = e.time
+		}
+		forwardAt := e.time
+		if e.node != root {
+			forwardAt += s.cfg.ProcDelay
+		}
+		for ci, c := range s.tree.Children(int(e.node)) {
+			lat := s.cfg.Latency(int(e.node), int(c))
+			if s.cfg.Jitter != nil {
+				lat += s.cfg.Jitter(int(e.node), int(c), packet)
+			}
+			if lat < 0 {
+				lat = 0
+			}
+			sendAt := forwardAt + float64(ci+1)*s.cfg.SerializationDelay
+			// The forwarding node must still be alive when it transmits.
+			if ft, failed := failAt[e.node]; failed && sendAt >= ft {
+				continue
+			}
+			d.Forwards++
+			h.push(event{time: sendAt + lat, node: c})
+		}
+	}
+	if math.IsInf(d.MaxDelay, -1) {
+		d.MaxDelay = math.NaN()
+	}
+	// Report delays relative to emission.
+	if start != 0 {
+		for i := range d.Arrival {
+			d.Arrival[i] -= start
+		}
+		d.MaxDelay -= start
+	}
+	return d
+}
+
+// Session streams `packets` packets at the given interval, with failures
+// applied, and aggregates per-node loss.
+type SessionResult struct {
+	// Lost[i] counts packets node i missed.
+	Lost []int
+	// Deliveries holds per-packet summaries (MaxDelay, Forwards).
+	Deliveries []Delivery
+}
+
+// Session runs a multi-packet session. Packets are emitted at
+// start = packet * interval.
+func (s *Sim) Session(packets int, interval float64, failures []Failure) SessionResult {
+	res := SessionResult{
+		Lost:       make([]int, s.tree.N()),
+		Deliveries: make([]Delivery, 0, packets),
+	}
+	for p := 0; p < packets; p++ {
+		d := s.MulticastAt(float64(p)*interval, p, failures)
+		for i, got := range d.Received {
+			if !got {
+				res.Lost[i]++
+			}
+		}
+		// Drop the bulky per-node arrays from the retained summary.
+		d.Arrival, d.Received = nil, nil
+		res.Deliveries = append(res.Deliveries, d)
+	}
+	return res
+}

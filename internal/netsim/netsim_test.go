@@ -1,0 +1,334 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"omtree/internal/core"
+	"omtree/internal/geom"
+	"omtree/internal/rng"
+	"omtree/internal/tree"
+)
+
+// buildDiskTree builds a Polar_Grid tree over uniform disk points and
+// returns it with its distance function.
+func buildDiskTree(t *testing.T, seed uint64, n, deg int) (*tree.Tree, tree.DistFunc) {
+	t.Helper()
+	r := rng.New(seed)
+	recv := r.UniformDiskN(n, 1)
+	res, err := core.Build2(geom.Point2{}, recv, core.WithMaxOutDegree(deg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := func(i, j int) float64 {
+		pi, pj := geom.Point2{}, geom.Point2{}
+		if i > 0 {
+			pi = recv[i-1]
+		}
+		if j > 0 {
+			pj = recv[j-1]
+		}
+		return pi.Dist(pj)
+	}
+	return res.Tree, dist
+}
+
+func TestNewValidation(t *testing.T) {
+	tr, dist := buildDiskTree(t, 1, 10, 6)
+	if _, err := New(nil, Config{Latency: dist}); err == nil {
+		t.Error("accepted nil tree")
+	}
+	if _, err := New(tr, Config{}); err == nil {
+		t.Error("accepted missing latency")
+	}
+	if _, err := New(tr, Config{Latency: dist, ProcDelay: -1}); err == nil {
+		t.Error("accepted negative proc delay")
+	}
+}
+
+func TestMulticastMatchesTreeDelays(t *testing.T) {
+	// The headline cross-check: simulated arrivals == analytic path lengths.
+	for _, deg := range []int{6, 2} {
+		tr, dist := buildDiskTree(t, 2, 500, deg)
+		s, err := New(tr, Config{Latency: dist})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := s.Multicast()
+		want := tr.Delays(dist)
+		for i := range want {
+			if !d.Received[i] {
+				t.Fatalf("deg=%d: node %d never received", deg, i)
+			}
+			if math.Abs(d.Arrival[i]-want[i]) > 1e-9 {
+				t.Fatalf("deg=%d: node %d arrival %v, want %v", deg, i, d.Arrival[i], want[i])
+			}
+		}
+		if math.Abs(d.MaxDelay-tr.Radius(dist)) > 1e-9 {
+			t.Errorf("deg=%d: max delay %v, radius %v", deg, d.MaxDelay, tr.Radius(dist))
+		}
+		if d.Forwards != tr.N()-1 {
+			t.Errorf("deg=%d: forwards %d, want %d", deg, d.Forwards, tr.N()-1)
+		}
+	}
+}
+
+func TestProcDelayAddsPerHop(t *testing.T) {
+	tr, dist := buildDiskTree(t, 3, 100, 6)
+	s, err := New(tr, Config{Latency: dist, ProcDelay: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Multicast()
+	depths := tr.Depths()
+	want := tr.Delays(dist)
+	for i := range want {
+		// Relays between the root and node i: depth - 1 (the root doesn't
+		// pay processing delay, and arrival precedes the node's own delay).
+		hop := float64(depths[i] - 1)
+		if hop < 0 {
+			hop = 0
+		}
+		if math.Abs(d.Arrival[i]-(want[i]+0.5*hop)) > 1e-9 {
+			t.Fatalf("node %d arrival %v, want %v", i, d.Arrival[i], want[i]+0.5*hop)
+		}
+	}
+}
+
+func TestJitter(t *testing.T) {
+	tr, dist := buildDiskTree(t, 4, 50, 6)
+	s, err := New(tr, Config{
+		Latency: dist,
+		Jitter:  func(from, to, packet int) float64 { return 0.01 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Multicast()
+	want := tr.Delays(dist)
+	depths := tr.Depths()
+	for i := range want {
+		exp := want[i] + 0.01*float64(depths[i])
+		if math.Abs(d.Arrival[i]-exp) > 1e-9 {
+			t.Fatalf("node %d arrival %v, want %v", i, d.Arrival[i], exp)
+		}
+	}
+}
+
+func TestFailureCutsSubtree(t *testing.T) {
+	tr, dist := buildDiskTree(t, 5, 300, 2)
+	s, err := New(tr, Config{Latency: dist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail a child of the root from the start: its whole subtree misses
+	// the packet.
+	victim := int(tr.Children(0)[0])
+	d := s.MulticastWithFailures([]Failure{{Node: victim, Time: -1}})
+
+	inSubtree := make([]bool, tr.N())
+	inSubtree[victim] = true
+	for _, v := range tr.BFSOrder() {
+		if p := tr.Parent(int(v)); p >= 0 && inSubtree[p] {
+			inSubtree[v] = true
+		}
+	}
+	for i := 0; i < tr.N(); i++ {
+		if inSubtree[i] && d.Received[i] {
+			t.Fatalf("node %d in failed subtree received", i)
+		}
+		if !inSubtree[i] && !d.Received[i] {
+			t.Fatalf("node %d outside failed subtree missed", i)
+		}
+	}
+}
+
+func TestFailureTimingMidFlight(t *testing.T) {
+	// A node that fails after forwarding still delivers; failing before
+	// receipt, it neither receives nor forwards.
+	tr, dist := buildDiskTree(t, 6, 300, 2)
+	delays := tr.Delays(dist)
+	s, err := New(tr, Config{Latency: dist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick an internal node.
+	victim := -1
+	for i := 0; i < tr.N(); i++ {
+		if tr.OutDegree(i) > 0 && tr.Parent(i) >= 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no internal node")
+	}
+	// Fail long after the session completes: nothing changes.
+	d := s.MulticastWithFailures([]Failure{{Node: victim, Time: delays[victim] + 1000}})
+	for i, got := range d.Received {
+		if !got {
+			t.Fatalf("node %d missed despite late failure", i)
+		}
+	}
+	// Fail just before receipt: victim and its subtree miss.
+	d = s.MulticastWithFailures([]Failure{{Node: victim, Time: delays[victim] - 1e-9}})
+	if d.Received[victim] {
+		t.Error("victim received after failing first")
+	}
+}
+
+func TestSessionLossAccounting(t *testing.T) {
+	tr, dist := buildDiskTree(t, 7, 200, 6)
+	s, err := New(tr, Config{Latency: dist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := int(tr.Children(0)[0])
+	radius := tr.Radius(dist)
+	// 5 packets emitted at t = 0, 10r, 20r, 30r, 40r; the victim fails at
+	// 25r, after packet 2 (arriving by 20r + r) but before packet 3, so it
+	// misses exactly packets 3 and 4.
+	res := s.Session(5, 10*radius, []Failure{{Node: victim, Time: 25 * radius}})
+	if res.Lost[0] != 0 {
+		t.Error("source lost packets")
+	}
+	if res.Lost[victim] != 2 {
+		t.Errorf("victim lost %d packets, want 2", res.Lost[victim])
+	}
+	if len(res.Deliveries) != 5 {
+		t.Fatalf("%d deliveries", len(res.Deliveries))
+	}
+}
+
+func TestRepairStrategies(t *testing.T) {
+	for _, strategy := range []RepairStrategy{RepairGrandparent, RepairBestDelay} {
+		tr, dist := buildDiskTree(t, 8, 400, 6)
+		// Fail three internal nodes.
+		var failed []int
+		for i := 1; i < tr.N() && len(failed) < 3; i++ {
+			if tr.OutDegree(i) > 0 {
+				failed = append(failed, i)
+			}
+		}
+		rep, err := Repair(tr, failed, 6, dist, strategy)
+		if err != nil {
+			t.Fatalf("strategy %d: %v", strategy, err)
+		}
+		if rep.Tree.N() != tr.N()-len(failed) {
+			t.Fatalf("strategy %d: repaired size %d", strategy, rep.Tree.N())
+		}
+		if err := rep.Tree.Validate(6); err != nil {
+			t.Fatalf("strategy %d: %v", strategy, err)
+		}
+		if rep.Reattached == 0 {
+			t.Errorf("strategy %d: no orphans reattached despite internal failures", strategy)
+		}
+		// Mapping consistency.
+		for newV, oldV := range rep.OldID {
+			if rep.NewID[oldV] != newV {
+				t.Fatalf("strategy %d: mapping broken at %d", strategy, newV)
+			}
+		}
+		for _, f := range failed {
+			if rep.NewID[f] != -1 {
+				t.Fatalf("strategy %d: failed node %d still mapped", strategy, f)
+			}
+		}
+	}
+}
+
+func TestRepairBestDelayNoWorseThanGrandparent(t *testing.T) {
+	// Quality ordering holds on average; check a fixed seed instance.
+	tr, dist := buildDiskTree(t, 9, 500, 6)
+	var failed []int
+	for i := 1; i < tr.N() && len(failed) < 5; i++ {
+		if tr.OutDegree(i) > 1 {
+			failed = append(failed, i)
+		}
+	}
+	radiusOf := func(strategy RepairStrategy) float64 {
+		rep, err := Repair(tr, failed, 6, dist, strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newDist := func(a, b int) float64 { return dist(rep.OldID[a], rep.OldID[b]) }
+		return rep.Tree.Radius(newDist)
+	}
+	gp := radiusOf(RepairGrandparent)
+	bd := radiusOf(RepairBestDelay)
+	if bd > gp+1e-9 {
+		t.Errorf("best-delay repair (%v) worse than grandparent (%v)", bd, gp)
+	}
+}
+
+func TestRepairRootFailureRejected(t *testing.T) {
+	tr, dist := buildDiskTree(t, 10, 50, 6)
+	if _, err := Repair(tr, []int{0}, 6, dist, RepairGrandparent); err == nil {
+		t.Error("accepted root failure")
+	}
+	if _, err := Repair(tr, []int{999}, 6, dist, RepairGrandparent); err == nil {
+		t.Error("accepted out-of-range failure")
+	}
+	if _, err := Repair(tr, nil, 6, dist, RepairStrategy(42)); err == nil {
+		// No orphans, so the strategy is never consulted — acceptable; force
+		// an orphan to exercise the unknown-strategy path.
+		var failedInternal []int
+		for i := 1; i < tr.N(); i++ {
+			if tr.OutDegree(i) > 0 {
+				failedInternal = append(failedInternal, i)
+				break
+			}
+		}
+		if len(failedInternal) > 0 {
+			if _, err := Repair(tr, failedInternal, 6, dist, RepairStrategy(42)); err == nil {
+				t.Error("accepted unknown strategy")
+			}
+		}
+	}
+}
+
+func TestRepairNoFailures(t *testing.T) {
+	tr, dist := buildDiskTree(t, 11, 100, 6)
+	rep, err := Repair(tr, nil, 6, dist, RepairGrandparent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tree.N() != tr.N() || rep.Reattached != 0 {
+		t.Errorf("no-failure repair changed the tree: N=%d reattached=%d", rep.Tree.N(), rep.Reattached)
+	}
+	// Structure is preserved.
+	for i := 0; i < tr.N(); i++ {
+		if rep.Tree.Parent(i) != tr.Parent(i) {
+			t.Fatal("no-failure repair altered parents")
+		}
+	}
+}
+
+func TestRepairedTreeStillDelivers(t *testing.T) {
+	// End-to-end: fail nodes, repair, re-simulate; everyone alive receives.
+	tr, dist := buildDiskTree(t, 12, 400, 2)
+	var failed []int
+	for i := 1; i < tr.N() && len(failed) < 4; i++ {
+		if tr.OutDegree(i) > 0 {
+			failed = append(failed, i)
+		}
+	}
+	rep, err := Repair(tr, failed, 2, dist, RepairBestDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDist := func(a, b int) float64 { return dist(rep.OldID[a], rep.OldID[b]) }
+	s, err := New(rep.Tree, Config{Latency: newDist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Multicast()
+	for i, got := range d.Received {
+		if !got {
+			t.Fatalf("survivor %d missed after repair", i)
+		}
+	}
+	if math.Abs(d.MaxDelay-rep.Tree.Radius(newDist)) > 1e-9 {
+		t.Error("simulated delay disagrees with repaired radius")
+	}
+}

@@ -1,0 +1,185 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"omtree/internal/tree"
+)
+
+// RepairStrategy selects how orphaned subtrees reattach after failures.
+type RepairStrategy int
+
+const (
+	// RepairGrandparent walks each orphan up its original ancestor chain to
+	// the first surviving, still-connected node with residual degree — the
+	// cheap local recovery most overlay protocols implement first.
+	RepairGrandparent RepairStrategy = iota + 1
+	// RepairBestDelay reattaches each orphan to the feasible surviving node
+	// minimizing the orphan's resulting source delay — the quality-first
+	// recovery.
+	RepairBestDelay
+)
+
+// RepairResult describes a repaired overlay.
+type RepairResult struct {
+	// Tree spans the surviving nodes, relabeled densely.
+	Tree *tree.Tree
+	// OldID maps new node ids back to the original tree's ids.
+	OldID []int
+	// NewID maps original ids to new ids (-1 for failed nodes).
+	NewID []int
+	// Reattached counts orphan roots that needed a new parent.
+	Reattached int
+}
+
+// Repair removes the failed nodes from t and reattaches every orphaned
+// subtree per the strategy, respecting maxOutDegree (<= 0 means
+// unconstrained) in the repaired tree. dist supplies edge lengths in
+// ORIGINAL node ids. The root must survive.
+func Repair(t *tree.Tree, failed []int, maxOutDegree int, dist tree.DistFunc, strategy RepairStrategy) (*RepairResult, error) {
+	n := t.N()
+	dead := make([]bool, n)
+	for _, f := range failed {
+		if f < 0 || f >= n {
+			return nil, fmt.Errorf("netsim: failed node %d out of range", f)
+		}
+		dead[f] = true
+	}
+	if dead[t.Root()] {
+		return nil, fmt.Errorf("netsim: root %d failed; session cannot be repaired", t.Root())
+	}
+
+	// Relabel survivors densely.
+	oldID := make([]int, 0, n)
+	newID := make([]int, n)
+	for i := 0; i < n; i++ {
+		if dead[i] {
+			newID[i] = -1
+			continue
+		}
+		newID[i] = len(oldID)
+		oldID = append(oldID, i)
+	}
+	m := len(oldID)
+
+	// Survivors keep their parent when it survived; orphans (parent dead)
+	// need reattachment. Process orphans by original depth so that
+	// potential new parents closer to the root are wired first.
+	depths := t.Depths()
+	type orphan struct{ node, depth int }
+	var orphans []orphan
+	parentOf := make([]int, m) // new-id parent, -1 root, -2 pending orphan
+	for newV, oldV := range oldID {
+		switch p := t.Parent(oldV); {
+		case p < 0:
+			parentOf[newV] = -1
+		case dead[p]:
+			parentOf[newV] = -2
+			orphans = append(orphans, orphan{node: oldV, depth: depths[oldV]})
+		default:
+			parentOf[newV] = newID[p]
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool {
+		if orphans[i].depth != orphans[j].depth {
+			return orphans[i].depth < orphans[j].depth
+		}
+		return orphans[i].node < orphans[j].node
+	})
+
+	// Build incrementally: first all intact edges reachable from the root,
+	// then orphans in depth order. The builder enforces connectivity and
+	// degree.
+	b, err := tree.NewBuilder(m, newID[t.Root()], maxOutDegree)
+	if err != nil {
+		return nil, err
+	}
+	// delay in original-id space, filled as nodes attach.
+	delay := make([]float64, m)
+	// Iterative subtree attachment (trees can be deep chains at degree 2).
+	attachSubtree := func(start int) {
+		stack := []int{start}
+		for len(stack) > 0 {
+			newV := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			oldV := oldID[newV]
+			for _, c := range t.Children(oldV) {
+				if dead[c] {
+					continue
+				}
+				nc := newID[c]
+				if parentOf[nc] != newV {
+					continue
+				}
+				b.MustAttach(nc, newV)
+				delay[nc] = delay[newV] + dist(oldV, int(c))
+				stack = append(stack, nc)
+			}
+		}
+	}
+	attachSubtree(newID[t.Root()])
+
+	res := &RepairResult{OldID: oldID, NewID: newID}
+	for _, o := range orphans {
+		newV := newID[o.node]
+		var parent int
+		switch strategy {
+		case RepairGrandparent:
+			parent = grandparentChoice(t, b, newID, dead, o.node)
+		case RepairBestDelay:
+			parent = bestDelayChoice(b, oldID, delay, dist, o.node)
+		default:
+			return nil, fmt.Errorf("netsim: unknown repair strategy %d", strategy)
+		}
+		if parent < 0 {
+			return nil, fmt.Errorf("netsim: no feasible parent for orphan %d (degree %d exhausted)", o.node, maxOutDegree)
+		}
+		b.MustAttach(newV, parent)
+		delay[newV] = delay[parent] + dist(oldID[parent], o.node)
+		res.Reattached++
+		attachSubtree(newV)
+	}
+
+	if res.Tree, err = b.Build(); err != nil {
+		return nil, fmt.Errorf("netsim: repair left nodes unattached (bug): %w", err)
+	}
+	return res, nil
+}
+
+// grandparentChoice walks up the original ancestors of the orphan to the
+// first surviving node that is already attached and has residual degree.
+// Falls back to any attached feasible node if the whole chain is exhausted.
+func grandparentChoice(t *tree.Tree, b *tree.Builder, newID []int, dead []bool, orphanOld int) int {
+	for p := t.Parent(orphanOld); p >= 0; p = t.Parent(p) {
+		if dead[p] {
+			continue
+		}
+		np := newID[p]
+		if b.Attached(np) && b.ResidualDegree(np) > 0 {
+			return np
+		}
+	}
+	for v := 0; v < b.N(); v++ {
+		if b.Attached(v) && b.ResidualDegree(v) > 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// bestDelayChoice scans all attached feasible nodes for the one minimizing
+// the orphan's resulting delay.
+func bestDelayChoice(b *tree.Builder, oldID []int, delay []float64, dist tree.DistFunc, orphanOld int) int {
+	best, bestDelay := -1, math.Inf(1)
+	for v := 0; v < b.N(); v++ {
+		if !b.Attached(v) || b.ResidualDegree(v) == 0 {
+			continue
+		}
+		if d := delay[v] + dist(oldID[v], orphanOld); d < bestDelay {
+			best, bestDelay = v, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,132 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"omtree/internal/tree"
+)
+
+func TestSerializationDelayStar(t *testing.T) {
+	// Root with 4 children at unit distance, serialization 0.1: child i
+	// (in child order) arrives at (i+1)*0.1 + 1.
+	b, err := tree.NewBuilder(5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 5; i++ {
+		b.MustAttach(i, 0)
+	}
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(tr, Config{
+		Latency:            func(i, j int) float64 { return 1 },
+		SerializationDelay: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Multicast()
+	kids := tr.Children(0)
+	for i, c := range kids {
+		want := float64(i+1)*0.1 + 1
+		if math.Abs(d.Arrival[c]-want) > 1e-12 {
+			t.Errorf("child %d arrival %v, want %v", i, d.Arrival[c], want)
+		}
+	}
+	if math.Abs(d.MaxDelay-1.4) > 1e-12 {
+		t.Errorf("max delay %v, want 1.4", d.MaxDelay)
+	}
+}
+
+func TestSerializationDelayChain(t *testing.T) {
+	// A chain pays one serialization unit per hop (single child each).
+	b, err := tree.NewBuilder(4, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		b.MustAttach(i, i-1)
+	}
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(tr, Config{
+		Latency:            func(i, j int) float64 { return 1 },
+		SerializationDelay: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Multicast()
+	for i := 1; i < 4; i++ {
+		want := float64(i) * 1.25
+		if math.Abs(d.Arrival[i]-want) > 1e-12 {
+			t.Errorf("node %d arrival %v, want %v", i, d.Arrival[i], want)
+		}
+	}
+}
+
+func TestSerializationRejectsNegative(t *testing.T) {
+	b, _ := tree.NewBuilder(1, 0, 0)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(tr, Config{
+		Latency:            func(i, j int) float64 { return 1 },
+		SerializationDelay: -1,
+	}); err == nil {
+		t.Error("accepted negative serialization delay")
+	}
+}
+
+func TestSerializationInteractsWithDegree(t *testing.T) {
+	// With heavy serialization, a high fan-out star can lose to a binary
+	// tree on total delay: the 8-child star's last child leaves at 8*S,
+	// while a balanced binary tree pays at most 2*S per level over 3
+	// levels. This is the physical rationale for the paper's degree caps.
+	const n = 9
+	star, err := tree.NewBuilder(n, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		star.MustAttach(i, 0)
+	}
+	starTree, err := star.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := tree.NewBuilder(n, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		bin.MustAttach(i, (i-1)/2)
+	}
+	binTree, err := bin.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	unit := func(i, j int) float64 { return 0.01 } // latency negligible vs S
+	cfg := Config{Latency: unit, SerializationDelay: 1}
+	sStar, err := New(starTree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBin, err := New(binTree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starDelay := sStar.Multicast().MaxDelay
+	binDelay := sBin.Multicast().MaxDelay
+	if binDelay >= starDelay {
+		t.Errorf("binary tree (%v) should beat the star (%v) under heavy serialization",
+			binDelay, starDelay)
+	}
+}

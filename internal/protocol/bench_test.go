@@ -1,0 +1,96 @@
+package protocol
+
+import (
+	"testing"
+
+	"omtree/internal/geom"
+	"omtree/internal/rng"
+)
+
+func BenchmarkJoin(b *testing.B) {
+	r := rng.New(1)
+	o, err := New(Config{Source: geom.Point2{}, Scale: 1, K: SuggestK(100000), MaxOutDegree: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := r.UniformDiskN(b.N, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := o.Join(pts[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChurn(b *testing.B) {
+	r := rng.New(2)
+	o, err := New(Config{Source: geom.Point2{}, Scale: 1, K: 6, MaxOutDegree: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm membership.
+	var live []int
+	for i := 0; i < 2000; i++ {
+		id, _, err := o.Join(r.UniformDisk(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		live = append(live, id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 && len(live) > 100 {
+			pick := r.Intn(len(live))
+			id := live[pick]
+			live[pick] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if _, err := o.Leave(id); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			id, _, err := o.Join(r.UniformDisk(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			live = append(live, id)
+		}
+	}
+}
+
+func BenchmarkOptimizeRound(b *testing.B) {
+	r := rng.New(3)
+	o, err := New(Config{Source: geom.Point2{}, Scale: 1, K: 6, MaxOutDegree: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if _, _, err := o.Join(r.UniformDisk(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Optimize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRebuild(b *testing.B) {
+	r := rng.New(4)
+	o, err := New(Config{Source: geom.Point2{}, Scale: 1, K: 6, MaxOutDegree: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if _, _, err := o.Join(r.UniformDisk(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Rebuild(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,909 @@
+// Package protocol simulates the decentralized variant of Polar_Grid that
+// the paper names as future work (§VI): nodes join and leave a live
+// overlay, with tree maintenance driven by local decisions and
+// point-to-point control messages instead of a central build.
+//
+// The session publishes the static grid geometry (scale and ring count k,
+// sized for the expected membership). A joining node computes its own grid
+// cell from its coordinates, then routes a JOIN along the representative
+// core — source, ring-1 representative, ring-2 representative, ... — to
+// its cell, where it attaches to the best local member with spare degree
+// (or becomes the cell's representative if it is first). Leaves hand the
+// orphaned children to their grandparent, walking up (and ultimately
+// scanning from the source) when degrees are exhausted, and trigger a
+// local representative re-election.
+//
+// The simulation counts control messages per operation, so experiments can
+// verify the O(k) = O(log n) join cost, and exposes tree snapshots so
+// delay quality can be compared against a fresh centralized build — the
+// price of decentralization.
+//
+// Simplifications versus a deployable protocol, chosen to keep the model
+// analyzable: control messages are reliable and ordered, there is no
+// concurrency between operations, and the grid depth k is fixed at session
+// start (a production system would re-deepen the grid as membership grows;
+// Rebuild measures what that buys).
+package protocol
+
+import (
+	"fmt"
+	"math"
+
+	"omtree/internal/core"
+	"omtree/internal/geom"
+	"omtree/internal/grid"
+	"omtree/internal/tree"
+)
+
+// Config fixes the published session parameters.
+type Config struct {
+	// Source is the multicast origin's position.
+	Source geom.Point2
+	// Scale is the published grid radius: joins farther than Scale from
+	// the source are clamped into the outermost ring.
+	Scale float64
+	// K is the published grid depth; see SuggestK.
+	K int
+	// MaxOutDegree caps every node's children (>= 3: representatives
+	// reserve two slots for core links, and at least one slot must remain
+	// for local attachment).
+	MaxOutDegree int
+}
+
+// SuggestK returns a grid depth for an expected membership, mirroring the
+// static algorithm's empirical k ~ 0.86 log2(n) choice (Figure 6) less a
+// ring of slack for the thinner occupancy of a dynamic session.
+func SuggestK(expectedN int) int {
+	if expectedN < 4 {
+		return 1
+	}
+	k := int(0.8*math.Log2(float64(expectedN))) - 1
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// node is the per-member protocol state.
+type node struct {
+	pos      geom.Point2
+	polar    geom.Polar
+	cell     int32
+	parent   int32 // -1 for source, -2 when dead
+	children []int32
+	delay    float64 // measured source-to-node delay (nodes observe this)
+	alive    bool
+	isRep    bool
+}
+
+const (
+	parentNone int32 = -1
+	parentDead int32 = -2
+)
+
+// Overlay is a live decentralized session.
+type Overlay struct {
+	cfg   Config
+	g     grid.PolarGrid
+	nodes []node
+	// members lists alive node ids per cell (the source is not a member of
+	// cell 0; it anchors it).
+	members [][]int32
+	// reps[cell] is the representative node (-1 none). reps[0] stays -1:
+	// the source anchors ring 0.
+	reps  []int32
+	alive int
+
+	// Stats accumulates control-message totals for the session.
+	Stats SessionStats
+}
+
+// SessionStats aggregates control traffic.
+type SessionStats struct {
+	Joins, Leaves    int
+	JoinMessages     int
+	LeaveMessages    int
+	RepElections     int
+	FallbackScans    int // joins/reattaches that needed the global scan
+	OptimizeMessages int
+	Rebuilds         int
+	RebuildMessages  int
+	AbruptFailures   int
+}
+
+// OpStats describes one operation's cost.
+type OpStats struct {
+	// Messages is the control messages this operation generated.
+	Messages int
+	// CoreHops is the representative-chain length walked by a join.
+	CoreHops int
+}
+
+// New starts a session containing only the source (node 0).
+func New(cfg Config) (*Overlay, error) {
+	if cfg.MaxOutDegree < 3 {
+		return nil, fmt.Errorf("protocol: max out-degree %d < 3 (2 core slots + 1 local)", cfg.MaxOutDegree)
+	}
+	g, err := grid.NewPolarGrid(cfg.K, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	o := &Overlay{
+		cfg:     cfg,
+		g:       g,
+		members: make([][]int32, g.NumCells()),
+		reps:    make([]int32, g.NumCells()),
+	}
+	for i := range o.reps {
+		o.reps[i] = -1
+	}
+	o.nodes = append(o.nodes, node{
+		pos:    cfg.Source,
+		polar:  geom.Polar{},
+		cell:   0,
+		parent: parentNone,
+		alive:  true,
+	})
+	o.alive = 1
+	return o, nil
+}
+
+// N returns the number of alive members (including the source).
+func (o *Overlay) N() int { return o.alive }
+
+// residual returns how many more children node id may accept, honoring the
+// two core slots a representative reserves for future child-cell
+// representatives.
+func (o *Overlay) residual(id int32) int {
+	n := &o.nodes[id]
+	r := o.cfg.MaxOutDegree - len(n.children)
+	if n.isRep || id == 0 {
+		// Reserved core slots not yet consumed: count attached children
+		// that are themselves core links (child-cell reps) against the
+		// reservation rather than the local budget.
+		reserved := 2 - o.coreChildren(id)
+		if reserved < 0 {
+			reserved = 0
+		}
+		r -= reserved
+	}
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// coreChildren counts children of id that are representatives of other
+// cells (core links).
+func (o *Overlay) coreChildren(id int32) int {
+	c := 0
+	for _, ch := range o.nodes[id].children {
+		n := &o.nodes[ch]
+		if n.isRep && n.cell != o.nodes[id].cell {
+			c++
+		}
+	}
+	return c
+}
+
+// attach wires child under parent and sets the child's measured delay.
+func (o *Overlay) attach(child, parent int32) {
+	o.nodes[child].parent = parent
+	o.nodes[parent].children = append(o.nodes[parent].children, child)
+	o.nodes[child].delay = o.nodes[parent].delay +
+		o.nodes[parent].pos.Dist(o.nodes[child].pos)
+}
+
+// refreshDelays recomputes measured delays in the subtree under id after a
+// reattachment moved it.
+func (o *Overlay) refreshDelays(id int32) {
+	stack := []int32{id}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range o.nodes[v].children {
+			o.nodes[c].delay = o.nodes[v].delay + o.nodes[v].pos.Dist(o.nodes[c].pos)
+			stack = append(stack, c)
+		}
+	}
+}
+
+// detachChild removes child from parent's list.
+func (o *Overlay) detachChild(parent, child int32) {
+	cs := o.nodes[parent].children
+	for i, c := range cs {
+		if c == child {
+			cs[i] = cs[len(cs)-1]
+			o.nodes[parent].children = cs[:len(cs)-1]
+			return
+		}
+	}
+}
+
+// Join adds a member at position p and returns its node id.
+func (o *Overlay) Join(p geom.Point2) (int, OpStats, error) {
+	var st OpStats
+	polar := p.PolarAround(o.cfg.Source)
+	if polar.R > o.cfg.Scale {
+		// Outside the published disk: clamp into the outer ring (the
+		// static algorithm would rescale; a live session cannot).
+		polar.R = o.cfg.Scale
+	}
+	cell := int32(o.g.CellOf(polar))
+
+	id := int32(len(o.nodes))
+	o.nodes = append(o.nodes, node{pos: p, polar: polar, cell: cell, parent: parentDead})
+
+	// Route along the representative core: JOIN to the source, then one
+	// hop per ring toward the target cell.
+	st.Messages++ // new node -> source
+	ring, idx := grid.RingIdx(int(cell))
+	st.CoreHops = o.coreRouteHops(ring, idx)
+	st.Messages += st.CoreHops
+
+	if o.reps[cell] < 0 && cell != 0 {
+		// First member of the cell: become its representative and attach
+		// to the nearest occupied ancestor cell's representative.
+		anchor := o.ancestorAnchor(ring, idx, p, &st)
+		o.nodes[id].isRep = true
+		o.reps[cell] = id
+		o.attach(id, anchor)
+		st.Messages++ // attach handshake
+	} else {
+		// Attach to the best member of the cell with spare degree; the
+		// representative answers the query with its member list (1 msg),
+		// then one handshake.
+		parent := o.bestLocalParent(cell, p, &st)
+		if parent < 0 {
+			// Cell saturated: descend from the source toward the joiner.
+			parent = o.descendParent(p, o.residual, &st)
+			if parent < 0 {
+				o.nodes = o.nodes[:id] // roll back
+				return 0, st, fmt.Errorf("protocol: overlay out of capacity")
+			}
+		}
+		o.attach(id, parent)
+		st.Messages += 2 // query + handshake
+	}
+
+	o.nodes[id].alive = true
+	o.members[cell] = append(o.members[cell], id)
+	o.alive++
+	o.Stats.Joins++
+	o.Stats.JoinMessages += st.Messages
+	return int(id), st, nil
+}
+
+// coreRouteHops counts representative-chain hops from the source to the
+// target cell: one per ring whose ancestor cell is occupied (empty
+// ancestor cells are skipped — the chain shortcuts them).
+func (o *Overlay) coreRouteHops(ring, idx int) int {
+	hops := 0
+	for r, i := ring, idx; r >= 1; r-- {
+		if o.reps[grid.CellID(r, i)] >= 0 {
+			hops++
+		}
+		i = grid.ParentCell(i)
+	}
+	return hops
+}
+
+// ancestorAnchor finds the attachment point for a new cell representative:
+// the representative of the nearest occupied ancestor cell (the source if
+// none), preferring one with spare degree and escalating to the fallback
+// scan otherwise.
+func (o *Overlay) ancestorAnchor(ring, idx int, pos geom.Point2, st *OpStats) int32 {
+	i := grid.ParentCell(idx)
+	for r := ring - 1; r >= 1; r-- {
+		if rep := o.reps[grid.CellID(r, i)]; rep >= 0 {
+			if o.residualAsCoreParent(rep) > 0 {
+				return rep
+			}
+			// The natural anchor is full; keep walking up.
+			st.Messages++
+		}
+		i = grid.ParentCell(i)
+	}
+	if o.residualAsCoreParent(0) > 0 {
+		return 0
+	}
+	// Source full: descend toward the new representative's position.
+	if p := o.descendParent(pos, o.residualAsCoreParent, st); p >= 0 {
+		return p
+	}
+	return 0 // the source always accepts a core child as a last resort
+}
+
+// residualAsCoreParent is the degree room for accepting a NEW CORE child:
+// reserved slots count as available here.
+func (o *Overlay) residualAsCoreParent(id int32) int {
+	r := o.cfg.MaxOutDegree - len(o.nodes[id].children)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// bestLocalParent returns the cell member (or, for ring 0, the source)
+// with spare degree minimizing the child's resulting delay: the parent's
+// measured source delay plus the new unicast hop — both locally known (the
+// parent observes its own delay, the joiner can ping the candidates).
+func (o *Overlay) bestLocalParent(cell int32, p geom.Point2, st *OpStats) int32 {
+	best := int32(-1)
+	bestScore := math.Inf(1)
+	consider := func(id int32) {
+		if o.residual(id) == 0 {
+			return
+		}
+		cand := &o.nodes[id]
+		score := cand.delay + cand.pos.Dist(p)
+		if score < bestScore {
+			best, bestScore = id, score
+		}
+	}
+	if cell == 0 {
+		consider(0)
+	}
+	for _, id := range o.members[cell] {
+		consider(id)
+	}
+	if best >= 0 {
+		st.Messages++ // member-list query to the representative
+	}
+	return best
+}
+
+// descendParent walks down the live tree from the source toward position
+// p — the classic overlay join descent — and returns the deepest suitable
+// node: at each step it compares the current node against its child
+// closest to p, descending while the child is closer, and attaches at the
+// nearest node along the walk that has room. One message per hop, so the
+// cost is the tree depth, O(log n). room selects the degree test (local
+// slots vs core slots).
+func (o *Overlay) descendParent(p geom.Point2, room func(int32) int, st *OpStats) int32 {
+	v := int32(0)
+	lastWithRoom := int32(-1)
+	lastScore := math.Inf(1)
+	for hop := 0; hop <= len(o.nodes); hop++ {
+		st.Messages++
+		vd := o.nodes[v].pos.Dist(p)
+		// Rank candidates by the delay the child would end up with, not by
+		// raw proximity: a near node at the end of a long chain is a worse
+		// parent than a slightly farther low-delay one.
+		if score := o.nodes[v].delay + vd; room(v) > 0 && score < lastScore {
+			lastWithRoom, lastScore = v, score
+		}
+		best := int32(-1)
+		bestD := math.Inf(1)
+		for _, c := range o.nodes[v].children {
+			if d := o.nodes[c].pos.Dist(p); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best < 0 || bestD >= vd {
+			break
+		}
+		v = best
+	}
+	if lastWithRoom >= 0 {
+		return lastWithRoom
+	}
+	return o.scanParent(room, st)
+}
+
+// scanParent is the last-resort breadth-first scan for any node with room.
+func (o *Overlay) scanParent(room func(int32) int, st *OpStats) int32 {
+	o.Stats.FallbackScans++
+	queue := []int32{0}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		st.Messages++
+		if room(v) > 0 {
+			return v
+		}
+		queue = append(queue, o.nodes[v].children...)
+	}
+	return -1
+}
+
+// dist is the Euclidean distance between two polar positions (law of
+// cosines around the shared origin).
+func (o *Overlay) dist(a, b geom.Polar) float64 {
+	d2 := a.R*a.R + b.R*b.R - 2*a.R*b.R*math.Cos(a.Theta-b.Theta)
+	if d2 < 0 {
+		d2 = 0
+	}
+	return math.Sqrt(d2)
+}
+
+// Leave removes a member (not the source). Its children are handed to the
+// grandparent, walking up while degrees are exhausted; if the leaver
+// represented its cell, the survivors elect a new representative (the
+// member closest to the cell's inner arc, as in the static algorithm).
+func (o *Overlay) Leave(id int) (OpStats, error) {
+	var st OpStats
+	if id <= 0 || id >= len(o.nodes) {
+		return st, fmt.Errorf("protocol: no such node %d", id)
+	}
+	n := &o.nodes[id]
+	if !n.alive {
+		return st, fmt.Errorf("protocol: node %d already left", id)
+	}
+
+	// Detach from the parent.
+	parent := n.parent
+	o.detachChild(parent, int32(id))
+	st.Messages++ // goodbye to parent
+
+	// Remove from cell membership.
+	cellMembers := o.members[n.cell]
+	for i, m := range cellMembers {
+		if m == int32(id) {
+			cellMembers[i] = cellMembers[len(cellMembers)-1]
+			o.members[n.cell] = cellMembers[:len(cellMembers)-1]
+			break
+		}
+	}
+	n.alive = false
+
+	// Representative re-election.
+	if n.isRep {
+		n.isRep = false
+		o.reps[n.cell] = -1
+		if len(o.members[n.cell]) > 0 {
+			ring, idx := grid.RingIdx(int(n.cell))
+			seg := o.g.Segment(ring, idx)
+			center := geom.Polar{R: seg.RMin, Theta: seg.MidTheta()}
+			best, bestD := int32(-1), math.Inf(1)
+			for _, m := range o.members[n.cell] {
+				st.Messages++ // election ballot
+				if d := o.dist(o.nodes[m].polar, center); d < bestD {
+					best, bestD = m, d
+				}
+			}
+			o.reps[n.cell] = best
+			o.nodes[best].isRep = true
+			o.Stats.RepElections++
+		}
+	}
+
+	// Reattach orphans: grandparent first, then walk up, then fallback.
+	orphans := n.children
+	n.children = nil
+	for _, c := range orphans {
+		st.Messages++ // orphan notices and contacts the grandparent chain
+		target := parent
+		for target > 0 && o.residual(target) == 0 {
+			target = o.nodes[target].parent
+			st.Messages++
+		}
+		if target < 0 {
+			target = 0
+		}
+		if o.residual(target) == 0 && target == 0 {
+			// Source full too: descend toward the orphan.
+			if alt := o.descendParent(o.nodes[c].pos, o.residual, &st); alt >= 0 {
+				target = alt
+			}
+		}
+		o.attach(c, target)
+		o.refreshDelays(c)
+		st.Messages++ // handshake
+	}
+
+	n.parent = parentDead
+	o.alive--
+	o.Stats.Leaves++
+	o.Stats.LeaveMessages += st.Messages
+	return st, nil
+}
+
+// Snapshot freezes the overlay as a tree over the alive members, returning
+// the tree, the positions (indexed by snapshot id), and the mapping from
+// snapshot ids back to overlay ids. Snapshot id 0 is the source.
+//
+// After FailAbrupt, run DetectAndRepair before snapshotting: until the
+// sweep, live members may still hang under crashed parents (they haven't
+// noticed yet), and the snapshot would be disconnected.
+func (o *Overlay) Snapshot() (*tree.Tree, []geom.Point2, []int, error) {
+	newID := make([]int, len(o.nodes))
+	oldID := make([]int, 0, o.alive)
+	for i := range o.nodes {
+		if o.nodes[i].alive {
+			newID[i] = len(oldID)
+			oldID = append(oldID, i)
+		} else {
+			newID[i] = -1
+		}
+	}
+	b, err := tree.NewBuilder(len(oldID), 0, 0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Attach top-down with an explicit stack.
+	stack := []int32{0}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range o.nodes[v].children {
+			b.MustAttach(newID[c], newID[v])
+			stack = append(stack, c)
+		}
+	}
+	t, err := b.Build()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("protocol: inconsistent overlay (bug): %w", err)
+	}
+	pts := make([]geom.Point2, len(oldID))
+	for i, old := range oldID {
+		pts[i] = o.nodes[old].pos
+	}
+	return t, pts, oldID, nil
+}
+
+// Radius returns the current maximum source-to-member delay.
+func (o *Overlay) Radius() (float64, error) {
+	t, pts, _, err := o.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	return t.Radius(func(i, j int) float64 { return pts[i].Dist(pts[j]) }), nil
+}
+
+// MaxOutDegreeUsed returns the largest child count in the live overlay.
+func (o *Overlay) MaxOutDegreeUsed() int {
+	m := 0
+	for i := range o.nodes {
+		if o.nodes[i].alive && len(o.nodes[i].children) > m {
+			m = len(o.nodes[i].children)
+		}
+	}
+	return m
+}
+
+// Optimize runs one maintenance round, the periodic repair a deployed
+// protocol would schedule: every cell representative re-anchors to the
+// representative of its nearest occupied ancestor cell (join order may
+// have left it hanging off a distant early node), and every ordinary
+// member re-homes to the best local parent in its cell if that strictly
+// improves its delay. Control messages are counted like any operation.
+// Returns the operation stats; call until Moves reaches zero (one or two
+// rounds suffice in practice).
+func (o *Overlay) Optimize() (OptimizeStats, error) {
+	var st OptimizeStats
+
+	// Pass 1: representative re-anchoring, inner rings first so parents
+	// settle before children measure against them.
+	for ring := 1; ring <= o.cfg.K; ring++ {
+		for idx := 0; idx < grid.CellsInRing(ring); idx++ {
+			cell := grid.CellID(ring, idx)
+			rep := o.reps[cell]
+			if rep < 0 {
+				continue
+			}
+			target := o.properAnchor(ring, idx, rep, &st.Op)
+			if target < 0 || target == o.nodes[rep].parent || target == rep {
+				continue
+			}
+			if o.isDescendant(target, rep) {
+				continue // moving under our own subtree would cycle
+			}
+			// Structural properness only pays if it reduces the measured
+			// delay (a direct link to the source can beat the "proper"
+			// ancestor chain).
+			newDelay := o.nodes[target].delay + o.nodes[target].pos.Dist(o.nodes[rep].pos)
+			if newDelay >= o.nodes[rep].delay-1e-12 {
+				continue
+			}
+			o.moveSubtree(rep, target)
+			st.Moves++
+			st.Op.Messages += 2 // detach + handshake
+		}
+	}
+
+	// Pass 2: member re-homing within cells.
+	for cell := range o.members {
+		for _, m := range o.members[cell] {
+			if o.nodes[m].isRep {
+				continue
+			}
+			cur := o.nodes[m].parent
+			best := cur
+			bestDelay := o.nodes[m].delay
+			consider := func(id int32) {
+				if id == m || id == cur || o.residual(id) == 0 {
+					return
+				}
+				if o.isDescendant(id, m) {
+					return
+				}
+				st.Op.Messages++ // probe
+				cand := &o.nodes[id]
+				if d := cand.delay + cand.pos.Dist(o.nodes[m].pos); d < bestDelay-1e-12 {
+					best, bestDelay = id, d
+				}
+			}
+			if cell == 0 {
+				consider(0)
+			}
+			for _, id := range o.members[cell] {
+				consider(id)
+			}
+			if best != cur {
+				o.moveSubtree(m, best)
+				st.Moves++
+				st.Op.Messages += 2
+			}
+		}
+	}
+	// Pass 3: global re-homing — every node probes a descent from the
+	// source toward itself (the same O(depth) walk a join uses) and moves,
+	// subtree and all, when that strictly improves its measured delay.
+	// This is what lets the overlay forget unlucky early attachment
+	// decisions. Breadth-first order settles ancestors before descendants.
+	order := []int32{0}
+	for head := 0; head < len(order); head++ {
+		order = append(order, o.nodes[order[head]].children...)
+	}
+	for _, m := range order[1:] {
+		cand := o.descendParent(o.nodes[m].pos, o.residual, &st.Op)
+		if cand < 0 || cand == m || cand == o.nodes[m].parent {
+			continue
+		}
+		if o.isDescendant(cand, m) {
+			continue
+		}
+		newDelay := o.nodes[cand].delay + o.nodes[cand].pos.Dist(o.nodes[m].pos)
+		if newDelay >= o.nodes[m].delay-1e-12 {
+			continue
+		}
+		o.moveSubtree(m, cand)
+		st.Moves++
+		st.Op.Messages += 2
+	}
+
+	o.Stats.OptimizeMessages += st.Op.Messages
+	return st, nil
+}
+
+// OptimizeStats reports one maintenance round.
+type OptimizeStats struct {
+	Op    OpStats
+	Moves int
+}
+
+// properAnchor returns the best attachment point in the nearest occupied
+// ancestor cell (the source if none): the member minimizing the
+// representative's resulting delay, among those with room. Returns -1 to
+// keep the current parent.
+func (o *Overlay) properAnchor(ring, idx int, rep int32, st *OpStats) int32 {
+	i := grid.ParentCell(idx)
+	for r := ring - 1; r >= 1; r-- {
+		st.Messages++ // probe the ancestor representative
+		cell := grid.CellID(r, i)
+		if o.reps[cell] >= 0 {
+			best := int32(-1)
+			bestDelay := math.Inf(1)
+			consider := func(id int32) {
+				if id == rep {
+					return
+				}
+				// The current parent is always an admissible "candidate"
+				// (no room needed to stay put); others need a spare slot.
+				if id != o.nodes[rep].parent && o.residualAsCoreParent(id) == 0 {
+					return
+				}
+				st.Messages++ // probe
+				cand := &o.nodes[id]
+				if d := cand.delay + cand.pos.Dist(o.nodes[rep].pos); d < bestDelay {
+					best, bestDelay = id, d
+				}
+			}
+			consider(o.reps[cell])
+			for _, m := range o.members[cell] {
+				consider(m)
+			}
+			return best
+		}
+		i = grid.ParentCell(i)
+	}
+	if o.nodes[rep].parent == 0 || o.residualAsCoreParent(0) > 0 {
+		return 0
+	}
+	return -1
+}
+
+// isDescendant reports whether a lies in the subtree rooted at root.
+func (o *Overlay) isDescendant(a, root int32) bool {
+	for v := a; v >= 0; v = o.nodes[v].parent {
+		if v == root {
+			return true
+		}
+	}
+	return false
+}
+
+// moveSubtree reattaches node (with its subtree) under target.
+func (o *Overlay) moveSubtree(node, target int32) {
+	o.detachChild(o.nodes[node].parent, node)
+	o.attach(node, target)
+	o.refreshDelays(node)
+}
+
+// Rebuild replaces the overlay's tree wholesale with a fresh centralized
+// Polar_Grid build over the current membership — the periodic
+// source-coordinated refresh a deployed session can afford every few
+// minutes. It costs O(n) control messages (every member reports its
+// coordinates and receives its new parent) but resets the delay to the
+// centralized optimum, forgetting all join-order damage. Joins and leaves
+// continue to work against the rebuilt state.
+func (o *Overlay) Rebuild() (OpStats, error) {
+	var st OpStats
+
+	// Collect alive members (excluding the source) in id order.
+	memberIDs := make([]int32, 0, o.alive-1)
+	receivers := make([]geom.Point2, 0, o.alive-1)
+	for i := 1; i < len(o.nodes); i++ {
+		if o.nodes[i].alive {
+			memberIDs = append(memberIDs, int32(i))
+			receivers = append(receivers, o.nodes[i].pos)
+			st.Messages++ // coordinate report
+		}
+	}
+
+	res, err := core.Build2(o.cfg.Source, receivers, core.WithMaxOutDegree(o.cfg.MaxOutDegree))
+	if err != nil {
+		return st, fmt.Errorf("protocol: rebuild: %w", err)
+	}
+
+	// Rewire: tree node 0 is the source, tree node j >= 1 is memberIDs[j-1].
+	toOverlay := func(treeNode int32) int32 {
+		if treeNode == 0 {
+			return 0
+		}
+		return memberIDs[treeNode-1]
+	}
+	o.nodes[0].children = o.nodes[0].children[:0]
+	for _, id := range memberIDs {
+		n := &o.nodes[id]
+		n.children = n.children[:0]
+		n.isRep = false
+	}
+	for j := 1; j < res.Tree.N(); j++ {
+		child := toOverlay(int32(j))
+		parent := toOverlay(int32(res.Tree.Parent(j)))
+		o.attach(child, parent)
+		st.Messages++ // parent assignment
+	}
+
+	// Refresh the per-cell representative bookkeeping for future joins:
+	// the member closest to the cell's inner-arc center, as in the static
+	// algorithm.
+	for cell := range o.members {
+		o.reps[cell] = -1
+		if len(o.members[cell]) == 0 {
+			continue
+		}
+		ring, idx := grid.RingIdx(cell)
+		seg := o.g.Segment(ring, idx)
+		center := geom.Polar{R: seg.RMin, Theta: seg.MidTheta()}
+		best, bestD := int32(-1), math.Inf(1)
+		for _, m := range o.members[cell] {
+			if d := o.dist(o.nodes[m].polar, center); d < bestD {
+				best, bestD = m, d
+			}
+		}
+		o.reps[cell] = best
+		o.nodes[best].isRep = true
+	}
+	o.Stats.Rebuilds++
+	o.Stats.RebuildMessages += st.Messages
+	return st, nil
+}
+
+// FailAbrupt kills a member without any goodbye messages — a crash rather
+// than a graceful leave. The dead node's state stays in place until
+// DetectAndRepair notices it; packets would meanwhile be lost by its
+// subtree (see netsim for that accounting).
+func (o *Overlay) FailAbrupt(id int) error {
+	if id <= 0 || id >= len(o.nodes) {
+		return fmt.Errorf("protocol: no such node %d", id)
+	}
+	n := &o.nodes[id]
+	if !n.alive {
+		return fmt.Errorf("protocol: node %d already gone", id)
+	}
+	n.alive = false
+	o.alive--
+	o.Stats.AbruptFailures++
+	return nil
+}
+
+// DetectAndRepair sweeps the overlay for crashed members — each live child
+// of a dead parent notices via a heartbeat timeout (one message) — and
+// repairs exactly as a graceful leave would: orphans climb to the nearest
+// live ancestor with room, dead representatives are re-elected. Returns the
+// operation stats; idempotent once everything is repaired.
+func (o *Overlay) DetectAndRepair() (OpStats, error) {
+	var st OpStats
+	// Collect dead nodes still wired into the overlay (parent != dead
+	// marker means their state has not been cleaned yet).
+	for id := 1; id < len(o.nodes); id++ {
+		n := &o.nodes[id]
+		if n.alive || n.parent == parentDead {
+			continue
+		}
+		// Heartbeat detection: every live child pings and times out.
+		for _, c := range n.children {
+			if o.nodes[c].alive {
+				st.Messages++
+			}
+		}
+
+		// Clean up exactly as Leave does, minus the goodbye message.
+		parent := n.parent
+		if parent >= 0 || parent == parentNone {
+			if parent >= 0 {
+				o.detachChild(parent, int32(id))
+			}
+		}
+		cellMembers := o.members[n.cell]
+		for i, m := range cellMembers {
+			if m == int32(id) {
+				cellMembers[i] = cellMembers[len(cellMembers)-1]
+				o.members[n.cell] = cellMembers[:len(cellMembers)-1]
+				break
+			}
+		}
+		if n.isRep {
+			n.isRep = false
+			o.reps[n.cell] = -1
+			if len(o.members[n.cell]) > 0 {
+				ring, idx := grid.RingIdx(int(n.cell))
+				seg := o.g.Segment(ring, idx)
+				center := geom.Polar{R: seg.RMin, Theta: seg.MidTheta()}
+				best, bestD := int32(-1), math.Inf(1)
+				for _, m := range o.members[n.cell] {
+					st.Messages++
+					if d := o.dist(o.nodes[m].polar, center); d < bestD {
+						best, bestD = m, d
+					}
+				}
+				o.reps[n.cell] = best
+				o.nodes[best].isRep = true
+				o.Stats.RepElections++
+			}
+		}
+
+		orphans := n.children
+		n.children = nil
+		for _, c := range orphans {
+			if !o.nodes[c].alive {
+				// A dead child of a dead parent: its own sweep iteration
+				// will handle its subtree; break the link so it becomes a
+				// root of its own cleanup.
+				o.nodes[c].parent = parentNone
+				continue
+			}
+			st.Messages++
+			target := parent
+			for target > 0 && (!o.nodes[target].alive || o.residual(target) == 0) {
+				target = o.nodes[target].parent
+				st.Messages++
+			}
+			if target < 0 {
+				target = 0
+			}
+			if o.residual(target) == 0 && target == 0 {
+				if alt := o.descendParent(o.nodes[c].pos, o.residual, &st); alt >= 0 {
+					target = alt
+				}
+			}
+			o.attach(c, target)
+			o.refreshDelays(c)
+		}
+		n.parent = parentDead
+		o.Stats.LeaveMessages += st.Messages
+	}
+	return st, nil
+}

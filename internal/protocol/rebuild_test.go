@@ -1,0 +1,159 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+
+	"omtree/internal/core"
+	"omtree/internal/geom"
+	"omtree/internal/rng"
+)
+
+func TestRebuildResetsToCentralizedQuality(t *testing.T) {
+	r := rng.New(2000)
+	n := 2000
+	pts := r.UniformDiskN(n, 1)
+	o, err := New(Config{Source: geom.Point2{}, Scale: 1, K: SuggestK(n), MaxOutDegree: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if _, _, err := o.Join(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := o.Radius()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := o.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Messages < 2*n {
+		t.Errorf("rebuild cost %d messages, want >= %d (report + assign per member)", st.Messages, 2*n)
+	}
+	rebuilt, err := o.Radius()
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, err := core.Build2(geom.Point2{}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rebuilt-central.Radius) > 1e-9 {
+		t.Errorf("rebuilt radius %v, centralized %v", rebuilt, central.Radius)
+	}
+	if rebuilt >= raw {
+		t.Errorf("rebuild did not improve: %v -> %v", raw, rebuilt)
+	}
+	tr, _, _, err := o.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	if o.Stats.Rebuilds != 1 || o.Stats.RebuildMessages != st.Messages {
+		t.Errorf("rebuild stats: %+v", o.Stats)
+	}
+}
+
+func TestJoinAndLeaveAfterRebuild(t *testing.T) {
+	r := rng.New(7)
+	o, err := New(Config{Source: geom.Point2{}, Scale: 1, K: 4, MaxOutDegree: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, 0, 300)
+	for i := 0; i < 300; i++ {
+		id, _, err := o.Join(r.UniformDisk(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if _, err := o.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	// Continue churning against the rebuilt state.
+	for i := 0; i < 100; i++ {
+		if i%3 == 0 {
+			if _, err := o.Leave(ids[i]); err != nil {
+				t.Fatalf("leave after rebuild: %v", err)
+			}
+		} else if _, _, err := o.Join(r.UniformDisk(1)); err != nil {
+			t.Fatalf("join after rebuild: %v", err)
+		}
+	}
+	tr, _, _, err := o.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	if o.MaxOutDegreeUsed() > 6 {
+		t.Errorf("degree cap violated: %d", o.MaxOutDegreeUsed())
+	}
+}
+
+func TestRebuildEmptySession(t *testing.T) {
+	o, err := New(Config{Source: geom.Point2{}, Scale: 1, K: 2, MaxOutDegree: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Rebuild(); err != nil {
+		t.Fatalf("rebuild of source-only session: %v", err)
+	}
+	if o.N() != 1 {
+		t.Errorf("N = %d", o.N())
+	}
+}
+
+func TestOptimizeConvergesAndHelps(t *testing.T) {
+	r := rng.New(11)
+	n := 1000
+	o, err := New(Config{Source: geom.Point2{}, Scale: 1, K: SuggestK(n), MaxOutDegree: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, _, err := o.Join(r.UniformDisk(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := o.Radius()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := raw
+	for round := 0; round < 8; round++ {
+		st, err := o.Optimize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur, err := o.Radius()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur > prev+1e-9 {
+			t.Fatalf("round %d worsened radius %v -> %v", round, prev, cur)
+		}
+		prev = cur
+		if st.Moves == 0 {
+			break
+		}
+	}
+	if prev >= raw-1e-12 && raw > 1.2 {
+		t.Errorf("optimize never improved: raw %v final %v", raw, prev)
+	}
+	tr, _, _, err := o.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+}

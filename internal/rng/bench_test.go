@@ -1,0 +1,44 @@
+package rng
+
+import "testing"
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(2)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Float64()
+	}
+	_ = sink
+}
+
+func BenchmarkUniformDisk(b *testing.B) {
+	r := New(3)
+	for i := 0; i < b.N; i++ {
+		_ = r.UniformDisk(1)
+	}
+}
+
+func BenchmarkUniformBall3(b *testing.B) {
+	r := New(4)
+	for i := 0; i < b.N; i++ {
+		_ = r.UniformBall3(1)
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(5)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.NormFloat64()
+	}
+	_ = sink
+}

@@ -1,0 +1,201 @@
+package rng
+
+import (
+	"math"
+
+	"omtree/internal/geom"
+)
+
+// UniformDisk returns a point uniformly distributed in the disk of the given
+// radius centered at the origin (inverse-CDF in the radius, uniform angle).
+func (r *Rand) UniformDisk(radius float64) geom.Point2 {
+	rr := radius * math.Sqrt(r.Float64())
+	theta := geom.TwoPi * r.Float64()
+	s, c := math.Sincos(theta)
+	return geom.Point2{X: rr * c, Y: rr * s}
+}
+
+// UniformDiskN fills a fresh slice with n independent UniformDisk samples.
+func (r *Rand) UniformDiskN(n int, radius float64) []geom.Point2 {
+	pts := make([]geom.Point2, n)
+	for i := range pts {
+		pts[i] = r.UniformDisk(radius)
+	}
+	return pts
+}
+
+// UniformAnnulus returns a point uniformly distributed in the annulus
+// rMin <= |p| <= rMax.
+func (r *Rand) UniformAnnulus(rMin, rMax float64) geom.Point2 {
+	u := r.Float64()
+	rr := math.Sqrt(rMin*rMin + u*(rMax*rMax-rMin*rMin))
+	theta := geom.TwoPi * r.Float64()
+	s, c := math.Sincos(theta)
+	return geom.Point2{X: rr * c, Y: rr * s}
+}
+
+// UniformBall3 returns a point uniformly distributed in the 3-D ball of the
+// given radius centered at the origin.
+func (r *Rand) UniformBall3(radius float64) geom.Point3 {
+	rr := radius * math.Cbrt(r.Float64())
+	u := 2*r.Float64() - 1 // cos(polar angle), uniform for sphere surface
+	theta := geom.TwoPi * r.Float64()
+	sinPhi := math.Sqrt(math.Max(0, 1-u*u))
+	s, c := math.Sincos(theta)
+	return geom.Point3{X: rr * sinPhi * c, Y: rr * sinPhi * s, Z: rr * u}
+}
+
+// UniformBall3N fills a fresh slice with n independent UniformBall3 samples.
+func (r *Rand) UniformBall3N(n int, radius float64) []geom.Point3 {
+	pts := make([]geom.Point3, n)
+	for i := range pts {
+		pts[i] = r.UniformBall3(radius)
+	}
+	return pts
+}
+
+// UniformSphereSurface returns a point uniformly distributed on the surface
+// of the (d-1)-sphere of given radius in d dimensions (normal deviates,
+// normalized).
+func (r *Rand) UniformSphereSurface(d int, radius float64) geom.Vec {
+	if d < 1 {
+		panic("rng: UniformSphereSurface requires d >= 1")
+	}
+	for {
+		v := make(geom.Vec, d)
+		for i := range v {
+			v[i] = r.NormFloat64()
+		}
+		n := v.Norm()
+		if n > 0 {
+			return v.Scale(radius / n)
+		}
+	}
+}
+
+// UniformBallD returns a point uniformly distributed in the d-dimensional
+// ball of the given radius (surface direction scaled by U^(1/d)).
+func (r *Rand) UniformBallD(d int, radius float64) geom.Vec {
+	dir := r.UniformSphereSurface(d, 1)
+	rr := radius * math.Pow(r.Float64(), 1/float64(d))
+	return dir.Scale(rr)
+}
+
+// UniformBallDN fills a fresh slice with n independent UniformBallD samples.
+func (r *Rand) UniformBallDN(n, d int, radius float64) []geom.Vec {
+	pts := make([]geom.Vec, n)
+	for i := range pts {
+		pts[i] = r.UniformBallD(d, radius)
+	}
+	return pts
+}
+
+// Cluster describes one component of a clustered (mixture) distribution in
+// the plane: a Gaussian blob truncated to the unit disk.
+type Cluster struct {
+	Center geom.Point2
+	Sigma  float64
+	Weight float64
+}
+
+// ClusteredDiskN samples n points from a mixture of Gaussian clusters,
+// rejected to lie inside the disk of the given radius. It is the non-uniform
+// workload used by the robustness experiments: the paper's analysis requires
+// only that the density is bounded below on a convex region, and clustered
+// inputs probe how the algorithm degrades when that assumption is stressed.
+// It panics if clusters is empty or total weight is not positive.
+func (r *Rand) ClusteredDiskN(n int, radius float64, clusters []Cluster) []geom.Point2 {
+	if len(clusters) == 0 {
+		panic("rng: ClusteredDiskN requires at least one cluster")
+	}
+	var total float64
+	for _, c := range clusters {
+		total += c.Weight
+	}
+	if total <= 0 {
+		panic("rng: ClusteredDiskN requires positive total weight")
+	}
+	pts := make([]geom.Point2, 0, n)
+	for len(pts) < n {
+		// Pick a cluster proportionally to weight.
+		u := r.Float64() * total
+		var chosen Cluster
+		for _, c := range clusters {
+			if u < c.Weight {
+				chosen = c
+				break
+			}
+			u -= c.Weight
+			chosen = c
+		}
+		p := geom.Point2{
+			X: chosen.Center.X + chosen.Sigma*r.NormFloat64(),
+			Y: chosen.Center.Y + chosen.Sigma*r.NormFloat64(),
+		}
+		if p.Norm() <= radius {
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+// MixedDensityDiskN samples n points from the density that is uniform with a
+// floor: with probability eps a point is uniform on the disk, otherwise it
+// is drawn from the provided clusters. This realizes the paper's epsilon
+// lower-bounded density extension exactly.
+func (r *Rand) MixedDensityDiskN(n int, radius, eps float64, clusters []Cluster) []geom.Point2 {
+	if eps < 0 || eps > 1 {
+		panic("rng: MixedDensityDiskN requires eps in [0, 1]")
+	}
+	pts := make([]geom.Point2, 0, n)
+	for len(pts) < n {
+		if r.Float64() < eps {
+			pts = append(pts, r.UniformDisk(radius))
+		} else {
+			pts = append(pts, r.ClusteredDiskN(1, radius, clusters)...)
+		}
+	}
+	return pts
+}
+
+// UniformConvexPolygonN samples n points uniformly inside a convex polygon
+// (vertices in counter-clockwise order) by fan-triangulating from the first
+// vertex and sampling triangles proportionally to area. Used by the
+// general-convex-region experiments.
+func (r *Rand) UniformConvexPolygonN(n int, poly []geom.Point2) []geom.Point2 {
+	if len(poly) < 3 {
+		panic("rng: UniformConvexPolygonN requires at least 3 vertices")
+	}
+	m := len(poly) - 2
+	areas := make([]float64, m)
+	var total float64
+	for i := 0; i < m; i++ {
+		a, b, c := poly[0], poly[i+1], poly[i+2]
+		area := math.Abs((b.X-a.X)*(c.Y-a.Y)-(b.Y-a.Y)*(c.X-a.X)) / 2
+		areas[i] = area
+		total += area
+	}
+	if total <= 0 {
+		panic("rng: UniformConvexPolygonN requires a polygon of positive area")
+	}
+	pts := make([]geom.Point2, n)
+	for i := range pts {
+		u := r.Float64() * total
+		tri := 0
+		for tri < m-1 && u >= areas[tri] {
+			u -= areas[tri]
+			tri++
+		}
+		a, b, c := poly[0], poly[tri+1], poly[tri+2]
+		// Uniform point in a triangle via reflected barycentric coordinates.
+		s, t := r.Float64(), r.Float64()
+		if s+t > 1 {
+			s, t = 1-s, 1-t
+		}
+		pts[i] = geom.Point2{
+			X: a.X + s*(b.X-a.X) + t*(c.X-a.X),
+			Y: a.Y + s*(b.Y-a.Y) + t*(c.Y-a.Y),
+		}
+	}
+	return pts
+}

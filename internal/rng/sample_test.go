@@ -1,0 +1,273 @@
+package rng
+
+import (
+	"math"
+	"testing"
+
+	"omtree/internal/geom"
+)
+
+func TestUniformDiskInside(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		p := r.UniformDisk(2)
+		if p.Norm() > 2 {
+			t.Fatalf("point %v outside disk of radius 2", p)
+		}
+	}
+}
+
+func TestUniformDiskRadialCDF(t *testing.T) {
+	// P(|p| <= r) = r^2 for the unit disk.
+	r := New(2)
+	const n = 100000
+	var inHalf int
+	for i := 0; i < n; i++ {
+		if r.UniformDisk(1).Norm() <= 0.5 {
+			inHalf++
+		}
+	}
+	got := float64(inHalf) / n
+	if math.Abs(got-0.25) > 0.01 {
+		t.Errorf("P(r <= 0.5) = %v, want 0.25", got)
+	}
+}
+
+func TestUniformDiskAngleUniform(t *testing.T) {
+	r := New(3)
+	const n = 40000
+	quad := make([]int, 4)
+	for i := 0; i < n; i++ {
+		p := r.UniformDisk(1)
+		q := 0
+		if p.X < 0 {
+			q |= 1
+		}
+		if p.Y < 0 {
+			q |= 2
+		}
+		quad[q]++
+	}
+	for i, c := range quad {
+		if math.Abs(float64(c)-n/4.0) > 5*math.Sqrt(n/4.0) {
+			t.Errorf("quadrant %d: %d points, want ~%d", i, c, n/4)
+		}
+	}
+}
+
+func TestUniformDiskN(t *testing.T) {
+	r := New(4)
+	pts := r.UniformDiskN(500, 1)
+	if len(pts) != 500 {
+		t.Fatalf("len = %d", len(pts))
+	}
+}
+
+func TestUniformAnnulus(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		p := r.UniformAnnulus(0.5, 1.0)
+		n := p.Norm()
+		if n < 0.5-1e-12 || n > 1+1e-12 {
+			t.Fatalf("annulus point norm %v outside [0.5, 1]", n)
+		}
+	}
+}
+
+func TestUniformAnnulusAreaCDF(t *testing.T) {
+	// Within annulus [0.5, 1], the sub-annulus [0.5, 0.8] holds fraction
+	// (0.64-0.25)/(1-0.25) = 0.52 of the area.
+	r := New(6)
+	const n = 100000
+	var in int
+	for i := 0; i < n; i++ {
+		if r.UniformAnnulus(0.5, 1).Norm() <= 0.8 {
+			in++
+		}
+	}
+	got := float64(in) / n
+	if math.Abs(got-0.52) > 0.01 {
+		t.Errorf("fraction = %v, want 0.52", got)
+	}
+}
+
+func TestUniformBall3Inside(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		p := r.UniformBall3(1.5)
+		if p.Norm() > 1.5 {
+			t.Fatalf("point %v outside ball", p)
+		}
+	}
+}
+
+func TestUniformBall3RadialCDF(t *testing.T) {
+	// P(|p| <= r) = r^3 for the unit ball.
+	r := New(8)
+	const n = 100000
+	var in int
+	for i := 0; i < n; i++ {
+		if r.UniformBall3(1).Norm() <= 0.5 {
+			in++
+		}
+	}
+	got := float64(in) / n
+	if math.Abs(got-0.125) > 0.01 {
+		t.Errorf("P(r <= 0.5) = %v, want 0.125", got)
+	}
+}
+
+func TestUniformBall3ZSymmetry(t *testing.T) {
+	r := New(9)
+	const n = 50000
+	var up int
+	for i := 0; i < n; i++ {
+		if r.UniformBall3(1).Z > 0 {
+			up++
+		}
+	}
+	if math.Abs(float64(up)-n/2.0) > 5*math.Sqrt(n/2.0) {
+		t.Errorf("upper half has %d/%d points", up, n)
+	}
+}
+
+func TestUniformSphereSurface(t *testing.T) {
+	r := New(10)
+	for _, d := range []int{1, 2, 3, 5} {
+		for i := 0; i < 1000; i++ {
+			v := r.UniformSphereSurface(d, 2)
+			if math.Abs(v.Norm()-2) > 1e-9 {
+				t.Fatalf("d=%d: norm %v, want 2", d, v.Norm())
+			}
+		}
+	}
+}
+
+func TestUniformBallDInside(t *testing.T) {
+	r := New(11)
+	for _, d := range []int{2, 3, 4, 6} {
+		for i := 0; i < 2000; i++ {
+			v := r.UniformBallD(d, 1)
+			if v.Norm() > 1+1e-12 {
+				t.Fatalf("d=%d: point outside ball, norm %v", d, v.Norm())
+			}
+			if len(v) != d {
+				t.Fatalf("d=%d: dimension %d", d, len(v))
+			}
+		}
+	}
+}
+
+func TestUniformBallDRadialCDF(t *testing.T) {
+	// P(|p| <= r) = r^d.
+	r := New(12)
+	const n = 50000
+	d := 4
+	var in int
+	for i := 0; i < n; i++ {
+		if r.UniformBallD(d, 1).Norm() <= 0.7 {
+			in++
+		}
+	}
+	want := math.Pow(0.7, float64(d))
+	got := float64(in) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("P(r <= 0.7) = %v, want %v", got, want)
+	}
+}
+
+func TestUniformBallD2MatchesDisk(t *testing.T) {
+	// Dimension 2 ball sampling must stay inside the disk and be
+	// angle-symmetric, same as UniformDisk.
+	r := New(13)
+	var left int
+	const n = 40000
+	for i := 0; i < n; i++ {
+		v := r.UniformBallD(2, 1)
+		if v[0] < 0 {
+			left++
+		}
+	}
+	if math.Abs(float64(left)-n/2.0) > 5*math.Sqrt(n/2.0) {
+		t.Errorf("left half has %d/%d", left, n)
+	}
+}
+
+func TestClusteredDiskN(t *testing.T) {
+	r := New(14)
+	clusters := []Cluster{
+		{Center: geom.Point2{X: 0.5, Y: 0}, Sigma: 0.05, Weight: 1},
+		{Center: geom.Point2{X: -0.5, Y: 0}, Sigma: 0.05, Weight: 1},
+	}
+	pts := r.ClusteredDiskN(2000, 1, clusters)
+	if len(pts) != 2000 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	var near int
+	for _, p := range pts {
+		if p.Norm() > 1 {
+			t.Fatalf("clustered point %v outside disk", p)
+		}
+		if p.Dist(clusters[0].Center) < 0.2 || p.Dist(clusters[1].Center) < 0.2 {
+			near++
+		}
+	}
+	if float64(near)/2000 < 0.9 {
+		t.Errorf("only %d/2000 points near cluster centers", near)
+	}
+}
+
+func TestClusteredDiskNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty clusters")
+		}
+	}()
+	New(1).ClusteredDiskN(10, 1, nil)
+}
+
+func TestMixedDensityDiskN(t *testing.T) {
+	r := New(15)
+	clusters := []Cluster{{Center: geom.Point2{X: 0.3, Y: 0.3}, Sigma: 0.02, Weight: 1}}
+	pts := r.MixedDensityDiskN(1000, 1, 0.5, clusters)
+	if len(pts) != 1000 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	// Roughly half the points should be far from the single tight cluster.
+	var far int
+	for _, p := range pts {
+		if p.Dist(clusters[0].Center) > 0.15 {
+			far++
+		}
+	}
+	if far < 300 || far > 700 {
+		t.Errorf("far points = %d, want ~500", far)
+	}
+}
+
+func TestUniformConvexPolygonN(t *testing.T) {
+	r := New(16)
+	square := []geom.Point2{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1}}
+	pts := r.UniformConvexPolygonN(5000, square)
+	var inLeft int
+	for _, p := range pts {
+		if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+			t.Fatalf("point %v outside unit square", p)
+		}
+		if p.X < 0.5 {
+			inLeft++
+		}
+	}
+	if math.Abs(float64(inLeft)-2500) > 5*math.Sqrt(2500) {
+		t.Errorf("left half has %d/5000 points", inLeft)
+	}
+}
+
+func TestUniformConvexPolygonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for degenerate polygon")
+		}
+	}()
+	New(1).UniformConvexPolygonN(1, []geom.Point2{{X: 0, Y: 0}, {X: 1, Y: 1}})
+}

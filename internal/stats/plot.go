@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of an ASCII plot.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot renders one or more series as an ASCII line plot, used to reproduce
+// the paper's figures in a terminal. X values may be plotted on a log10 axis
+// (the paper's node-count axes are logarithmic). Each series is drawn with
+// its own marker rune.
+type Plot struct {
+	Title    string
+	XLabel   string
+	YLabel   string
+	LogX     bool
+	Width    int // plot area width in characters (default 72)
+	Height   int // plot area height in characters (default 20)
+	series   []Series
+	markers  []rune
+	nextMark int
+}
+
+var defaultMarkers = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// Add appends a series to the plot. X and Y must have equal, nonzero length.
+func (p *Plot) Add(s Series) error {
+	if len(s.X) == 0 || len(s.X) != len(s.Y) {
+		return fmt.Errorf("stats: series %q has mismatched lengths %d/%d",
+			s.Name, len(s.X), len(s.Y))
+	}
+	p.series = append(p.series, s)
+	p.markers = append(p.markers, defaultMarkers[p.nextMark%len(defaultMarkers)])
+	p.nextMark++
+	return nil
+}
+
+// Render writes the plot to w.
+func (p *Plot) Render(w io.Writer) error {
+	if len(p.series) == 0 {
+		return fmt.Errorf("stats: plot %q has no series", p.Title)
+	}
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+
+	xform := func(x float64) float64 {
+		if p.LogX {
+			return math.Log10(x)
+		}
+		return x
+	}
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.X {
+			x := xform(s.X[i])
+			if x < xMin {
+				xMin = x
+			}
+			if x > xMax {
+				xMax = x
+			}
+			if s.Y[i] < yMin {
+				yMin = s.Y[i]
+			}
+			if s.Y[i] > yMax {
+				yMax = s.Y[i]
+			}
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range p.series {
+		mark := p.markers[si]
+		for i := range s.X {
+			cx := int(math.Round((xform(s.X[i]) - xMin) / (xMax - xMin) * float64(width-1)))
+			cy := int(math.Round((s.Y[i] - yMin) / (yMax - yMin) * float64(height-1)))
+			row := height - 1 - cy
+			grid[row][cx] = mark
+		}
+	}
+
+	if p.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", p.Title); err != nil {
+			return err
+		}
+	}
+	for i, rowRunes := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%10.3g", yMax)
+		case height - 1:
+			label = fmt.Sprintf("%10.3g", yMin)
+		case height / 2:
+			label = fmt.Sprintf("%10.3g", (yMin+yMax)/2)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(rowRunes)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	lo, hi := xMin, xMax
+	if p.LogX {
+		lo, hi = math.Pow(10, xMin), math.Pow(10, xMax)
+	}
+	axis := p.XLabel
+	if p.LogX {
+		axis += " (log scale)"
+	}
+	if _, err := fmt.Fprintf(w, "%s %-10.4g%s%10.4g\n", strings.Repeat(" ", 10), lo,
+		centerPad(axis, width-20), hi); err != nil {
+		return err
+	}
+	for i, s := range p.series {
+		if _, err := fmt.Fprintf(w, "%s %c = %s\n", strings.Repeat(" ", 10), p.markers[i], s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func centerPad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	left := (width - len(s)) / 2
+	right := width - len(s) - left
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", right)
+}

@@ -1,0 +1,158 @@
+// Package viz renders multicast trees over their planar point sets as SVG
+// — the standard way to eyeball what the algorithms build (the paper's
+// Figure 1/2-style diagrams, but for real trees). Pure stdlib; output is
+// deterministic for fixed inputs.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"omtree/internal/geom"
+	"omtree/internal/tree"
+)
+
+// Options tunes the rendering. The zero value is usable.
+type Options struct {
+	// SizePx is the canvas width and height in pixels (default 800).
+	SizePx int
+	// NodeRadiusPx is the dot size (default 2, root always 3x).
+	NodeRadiusPx float64
+	// ColorByDelay shades edges from green (low delay at the child) to red
+	// (the maximum delay), requiring Dist.
+	ColorByDelay bool
+	// Dist supplies edge lengths when ColorByDelay is set; defaults to
+	// Euclidean distance over the provided points.
+	Dist tree.DistFunc
+	// Title is an optional caption.
+	Title string
+}
+
+// RenderSVG writes the tree over its points as an SVG document. points[i]
+// is node i's position.
+func RenderSVG(w io.Writer, t *tree.Tree, points []geom.Point2, opts Options) error {
+	if t == nil {
+		return fmt.Errorf("viz: nil tree")
+	}
+	if t.N() != len(points) {
+		return fmt.Errorf("viz: %d nodes but %d points", t.N(), len(points))
+	}
+	if opts.SizePx <= 0 {
+		opts.SizePx = 800
+	}
+	if opts.NodeRadiusPx <= 0 {
+		opts.NodeRadiusPx = 2
+	}
+	if opts.Dist == nil {
+		opts.Dist = func(i, j int) float64 { return points[i].Dist(points[j]) }
+	}
+
+	// Fit the point cloud into the canvas with a 5% margin.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range points {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	span := math.Max(maxX-minX, maxY-minY)
+	if span == 0 {
+		span = 1
+	}
+	margin := 0.05 * span
+	scale := float64(opts.SizePx) / (span + 2*margin)
+	px := func(p geom.Point2) (float64, float64) {
+		// SVG's y axis grows downward; flip it.
+		return (p.X - minX + margin) * scale,
+			float64(opts.SizePx) - (p.Y-minY+margin)*scale
+	}
+
+	var delays []float64
+	var maxDelay float64
+	if opts.ColorByDelay {
+		delays = t.Delays(opts.Dist)
+		for _, d := range delays {
+			if d > maxDelay {
+				maxDelay = d
+			}
+		}
+		if maxDelay == 0 {
+			maxDelay = 1
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opts.SizePx, opts.SizePx, opts.SizePx, opts.SizePx)
+	fmt.Fprintf(bw, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	if opts.Title != "" {
+		fmt.Fprintf(bw, `<text x="8" y="16" font-family="monospace" font-size="12">%s</text>`+"\n",
+			escapeXML(opts.Title))
+	}
+
+	// Edges under nodes.
+	fmt.Fprintln(bw, `<g stroke-width="0.7" fill="none">`)
+	for i := 0; i < t.N(); i++ {
+		p := t.Parent(i)
+		if p < 0 {
+			continue
+		}
+		x1, y1 := px(points[p])
+		x2, y2 := px(points[i])
+		stroke := "#5577aa"
+		if opts.ColorByDelay {
+			stroke = delayColor(delays[i] / maxDelay)
+		}
+		fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`+"\n",
+			x1, y1, x2, y2, stroke)
+	}
+	fmt.Fprintln(bw, `</g>`)
+
+	// Nodes.
+	fmt.Fprintln(bw, `<g fill="#222222">`)
+	for i, p := range points {
+		x, y := px(p)
+		if i == t.Root() {
+			fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#cc2222"/>`+"\n",
+				x, y, 3*opts.NodeRadiusPx)
+			continue
+		}
+		fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="%.1f"/>`+"\n", x, y, opts.NodeRadiusPx)
+	}
+	fmt.Fprintln(bw, `</g>`)
+	fmt.Fprintln(bw, `</svg>`)
+	return bw.Flush()
+}
+
+// delayColor maps a fraction in [0, 1] to a green→red gradient.
+func delayColor(frac float64) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	r := int(64 + 191*frac)
+	g := int(160 * (1 - frac))
+	return fmt.Sprintf("#%02x%02x40", r, g)
+}
+
+func escapeXML(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '<':
+			out = append(out, []rune("&lt;")...)
+		case '>':
+			out = append(out, []rune("&gt;")...)
+		case '&':
+			out = append(out, []rune("&amp;")...)
+		case '"':
+			out = append(out, []rune("&quot;")...)
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,115 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"omtree/internal/core"
+	"omtree/internal/geom"
+	"omtree/internal/rng"
+	"omtree/internal/tree"
+)
+
+func buildSample(t *testing.T, n int) (*tree.Tree, []geom.Point2) {
+	t.Helper()
+	r := rng.New(1)
+	recv := r.UniformDiskN(n, 1)
+	res, err := core.Build2(geom.Point2{}, recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := append([]geom.Point2{{}}, recv...)
+	return res.Tree, pts
+}
+
+func TestRenderSVGBasics(t *testing.T) {
+	tr, pts := buildSample(t, 100)
+	var b strings.Builder
+	if err := RenderSVG(&b, tr, pts, Options{Title: "test <tree>"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "<line", "<circle", "#cc2222", // root marker
+		"test &lt;tree&gt;", // escaped title
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One line per non-root node.
+	if got := strings.Count(out, "<line"); got != tr.N()-1 {
+		t.Errorf("%d edges drawn, want %d", got, tr.N()-1)
+	}
+	if got := strings.Count(out, "<circle"); got != tr.N() {
+		t.Errorf("%d nodes drawn, want %d", got, tr.N())
+	}
+}
+
+func TestRenderSVGColorByDelay(t *testing.T) {
+	tr, pts := buildSample(t, 100)
+	var b strings.Builder
+	if err := RenderSVG(&b, tr, pts, Options{ColorByDelay: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Gradient colors replace the flat edge color.
+	if strings.Contains(b.String(), "#5577aa") {
+		t.Error("flat color used despite ColorByDelay")
+	}
+}
+
+func TestRenderSVGValidation(t *testing.T) {
+	tr, pts := buildSample(t, 10)
+	var b strings.Builder
+	if err := RenderSVG(&b, nil, pts, Options{}); err == nil {
+		t.Error("accepted nil tree")
+	}
+	if err := RenderSVG(&b, tr, pts[:3], Options{}); err == nil {
+		t.Error("accepted mismatched points")
+	}
+}
+
+func TestRenderSVGDeterministic(t *testing.T) {
+	tr, pts := buildSample(t, 50)
+	var a, b strings.Builder
+	if err := RenderSVG(&a, tr, pts, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderSVG(&b, tr, pts, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("rendering not deterministic")
+	}
+}
+
+func TestRenderSVGCoincidentPoints(t *testing.T) {
+	// Zero-span clouds must not divide by zero.
+	b, err := tree.NewBuilder(3, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.MustAttach(1, 0)
+	b.MustAttach(2, 0)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []geom.Point2{{X: 1, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 1}}
+	var out strings.Builder
+	if err := RenderSVG(&out, tr, pts, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "<svg") {
+		t.Error("no SVG emitted")
+	}
+}
+
+func TestDelayColorRange(t *testing.T) {
+	for _, frac := range []float64{-1, 0, 0.5, 1, 2} {
+		c := delayColor(frac)
+		if len(c) != 7 || c[0] != '#' {
+			t.Errorf("delayColor(%v) = %q", frac, c)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package omtree builds overlay multicast trees of minimal delay: spanning
+// trees rooted at a source that minimize the maximum sender-to-receiver
+// delay subject to per-node out-degree (bandwidth) constraints, after
+// Riabov, Liu & Zhang, "Overlay Multicast Trees of Minimal Delay" (ICDCS
+// 2004).
+//
+// The primary entry points are Build (2-D), Build3D and BuildND, which run
+// Algorithm Polar_Grid — asymptotically optimal for points filling a convex
+// region around the source — and BuildBisection, the stand-alone
+// constant-factor approximation (factor 5 at out-degree 4, 9 at out-degree
+// 2). Node 0 of every resulting tree is the source; node i >= 1 is
+// receivers[i-1].
+//
+// Supporting toolkits are re-exported here: baselines (Star, GreedyClosest,
+// BandwidthLatency, ...), the discrete-event overlay simulator (NewSim,
+// Repair), the GNP-style network-coordinates substrate (Embed,
+// TransitStub), and deterministic geometric samplers (NewRand).
+package omtree
+
+import (
+	"io"
+
+	"omtree/internal/baseline"
+	"omtree/internal/bisect"
+	"omtree/internal/coords"
+	"omtree/internal/core"
+	"omtree/internal/geom"
+	"omtree/internal/netsim"
+	"omtree/internal/protocol"
+	"omtree/internal/rng"
+	"omtree/internal/tree"
+	"omtree/internal/viz"
+)
+
+// Geometric and structural types.
+type (
+	// Point2 is a point of the plane.
+	Point2 = geom.Point2
+	// Point3 is a point of 3-space.
+	Point3 = geom.Point3
+	// Vec is a point of d-dimensional space (d = len).
+	Vec = geom.Vec
+	// Tree is a rooted degree-constrained multicast tree.
+	Tree = tree.Tree
+	// DistFunc supplies edge lengths to tree metrics.
+	DistFunc = tree.DistFunc
+	// Result carries a Polar_Grid build outcome (tree + Table I metrics).
+	Result = core.Result
+	// Option configures a Polar_Grid build.
+	Option = core.Option
+	// Variant names the Polar_Grid wiring (natural or binary).
+	Variant = core.Variant
+	// BisectReport certifies a stand-alone 2-D Bisection build.
+	BisectReport = bisect.Report
+	// Rand is the deterministic generator behind all samplers.
+	Rand = rng.Rand
+	// Cluster describes one Gaussian component of the clustered and
+	// mixed-density samplers.
+	Cluster = rng.Cluster
+)
+
+// Polar_Grid variants.
+const (
+	VariantNatural = core.VariantNatural
+	VariantHybrid  = core.VariantHybrid
+	VariantBinary  = core.VariantBinary
+)
+
+// Build options.
+var (
+	// WithMaxOutDegree caps every node's out-degree; >= the natural degree
+	// (6 / 10 / 2^d+2) selects the natural variant, [4, natural) the hybrid
+	// variant (out-degree 4), and {2, 3} the binary variant.
+	WithMaxOutDegree = core.WithMaxOutDegree
+	// WithForceK pins the grid ring count (ablation hook).
+	WithForceK = core.WithForceK
+	// WithKMax caps the automatic ring search.
+	WithKMax = core.WithKMax
+)
+
+// Build runs Algorithm Polar_Grid over planar receivers (default: the
+// natural out-degree-6 variant).
+func Build(source Point2, receivers []Point2, opts ...Option) (*Result, error) {
+	return core.Build2(source, receivers, opts...)
+}
+
+// Build3D runs Algorithm Polar_Grid in three dimensions (default:
+// out-degree 10).
+func Build3D(source Point3, receivers []Point3, opts ...Option) (*Result, error) {
+	return core.Build3(source, receivers, opts...)
+}
+
+// BuildND runs Algorithm Polar_Grid in dimension len(source) >= 2
+// (default: out-degree 2^d + 2).
+func BuildND(source Vec, receivers []Vec, opts ...Option) (*Result, error) {
+	return core.BuildD(source, receivers, opts...)
+}
+
+// BuildBisection runs the stand-alone constant-factor Bisection over an
+// arbitrary planar point set. Unlike Build, the source indexes into points
+// and node ids equal point indices.
+func BuildBisection(points []Point2, source, maxOutDegree int) (*Tree, BisectReport, error) {
+	return bisect.BuildTree(points, source, maxOutDegree)
+}
+
+// SquareBisectReport certifies a quadtree Bisection build.
+type SquareBisectReport = bisect.SquareReport
+
+// BuildBisectionSquare runs the quadtree variant of the Bisection (the
+// square version §II alludes to): same constant-factor flavor, axis-aligned
+// splitting.
+func BuildBisectionSquare(points []Point2, source, maxOutDegree int) (*Tree, SquareBisectReport, error) {
+	return bisect.BuildTreeSquare(points, source, maxOutDegree)
+}
+
+// DiameterResult is the outcome of a minimum-diameter build.
+type DiameterResult = core.DiameterResult
+
+// BuildMinDiameter applies Polar_Grid to the minimum-diameter (MDDL)
+// problem (§VI): no designated source; the tree is rooted at the host
+// nearest the point set's center and the largest host-to-host path is
+// reported.
+func BuildMinDiameter(points []Point2, opts ...Option) (*DiameterResult, error) {
+	return core.BuildMinDiameter2(points, opts...)
+}
+
+// Dist returns the DistFunc matching Build's node numbering: node 0 is the
+// source, node i >= 1 is receivers[i-1].
+func Dist(source Point2, receivers []Point2) DistFunc {
+	return func(i, j int) float64 {
+		pi, pj := source, source
+		if i > 0 {
+			pi = receivers[i-1]
+		}
+		if j > 0 {
+			pj = receivers[j-1]
+		}
+		return pi.Dist(pj)
+	}
+}
+
+// Dist3D is Dist for 3-D builds.
+func Dist3D(source Point3, receivers []Point3) DistFunc {
+	return func(i, j int) float64 {
+		pi, pj := source, source
+		if i > 0 {
+			pi = receivers[i-1]
+		}
+		if j > 0 {
+			pj = receivers[j-1]
+		}
+		return pi.Dist(pj)
+	}
+}
+
+// DistND is Dist for d-dimensional builds.
+func DistND(source Vec, receivers []Vec) DistFunc {
+	return func(i, j int) float64 {
+		pi, pj := source, source
+		if i > 0 {
+			pi = receivers[i-1]
+		}
+		if j > 0 {
+			pj = receivers[j-1]
+		}
+		return pi.Dist(pj)
+	}
+}
+
+// NewRand returns a deterministic generator with geometric samplers
+// (UniformDiskN, UniformBall3N, ClusteredDiskN, ...).
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// Baseline tree constructions (see internal/baseline for semantics).
+var (
+	// Star attaches everything directly to the source (unconstrained
+	// lower-bound witness).
+	Star = baseline.Star
+	// GreedyClosest is the compact-tree greedy.
+	GreedyClosest = baseline.GreedyClosest
+	// BandwidthLatency is the heuristic of Chu et al.
+	BandwidthLatency = baseline.BandwidthLatency
+	// BalancedKary packs distance-sorted receivers into a balanced k-ary
+	// tree.
+	BalancedKary = baseline.BalancedKary
+	// RandomTree attaches receivers randomly subject to degree.
+	RandomTree = baseline.Random
+	// GreedyKNN is the k-d-tree-accelerated greedy (near-linear; pts[0]
+	// is the source and node ids equal point indices).
+	GreedyKNN = baseline.GreedyKNN
+	// ExactOptimal exhaustively finds the optimum for n <= MaxExactNodes.
+	ExactOptimal = baseline.Exact
+)
+
+// MaxExactNodes bounds ExactOptimal's exhaustive search.
+const MaxExactNodes = baseline.MaxExactNodes
+
+// Simulation types (see internal/netsim).
+type (
+	// Sim is the discrete-event overlay multicast simulator.
+	Sim = netsim.Sim
+	// SimConfig parameterizes a simulation.
+	SimConfig = netsim.Config
+	// Failure crashes a node at a point in time.
+	Failure = netsim.Failure
+	// Delivery reports one packet's propagation.
+	Delivery = netsim.Delivery
+	// RepairResult describes a repaired overlay.
+	RepairResult = netsim.RepairResult
+	// RepairStrategy selects orphan reattachment policy.
+	RepairStrategy = netsim.RepairStrategy
+)
+
+// Repair strategies.
+const (
+	RepairGrandparent = netsim.RepairGrandparent
+	RepairBestDelay   = netsim.RepairBestDelay
+)
+
+// NewSim builds a simulator over a tree.
+func NewSim(t *Tree, cfg SimConfig) (*Sim, error) { return netsim.New(t, cfg) }
+
+// Repair removes failed nodes and reattaches orphaned subtrees.
+var Repair = netsim.Repair
+
+// Network-coordinate types (see internal/coords).
+type (
+	// DelayMatrix is a symmetric host-to-host delay matrix.
+	DelayMatrix = coords.Matrix
+	// EmbedConfig parameterizes the GNP-style embedding.
+	EmbedConfig = coords.EmbedConfig
+	// Embedding places hosts into Euclidean space.
+	Embedding = coords.Embedding
+	// TransitStubConfig parameterizes the synthetic Internet topology.
+	TransitStubConfig = coords.TransitStubConfig
+)
+
+// Decentralized-session types (see internal/protocol): the live overlay
+// with join/leave/maintenance that the paper names as future work.
+type (
+	// Overlay is a live decentralized multicast session.
+	Overlay = protocol.Overlay
+	// OverlayConfig publishes the session's grid parameters.
+	OverlayConfig = protocol.Config
+	// OpStats counts one operation's control messages.
+	OpStats = protocol.OpStats
+	// OptimizeStats reports one maintenance round.
+	OptimizeStats = protocol.OptimizeStats
+)
+
+// Decentralized-session constructors.
+var (
+	// NewOverlay starts a session containing only the source.
+	NewOverlay = protocol.New
+	// SuggestOverlayK sizes the published grid for an expected membership.
+	SuggestOverlayK = protocol.SuggestK
+)
+
+// Coordinate-substrate constructors.
+var (
+	// NewDelayMatrix allocates a zero delay matrix.
+	NewDelayMatrix = coords.NewMatrix
+	// EuclideanMatrix synthesizes delays from planar positions plus noise.
+	EuclideanMatrix = coords.EuclideanMatrix
+	// TransitStub synthesizes an Internet-like delay matrix.
+	TransitStub = coords.TransitStub
+	// Embed runs the GNP-style two-phase embedding.
+	Embed = coords.Embed
+	// EmbeddingErrors returns per-pair relative embedding errors.
+	EmbeddingErrors = coords.RelativeErrors
+)
+
+// VizOptions tunes SVG tree rendering.
+type VizOptions = viz.Options
+
+// RenderSVG draws a tree over its planar points as an SVG document
+// (points[i] is node i's position; the root is highlighted).
+func RenderSVG(w io.Writer, t *Tree, points []Point2, opts VizOptions) error {
+	return viz.RenderSVG(w, t, points, opts)
+}
