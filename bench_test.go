@@ -171,6 +171,32 @@ func BenchmarkFig8(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildParallel measures the parallel build pipeline across worker
+// counts (ISSUE: n in {10k, 100k, 1M} x workers {1, 4, 8}; 1M rides behind
+// OMT_BENCH_FULL with the other large sizes). Speedup is bounded by the
+// host's core count — on a single-CPU container all worker counts tie, which
+// is itself the determinism claim in wall-clock form.
+func BenchmarkBuildParallel(b *testing.B) {
+	sizes := []int{10000, 100000}
+	if os.Getenv("OMT_BENCH_FULL") != "" {
+		sizes = append(sizes, 1000000)
+	}
+	for _, n := range sizes {
+		recv := omtree.NewRand(uint64(n)+10).UniformDiskN(n, 1)
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := omtree.Build(omtree.Point2{}, recv,
+						omtree.WithParallelism(workers)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkBisection measures the stand-alone constant-factor algorithm
 // (§II) — the subroutine's own cost and certified bound.
 func BenchmarkBisection(b *testing.B) {

@@ -55,6 +55,7 @@ func run() error {
 	trials := flag.Int("trials", 0, "trials per size (default 20, or 200 with -paper)")
 	seed := flag.Uint64("seed", 2004, "random seed")
 	workers := flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+	buildWorkers := flag.Int("build-workers", 0, "workers inside each build (0 = serial; trees are identical regardless)")
 	csvPath := flag.String("csv", "", "also write the sweep as CSV here")
 	jsonPath := flag.String("json", "", "write all executed experiment rows as JSON here")
 	flag.Parse()
@@ -102,6 +103,7 @@ func run() error {
 	if need2D {
 		cfg := experiment.DiskConfig(sizes, nTrials, *seed)
 		cfg.Workers = *workers
+		cfg.BuildWorkers = *buildWorkers
 		cfg.Progress = func(m string) { fmt.Fprintln(os.Stderr, "[disk]", m) }
 		var err error
 		if rows2, err = experiment.Run(cfg); err != nil {
@@ -161,6 +163,7 @@ func run() error {
 	if *fig8 {
 		cfg := experiment.BallConfig(sizes, nTrials, *seed)
 		cfg.Workers = *workers
+		cfg.BuildWorkers = *buildWorkers
 		cfg.Progress = func(m string) { fmt.Fprintln(os.Stderr, "[ball]", m) }
 		rows3, err := experiment.Run(cfg)
 		if err != nil {

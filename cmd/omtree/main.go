@@ -4,7 +4,7 @@
 // Subcommands:
 //
 //	omtree gen   -n 1000 -dim 2 -seed 1 -dist uniform -o points.json
-//	omtree build -points points.json -degree 6 -o tree.json [-dot tree.dot]
+//	omtree build -points points.json -degree 6 -o tree.json [-workers N] [-verify] [-dot tree.dot]
 //	omtree stats -points points.json -tree tree.json
 //	omtree render -points points.json -tree tree.json -o tree.svg
 //	omtree compare -points points.json -degree 6
@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"omtree"
+	"omtree/internal/invariant"
 )
 
 func main() {
@@ -147,6 +148,8 @@ func cmdBuild(args []string) error {
 	pointsPath := fs.String("points", "", "points JSON file (required)")
 	degree := fs.Int("degree", 0, "max out-degree (0 = natural for the dimension)")
 	forceK := fs.Int("force-k", 0, "pin the grid ring count (0 = automatic)")
+	workers := fs.Int("workers", 0, "build workers (0 = automatic, 1 = serial; the tree is identical either way)")
+	verify := fs.Bool("verify", false, "re-check tree invariants (spanning, degree bound, radius) after the build")
 	out := fs.String("o", "", "write tree JSON here")
 	dotOut := fs.String("dot", "", "write Graphviz DOT here")
 	if err := fs.Parse(args); err != nil {
@@ -167,6 +170,9 @@ func cmdBuild(args []string) error {
 	if *forceK > 0 {
 		opts = append(opts, omtree.WithForceK(*forceK))
 	}
+	if *workers != 0 {
+		opts = append(opts, omtree.WithParallelism(*workers))
+	}
 
 	start := time.Now()
 	res, err := buildAny(pf, opts)
@@ -182,6 +188,20 @@ func cmdBuild(args []string) error {
 	fmt.Printf("core delay: %.6f\n", res.CoreDelay)
 	fmt.Printf("bound (7):  %.6f\n", res.Bound)
 	fmt.Printf("build time: %v\n", elapsed)
+
+	if *verify {
+		dist := func(i, j int) float64 {
+			return omtree.Vec(pf.Points[i]).Dist(omtree.Vec(pf.Points[j]))
+		}
+		violations := invariant.Check(res.Tree, len(pf.Points), 0, res.MaxOutDegree, dist, res.Radius)
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "omtree: invariant violated:", v)
+			}
+			return fmt.Errorf("%d invariant violations", len(violations))
+		}
+		fmt.Println("verify:     ok (spanning, degree bound, radius)")
+	}
 
 	if *out != "" {
 		if err := writeJSON(*out, res.Tree); err != nil {

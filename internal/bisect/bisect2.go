@@ -2,7 +2,6 @@ package bisect
 
 import (
 	"omtree/internal/geom"
-	"omtree/internal/tree"
 )
 
 // maxDepth caps geometric recursion; splitting halves at least one axis per
@@ -25,10 +24,14 @@ func partition2(idx []int32, pred func(int32) bool) int {
 }
 
 // Ctx2 carries the shared state of a 2-D Bisection run: the polar
-// coordinates of every node (indexed by node id) and the tree under
-// construction. One Ctx2 may be reused across many cells of a grid.
+// coordinates of every node (indexed by node id) and the attachment sink of
+// the tree under construction. One Ctx2 may be reused across many cells of a
+// grid; the fan-outs keep all scratch on the call stack (partitioning happens
+// in place inside the caller's idx slice), so a single Ctx2 may also run
+// concurrently on disjoint index slices when B tolerates concurrent attaches
+// for distinct children (see Attacher).
 type Ctx2 struct {
-	B   *tree.Builder
+	B   Attacher
 	Pts []geom.Polar
 }
 

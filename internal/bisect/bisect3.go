@@ -2,13 +2,14 @@ package bisect
 
 import (
 	"omtree/internal/geom"
-	"omtree/internal/tree"
 )
 
 // Ctx3 carries the shared state of a 3-D Bisection run: the spherical
-// coordinates of every node and the tree under construction.
+// coordinates of every node and the attachment sink of the tree under
+// construction. Like Ctx2, all scratch lives on the call stack, so disjoint
+// index slices may run concurrently against a concurrency-tolerant Attacher.
 type Ctx3 struct {
-	B   *tree.Builder
+	B   Attacher
 	Pts []geom.Spherical
 }
 

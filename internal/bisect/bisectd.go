@@ -2,13 +2,15 @@ package bisect
 
 import (
 	"omtree/internal/geom"
-	"omtree/internal/tree"
 )
 
 // CtxD carries the shared state of a d-dimensional Bisection run: the
-// hyperspherical coordinates of every node and the tree under construction.
+// hyperspherical coordinates of every node and the attachment sink of the
+// tree under construction. Bucket slices are allocated per call (never stored
+// on the context), so disjoint index slices may run concurrently against a
+// concurrency-tolerant Attacher.
 type CtxD struct {
-	B   *tree.Builder
+	B   Attacher
 	Pts []geom.Hyperspherical
 }
 

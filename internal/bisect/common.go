@@ -6,12 +6,31 @@ import (
 	"omtree/internal/tree"
 )
 
+// Attacher is the sink receiving the tree edges a Bisection recursion
+// produces. *tree.Builder implements it for serial builds; parallel builders
+// substitute a shared parent array written lock-free from many cells.
+//
+// Concurrency contract: a recursion attaches every node of its idx slice
+// exactly once and touches no memory beyond idx, the read-only coordinate
+// table and the Attacher. Callers may therefore run fan-outs concurrently on
+// disjoint index slices, provided the Attacher tolerates concurrent
+// MustAttach calls for distinct children (tree.Builder does not — it keeps
+// shared degree counters — so concurrent callers must bring their own sink).
+type Attacher interface {
+	// MustAttach wires child under parent, panicking when the edge is
+	// structurally impossible (e.g. the child is already attached).
+	MustAttach(child, parent int)
+}
+
+// The serial builder satisfies the sink contract.
+var _ Attacher = (*tree.Builder)(nil)
+
 // attachKary wires the nodes in idx under src as a balanced k-ary tree, in
 // slice order. It is the fallback used when a segment can no longer be split
 // at floating-point resolution (coincident or near-coincident points), where
 // geometric recursion cannot make progress; a balanced tree keeps the
 // out-degree at k and the depth logarithmic.
-func attachKary(b *tree.Builder, idx []int32, src int32, k int) {
+func attachKary(b Attacher, idx []int32, src int32, k int) {
 	nodes := make([]int32, 0, len(idx)+1)
 	nodes = append(nodes, src)
 	for t, id := range idx {
@@ -22,7 +41,7 @@ func attachKary(b *tree.Builder, idx []int32, src int32, k int) {
 
 // AttachKary exposes the balanced k-ary fallback for callers (package core)
 // that hit the same degenerate all-coincident geometry.
-func AttachKary(b *tree.Builder, idx []int32, src int32, k int) {
+func AttachKary(b Attacher, idx []int32, src int32, k int) {
 	attachKary(b, idx, src, k)
 }
 

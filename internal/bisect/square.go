@@ -59,9 +59,10 @@ func (s Square) Degenerate() bool {
 // it.
 func (s Square) Diag() float64 { return s.Side * math.Sqrt2 }
 
-// SquareCtx carries the shared state of a quadtree Bisection run.
+// SquareCtx carries the shared state of a quadtree Bisection run. The same
+// per-call-scratch concurrency contract as Ctx2 applies.
 type SquareCtx struct {
-	B   *tree.Builder
+	B   Attacher
 	Pts []geom.Point2
 }
 

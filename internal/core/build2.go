@@ -62,6 +62,9 @@ func (c *conn2) connectBinary(idx []int32, src int32, cellID int) {
 // taken relative to the source and the grid is scaled to the farthest
 // receiver. Asymptotic optimality additionally needs the receivers to fill
 // a convex region around the source with density bounded below.
+//
+// WithParallelism fans the construction over a worker pool; parallel and
+// serial builds of the same input produce identical trees.
 func Build2(source geom.Point2, receivers []geom.Point2, opts ...Option) (*Result, error) {
 	o := buildOptions(opts)
 	variant, degCap, err := variantFor(o.maxOutDegree, naturalDegree2D)
@@ -69,20 +72,12 @@ func Build2(source geom.Point2, receivers []geom.Point2, opts ...Option) (*Resul
 		return nil, err
 	}
 	n := len(receivers)
-	b, err := tree.NewBuilder(n+1, 0, degCap)
-	if err != nil {
-		return nil, err
-	}
+	workers := o.effectiveWorkers(n)
 
 	polars := make([]geom.Polar, n+1)
-	var scale float64
-	for i, p := range receivers {
-		c := p.PolarAround(source)
-		polars[i+1] = c
-		if c.R > scale {
-			scale = c.R
-		}
-	}
+	scale := convertCoords(workers, receivers, polars,
+		func(p geom.Point2) geom.Polar { return p.PolarAround(source) },
+		func(c geom.Polar) float64 { return c.R })
 	dist := func(i, j int) float64 {
 		pi, pj := source, source
 		if i > 0 {
@@ -98,8 +93,7 @@ func Build2(source geom.Point2, receivers []geom.Point2, opts ...Option) (*Resul
 	if n == 0 || scale == 0 {
 		// No receivers, or all coincident with the source: geometry is
 		// degenerate and any balanced tree is optimal (zero-length edges).
-		attachAllKary(b, n, degCap)
-		if res.Tree, err = b.Build(); err != nil {
+		if res.Tree, err = buildDegenerate(n, degCap); err != nil {
 			return nil, err
 		}
 		return res, nil
@@ -116,17 +110,29 @@ func Build2(source geom.Point2, receivers []geom.Point2, opts ...Option) (*Resul
 	g := grid.PolarGrid{K: k, Scale: scale}
 
 	cellOf := make([]int32, n)
-	for i := 1; i <= n; i++ {
-		cellOf[i-1] = int32(g.CellOf(polars[i]))
-	}
-	groups := groupByCell(cellOf, g.NumCells())
-	conn := &conn2{ctx: &bisect.Ctx2{B: b, Pts: polars}, g: g}
-	reps := chooseReps(groups, conn, g.NumCells())
-	reps[0] = -1 // the source itself anchors ring 0; cell 0 has no separate representative
-	wireCore(b, k, groups, reps, conn, variant)
-
-	if res.Tree, err = b.Build(); err != nil {
-		return nil, fmt.Errorf("core: incomplete wiring (bug): %w", err)
+	assignCells(workers, cellOf, func(i int) int32 { return int32(g.CellOf(polars[i+1])) })
+	groups := groupByCellParallel(cellOf, g.NumCells(), workers)
+	var reps []int32
+	if workers > 1 {
+		res.Tree, reps, err = wireParallel(n, k, g.NumCells(), degCap, workers, groups,
+			func(a bisect.Attacher) connector {
+				return &conn2{ctx: &bisect.Ctx2{B: a, Pts: polars}, g: g}
+			}, variant)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		b, berr := tree.NewBuilder(n+1, 0, degCap)
+		if berr != nil {
+			return nil, berr
+		}
+		conn := &conn2{ctx: &bisect.Ctx2{B: b, Pts: polars}, g: g}
+		reps = chooseReps(groups, conn, g.NumCells())
+		reps[0] = -1 // the source itself anchors ring 0; cell 0 has no separate representative
+		wireCore(b, k, groups, reps, conn, variant)
+		if res.Tree, err = b.Build(); err != nil {
+			return nil, fmt.Errorf("core: incomplete wiring (bug): %w", err)
+		}
 	}
 	delays := res.Tree.Delays(dist)
 	res.K = k
@@ -154,6 +160,18 @@ func attachAllKary(b *tree.Builder, n, k int) {
 		idx[i] = int32(i + 1)
 	}
 	bisect.AttachKary(b, idx, 0, k)
+}
+
+// buildDegenerate handles the no-receivers / all-coincident-with-source case
+// shared by every dimension: geometry is useless and any balanced tree is
+// optimal (all edges have zero length).
+func buildDegenerate(n, degCap int) (*tree.Tree, error) {
+	b, err := tree.NewBuilder(n+1, 0, degCap)
+	if err != nil {
+		return nil, err
+	}
+	attachAllKary(b, n, degCap)
+	return b.Build()
 }
 
 // pickK resolves the ring count: a forced value (validated for interior

@@ -86,21 +86,13 @@ func Build3(source geom.Point3, receivers []geom.Point3, opts ...Option) (*Resul
 		return nil, err
 	}
 	n := len(receivers)
-	b, err := tree.NewBuilder(n+1, 0, degCap)
-	if err != nil {
-		return nil, err
-	}
+	workers := o.effectiveWorkers(n)
 
 	sph := make([]geom.Spherical, n+1)
 	sph[0] = geom.Spherical{U: 1}
-	var scale float64
-	for i, p := range receivers {
-		c := p.SphericalAround(source)
-		sph[i+1] = c
-		if c.R > scale {
-			scale = c.R
-		}
-	}
+	scale := convertCoords(workers, receivers, sph,
+		func(p geom.Point3) geom.Spherical { return p.SphericalAround(source) },
+		func(c geom.Spherical) float64 { return c.R })
 	dist := func(i, j int) float64 {
 		pi, pj := source, source
 		if i > 0 {
@@ -114,8 +106,7 @@ func Build3(source geom.Point3, receivers []geom.Point3, opts ...Option) (*Resul
 
 	res := &Result{Dim: 3, Variant: variant, MaxOutDegree: degCap, Scale: scale}
 	if n == 0 || scale == 0 {
-		attachAllKary(b, n, degCap)
-		if res.Tree, err = b.Build(); err != nil {
+		if res.Tree, err = buildDegenerate(n, degCap); err != nil {
 			return nil, err
 		}
 		return res, nil
@@ -132,17 +123,29 @@ func Build3(source geom.Point3, receivers []geom.Point3, opts ...Option) (*Resul
 	g := grid.SphereGrid3{K: k, Scale: scale}
 
 	cellOf := make([]int32, n)
-	for i := 1; i <= n; i++ {
-		cellOf[i-1] = int32(g.CellOf(sph[i]))
-	}
-	groups := groupByCell(cellOf, g.NumCells())
-	conn := &conn3{ctx: &bisect.Ctx3{B: b, Pts: sph}, g: g}
-	reps := chooseReps(groups, conn, g.NumCells())
-	reps[0] = -1 // the source itself anchors ring 0; cell 0 has no separate representative
-	wireCore(b, k, groups, reps, conn, variant)
-
-	if res.Tree, err = b.Build(); err != nil {
-		return nil, fmt.Errorf("core: incomplete wiring (bug): %w", err)
+	assignCells(workers, cellOf, func(i int) int32 { return int32(g.CellOf(sph[i+1])) })
+	groups := groupByCellParallel(cellOf, g.NumCells(), workers)
+	var reps []int32
+	if workers > 1 {
+		res.Tree, reps, err = wireParallel(n, k, g.NumCells(), degCap, workers, groups,
+			func(a bisect.Attacher) connector {
+				return &conn3{ctx: &bisect.Ctx3{B: a, Pts: sph}, g: g}
+			}, variant)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		b, berr := tree.NewBuilder(n+1, 0, degCap)
+		if berr != nil {
+			return nil, berr
+		}
+		conn := &conn3{ctx: &bisect.Ctx3{B: b, Pts: sph}, g: g}
+		reps = chooseReps(groups, conn, g.NumCells())
+		reps[0] = -1 // the source itself anchors ring 0; cell 0 has no separate representative
+		wireCore(b, k, groups, reps, conn, variant)
+		if res.Tree, err = b.Build(); err != nil {
+			return nil, fmt.Errorf("core: incomplete wiring (bug): %w", err)
+		}
 	}
 	delays := res.Tree.Delays(dist)
 	res.K = k

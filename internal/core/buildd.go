@@ -83,21 +83,13 @@ func BuildD(source geom.Vec, receivers []geom.Vec, opts ...Option) (*Result, err
 		return nil, err
 	}
 	n := len(receivers)
-	b, err := tree.NewBuilder(n+1, 0, degCap)
-	if err != nil {
-		return nil, err
-	}
+	workers := o.effectiveWorkers(n)
 
 	hs := make([]geom.Hyperspherical, n+1)
 	hs[0] = geom.Hyperspherical{Phi: make([]float64, d-2)}
-	var scale float64
-	for i, p := range receivers {
-		c := p.Sub(source).ToHyperspherical()
-		hs[i+1] = c
-		if c.R > scale {
-			scale = c.R
-		}
-	}
+	scale := convertCoords(workers, receivers, hs,
+		func(p geom.Vec) geom.Hyperspherical { return p.Sub(source).ToHyperspherical() },
+		func(c geom.Hyperspherical) float64 { return c.R })
 	dist := func(i, j int) float64 {
 		pi, pj := source, source
 		if i > 0 {
@@ -111,8 +103,7 @@ func BuildD(source geom.Vec, receivers []geom.Vec, opts ...Option) (*Result, err
 
 	res := &Result{Dim: d, Variant: variant, MaxOutDegree: degCap, Scale: scale}
 	if n == 0 || scale == 0 {
-		attachAllKary(b, n, degCap)
-		if res.Tree, err = b.Build(); err != nil {
+		if res.Tree, err = buildDegenerate(n, degCap); err != nil {
 			return nil, err
 		}
 		return res, nil
@@ -139,17 +130,29 @@ func BuildD(source geom.Vec, receivers []geom.Vec, opts ...Option) (*Result, err
 	}
 
 	cellOf := make([]int32, n)
-	for i := 1; i <= n; i++ {
-		cellOf[i-1] = int32(g.CellOf(hs[i]))
-	}
-	groups := groupByCell(cellOf, g.NumCells())
-	conn := &connD{ctx: &bisect.CtxD{B: b, Pts: hs}, g: g}
-	reps := chooseReps(groups, conn, g.NumCells())
-	reps[0] = -1 // the source itself anchors ring 0; cell 0 has no separate representative
-	wireCore(b, g.K, groups, reps, conn, variant)
-
-	if res.Tree, err = b.Build(); err != nil {
-		return nil, fmt.Errorf("core: incomplete wiring (bug): %w", err)
+	assignCells(workers, cellOf, func(i int) int32 { return int32(g.CellOf(hs[i+1])) })
+	groups := groupByCellParallel(cellOf, g.NumCells(), workers)
+	var reps []int32
+	if workers > 1 {
+		res.Tree, reps, err = wireParallel(n, g.K, g.NumCells(), degCap, workers, groups,
+			func(a bisect.Attacher) connector {
+				return &connD{ctx: &bisect.CtxD{B: a, Pts: hs}, g: g}
+			}, variant)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		b, berr := tree.NewBuilder(n+1, 0, degCap)
+		if berr != nil {
+			return nil, berr
+		}
+		conn := &connD{ctx: &bisect.CtxD{B: b, Pts: hs}, g: g}
+		reps = chooseReps(groups, conn, g.NumCells())
+		reps[0] = -1 // the source itself anchors ring 0; cell 0 has no separate representative
+		wireCore(b, g.K, groups, reps, conn, variant)
+		if res.Tree, err = b.Build(); err != nil {
+			return nil, fmt.Errorf("core: incomplete wiring (bug): %w", err)
+		}
 	}
 	delays := res.Tree.Delays(dist)
 	res.K = g.K

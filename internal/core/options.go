@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // Variant selects the wiring style of Polar_Grid.
 type Variant int
@@ -39,6 +42,7 @@ type options struct {
 	maxOutDegree int // 0 = natural degree for the dimension
 	forceK       int // 0 = automatic (largest feasible)
 	kMax         int // 0 = grid.DefaultKMax
+	workers      int // 0 = automatic (GOMAXPROCS above the size threshold)
 }
 
 // Option configures a Build call.
@@ -63,6 +67,35 @@ func WithForceK(k int) Option {
 // cost on enormous inputs).
 func WithKMax(k int) Option {
 	return func(o *options) { o.kMax = k }
+}
+
+// WithParallelism sets the number of worker goroutines of the build
+// pipeline: coordinate conversion, the sharded cell-bucketing pass,
+// representative selection and per-cell wiring all fan out over this many
+// workers. n == 1 forces the serial path; n <= 0 (the default) uses
+// runtime.GOMAXPROCS(0), falling back to the serial path below a small
+// problem-size threshold where goroutine overhead dominates. Parallel and
+// serial builds of the same input produce identical trees.
+func WithParallelism(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// effectiveWorkers resolves the worker count for a build over n receivers.
+// An explicit request > 1 is honored at any size (so tests can drive the
+// parallel path on small inputs); the automatic default engages only where
+// the fan-out pays for itself.
+func (o options) effectiveWorkers(n int) int {
+	switch {
+	case o.workers == 1 || n < 2:
+		return 1
+	case o.workers > 1:
+		return o.workers
+	default:
+		if w := runtime.GOMAXPROCS(0); w > 1 && n >= parallelBuildThreshold {
+			return w
+		}
+		return 1
+	}
 }
 
 func buildOptions(opts []Option) options {

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"omtree/internal/bisect"
+	"omtree/internal/tree"
+)
+
+// parallelBuildThreshold is the receiver count below which the automatic
+// worker selection stays serial: under a few thousand points the whole build
+// takes well under a millisecond and goroutine fan-out only adds overhead.
+const parallelBuildThreshold = 2048
+
+// unattachedNode mirrors the tree.Builder sentinel for nodes not yet wired
+// into a parallel build's shared parent array.
+const unattachedNode int32 = -2
+
+// parentSink is the attachment sink of the parallel pipeline: a bare parent
+// array shared by every worker. It is lock-free by construction — the wiring
+// attaches each node exactly once, from the one cell responsible for it, so
+// concurrent MustAttach calls always target distinct entries. Structural
+// validation (spanning, acyclicity, degree caps) that tree.Builder performs
+// edge-by-edge is instead run once over the finished array in build.
+type parentSink struct {
+	parents []int32
+}
+
+var _ bisect.Attacher = (*parentSink)(nil)
+
+// newParentSink returns a sink for n nodes rooted at node 0.
+func newParentSink(n int) *parentSink {
+	parents := make([]int32, n)
+	for i := range parents {
+		parents[i] = unattachedNode
+	}
+	parents[0] = tree.NoParent
+	return &parentSink{parents: parents}
+}
+
+// MustAttach wires child under parent. The double-attach check involves no
+// synchronization: only the single MustAttach call for a given child ever
+// writes (or reads) that child's entry after initialization.
+func (s *parentSink) MustAttach(child, parent int) {
+	if s.parents[child] != unattachedNode {
+		panic(fmt.Sprintf("core: node %d attached twice (parallel wiring bug)", child))
+	}
+	s.parents[child] = int32(parent)
+}
+
+// build finalizes the sink into a validated tree; FromParents checks that
+// the array is spanning, acyclic and within the degree cap, restoring the
+// guarantees the serial Builder enforces incrementally.
+func (s *parentSink) build(degCap int) (*tree.Tree, error) {
+	return tree.FromParents(0, s.parents, degCap)
+}
+
+// parRange splits [0, n) into one contiguous chunk per worker and runs fn
+// for each chunk, concurrently when workers > 1. fn receives the chunk index
+// (for per-worker accumulators) and its half-open range.
+func parRange(workers, n int, fn func(w, lo, hi int)) {
+	if workers <= 1 || n == 0 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w*chunk < n; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// cellBlock sizes the work units of parCells: large enough to amortize the
+// atomic fetch, small enough to balance rings whose cells differ wildly in
+// population.
+const cellBlock = 32
+
+// parCells runs fn(c) for every cell id in [0, numCells), distributing
+// blocks of cells over the worker pool through an atomic cursor. Per-cell
+// work is proportional to cell population, which varies by orders of
+// magnitude across rings, so dynamic block distribution balances far better
+// than contiguous pre-partitioning.
+func parCells(workers, numCells int, fn func(c int)) {
+	if workers <= 1 {
+		for c := 0; c < numCells; c++ {
+			fn(c)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(cellBlock)) - cellBlock
+				if lo >= numCells {
+					return
+				}
+				hi := lo + cellBlock
+				if hi > numCells {
+					hi = numCells
+				}
+				for c := lo; c < hi; c++ {
+					fn(c)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// convertCoords fills coords[i+1] = conv(receivers[i]) across the worker
+// pool and returns the largest radius. The chunked maximum equals the serial
+// maximum exactly — float64 max is association-independent — so the grid
+// scale (and hence the whole build) does not depend on the worker count.
+func convertCoords[P, C any](workers int, receivers []P, coords []C, conv func(P) C, radius func(C) float64) float64 {
+	maxR := make([]float64, workers)
+	parRange(workers, len(receivers), func(w, lo, hi int) {
+		var m float64
+		for i := lo; i < hi; i++ {
+			c := conv(receivers[i])
+			coords[i+1] = c
+			if r := radius(c); r > m {
+				m = r
+			}
+		}
+		maxR[w] = m
+	})
+	var scale float64
+	for _, m := range maxR {
+		if m > scale {
+			scale = m
+		}
+	}
+	return scale
+}
+
+// assignCells fills cellOf[i] with the grid cell of receiver i's coordinate
+// across the worker pool. cellAt must be pure (the grid types are immutable
+// value types, so their CellOf methods are).
+func assignCells(workers int, cellOf []int32, cellAt func(i int) int32) {
+	parRange(workers, len(cellOf), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cellOf[i] = cellAt(i)
+		}
+	})
+}
+
+// groupByCellParallel reproduces groupByCell's exact output with a sharded
+// counting sort: each worker counts cell populations over its contiguous
+// shard of cellOf, a serial prefix pass converts the per-shard counts into
+// per-shard write offsets (off[w][c] = start[c] + sum of counts[w'][c] for
+// w' < w), and each worker then places its shard's nodes in index order.
+// Nodes therefore land grouped by cell, ordered by original index within a
+// cell — byte-for-byte the serial counting sort's layout.
+func groupByCellParallel(cellOf []int32, numCells, workers int) cellGroups {
+	n := len(cellOf)
+	if workers <= 1 {
+		return groupByCell(cellOf, numCells)
+	}
+	chunk := (n + workers - 1) / workers
+	shards := (n + chunk - 1) / chunk
+	counts := make([][]int32, shards)
+	parRange(workers, n, func(w, lo, hi int) {
+		cnt := make([]int32, numCells)
+		for _, c := range cellOf[lo:hi] {
+			cnt[c]++
+		}
+		counts[w] = cnt
+	})
+
+	start := make([]int32, numCells+1)
+	for c := 0; c < numCells; c++ {
+		var total int32
+		for w := 0; w < shards; w++ {
+			cellCount := counts[w][c]
+			counts[w][c] = start[c] + total // reuse the count as the shard's write offset
+			total += cellCount
+		}
+		start[c+1] = start[c] + total
+	}
+
+	order := make([]int32, n)
+	parRange(workers, n, func(w, lo, hi int) {
+		off := counts[w]
+		for i, c := range cellOf[lo:hi] {
+			order[off[c]] = int32(lo + i + 1) // receiver i is node i+1
+			off[c]++
+		}
+	})
+	return cellGroups{start: start, order: order}
+}
+
+// chooseRepsParallel is chooseReps fanned out over the worker pool; the
+// per-cell selection is untouched, so the result is identical.
+func chooseRepsParallel(g cellGroups, conn connector, numCells, workers int) []int32 {
+	reps := make([]int32, numCells)
+	parCells(workers, numCells, func(c int) {
+		members := g.order[g.start[c]:g.start[c+1]]
+		if len(members) == 0 {
+			reps[c] = -1
+			return
+		}
+		best := members[0]
+		bestScore := conn.repScore(c, best)
+		for _, id := range members[1:] {
+			s := conn.repScore(c, id)
+			if s < bestScore || (s == bestScore && id < best) {
+				best, bestScore = id, s
+			}
+		}
+		reps[c] = best
+	})
+	return reps
+}
+
+// wireParallel runs the cell-parallel tail of every Build: representative
+// selection, then core + in-cell wiring of all cells into a shared parent
+// array, then one-shot validation. mkConn builds the dimension's connector
+// around the shared sink. Determinism needs no merge step: cells write
+// disjoint parent entries, so the finished array is independent of the
+// order in which workers happen to process cells.
+func wireParallel(n, k, numCells, degCap, workers int, g cellGroups,
+	mkConn func(bisect.Attacher) connector, variant Variant) (*tree.Tree, []int32, error) {
+	sink := newParentSink(n + 1)
+	conn := mkConn(sink)
+	reps := chooseRepsParallel(g, conn, numCells, workers)
+	reps[0] = -1 // the source itself anchors ring 0; cell 0 has no separate representative
+	parCells(workers, numCells, func(c int) {
+		wireCell(sink, k, c, g, reps, conn, variant)
+	})
+	t, err := sink.build(degCap)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: incomplete wiring (bug): %w", err)
+	}
+	return t, reps, nil
+}

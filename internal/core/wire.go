@@ -1,8 +1,8 @@
 package core
 
 import (
+	"omtree/internal/bisect"
 	"omtree/internal/grid"
-	"omtree/internal/tree"
 )
 
 // connector abstracts the dimension-specific pieces of the core wiring: the
@@ -79,67 +79,79 @@ func chooseReps(g cellGroups, conn connector, numCells int) []int32 {
 // wireCore attaches the entire tree: core edges between representatives,
 // ring by ring from the center out, plus the in-cell Bisection runs. The
 // source (node 0) acts as ring 0's representative. Interior cells (rings
-// 1..k-1) must be occupied.
-func wireCore(b *tree.Builder, k int, g cellGroups, reps []int32, conn connector, variant Variant) {
-	for ring := 0; ring <= k; ring++ {
-		for idx := 0; idx < grid.CellsInRing(ring); idx++ {
-			id := grid.CellID(ring, idx)
-			var repNode int32
-			if ring == 0 {
-				repNode = 0
-			} else {
-				repNode = reps[id]
-				if repNode < 0 {
-					continue // empty outermost-ring cell
-				}
-			}
+// 1..k-1) must be occupied. The ring-by-ring order matters only for sinks
+// (tree.Builder) that enforce top-down attachment.
+func wireCore(b bisect.Attacher, k int, g cellGroups, reps []int32, conn connector, variant Variant) {
+	for id := 0; id < grid.NumCells(k); id++ {
+		wireCell(b, k, id, g, reps, conn, variant)
+	}
+}
 
-			members := g.order[g.start[id]:g.start[id+1]]
-			if ring > 0 {
-				// Exclude the representative (already attached while
-				// processing its parent ring).
-				for p, v := range members {
-					if v == repNode {
-						members[0], members[p] = members[p], members[0]
-						break
-					}
-				}
-				members = members[1:]
-			}
+// wireCell wires one grid cell: the core edges from the cell's
+// representative down to the aligned next-ring representatives, plus the
+// in-cell Bisection over the remaining members.
+//
+// Each node is attached by exactly one cell — members by their own cell,
+// representatives by the parent-ring cell — and the in-place shuffles below
+// (and inside the Bisection fan-outs) stay within this cell's slice of
+// g.order, so distinct cells touch disjoint memory and may run concurrently
+// against a concurrency-tolerant Attacher.
+func wireCell(b bisect.Attacher, k, id int, g cellGroups, reps []int32, conn connector, variant Variant) {
+	ring, idx := grid.RingIdx(id)
+	var repNode int32
+	if ring == 0 {
+		repNode = 0
+	} else {
+		repNode = reps[id]
+		if repNode < 0 {
+			return // empty outermost-ring cell
+		}
+	}
 
-			var childReps []int32
-			if ring < k {
-				c1, c2 := grid.ChildCells(idx)
-				for _, child := range [2]int{grid.CellID(ring+1, c1), grid.CellID(ring+1, c2)} {
-					if reps[child] >= 0 {
-						childReps = append(childReps, reps[child])
-					}
-				}
-			}
-
-			switch variant {
-			case VariantNatural:
-				for _, cr := range childReps {
-					b.MustAttach(int(cr), int(repNode))
-				}
-				conn.connectNatural(members, repNode, id)
-			case VariantHybrid:
-				// Natural core wiring, binary in-cell fan-out: 2 + 2 = 4.
-				for _, cr := range childReps {
-					b.MustAttach(int(cr), int(repNode))
-				}
-				conn.connectBinary(members, repNode, id)
-			default:
-				wireBinaryCell(b, conn, repNode, members, childReps, id)
+	members := g.order[g.start[id]:g.start[id+1]]
+	if ring > 0 {
+		// Exclude the representative (attached while processing its parent
+		// ring's cell).
+		for p, v := range members {
+			if v == repNode {
+				members[0], members[p] = members[p], members[0]
+				break
 			}
 		}
+		members = members[1:]
+	}
+
+	var childReps []int32
+	if ring < k {
+		c1, c2 := grid.ChildCells(idx)
+		for _, child := range [2]int{grid.CellID(ring+1, c1), grid.CellID(ring+1, c2)} {
+			if reps[child] >= 0 {
+				childReps = append(childReps, reps[child])
+			}
+		}
+	}
+
+	switch variant {
+	case VariantNatural:
+		for _, cr := range childReps {
+			b.MustAttach(int(cr), int(repNode))
+		}
+		conn.connectNatural(members, repNode, id)
+	case VariantHybrid:
+		// Natural core wiring, binary in-cell fan-out: 2 + 2 = 4.
+		for _, cr := range childReps {
+			b.MustAttach(int(cr), int(repNode))
+		}
+		conn.connectBinary(members, repNode, id)
+	default:
+		wireBinaryCell(b, conn, repNode, members, childReps, id)
 	}
 }
 
 // wireBinaryCell realizes the three cases of §IV-A for one cell in the
 // out-degree-2 variant. rep is attached; members excludes rep; childReps
 // are the (at most two) representatives of the aligned next-ring cells.
-func wireBinaryCell(b *tree.Builder, conn connector, rep int32, members, childReps []int32, cellID int) {
+func wireBinaryCell(b bisect.Attacher, conn connector, rep int32, members, childReps []int32, cellID int) {
 	if len(childReps) == 0 {
 		// Leaf cell: no relay duty, the representative is a plain local
 		// source.

@@ -36,6 +36,12 @@ type Config struct {
 	// measured per build and are unaffected by parallelism (wall-clock per
 	// call), though heavy oversubscription can inflate them.
 	Workers int
+	// BuildWorkers sets the per-build worker count (core.WithParallelism).
+	// 0 keeps builds serial — the sweep already parallelizes across trials,
+	// so parallel builds on top would oversubscribe; set > 1 only when
+	// Workers is small and individual builds are huge. Results are identical
+	// either way, only timing changes.
+	BuildWorkers int
 	// Progress, when non-nil, receives one line per completed size.
 	Progress func(msg string)
 }
@@ -189,12 +195,19 @@ func runTrial(cfg Config, sizeIdx, n, trial int) (trialResult, error) {
 		bound:  make([]float64, len(cfg.Degrees)),
 		cpuSec: make([]float64, len(cfg.Degrees)),
 	}
+	buildOpts := func(deg int) []core.Option {
+		opts := []core.Option{core.WithMaxOutDegree(deg)}
+		if cfg.BuildWorkers != 0 {
+			opts = append(opts, core.WithParallelism(cfg.BuildWorkers))
+		}
+		return opts
+	}
 	switch cfg.Dim {
 	case 2:
 		recv := r.UniformDiskN(n, 1)
 		for di, deg := range cfg.Degrees {
 			start := time.Now()
-			out, err := core.Build2(geom.Point2{}, recv, core.WithMaxOutDegree(deg))
+			out, err := core.Build2(geom.Point2{}, recv, buildOpts(deg)...)
 			if err != nil {
 				return res, fmt.Errorf("experiment: n=%d deg=%d trial=%d: %w", n, deg, trial, err)
 			}
@@ -208,7 +221,7 @@ func runTrial(cfg Config, sizeIdx, n, trial int) (trialResult, error) {
 		recv := r.UniformBall3N(n, 1)
 		for di, deg := range cfg.Degrees {
 			start := time.Now()
-			out, err := core.Build3(geom.Point3{}, recv, core.WithMaxOutDegree(deg))
+			out, err := core.Build3(geom.Point3{}, recv, buildOpts(deg)...)
 			if err != nil {
 				return res, fmt.Errorf("experiment: n=%d deg=%d trial=%d: %w", n, deg, trial, err)
 			}

@@ -4,6 +4,11 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"omtree/internal/core"
+	"omtree/internal/geom"
+	"omtree/internal/invariant"
+	"omtree/internal/rng"
 )
 
 func smallDiskConfig() Config {
@@ -101,6 +106,60 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 		a, b := seq[0].ByDegree[di], par[0].ByDegree[di]
 		if a.Delay != b.Delay || a.Core != b.Core || a.Bound != b.Bound || a.DelayStdDev != b.DelayStdDev {
 			t.Errorf("degree %d stats differ across worker counts", a.Degree)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossBuildWorkers(t *testing.T) {
+	// Parallelism inside each build must not change any statistic either.
+	cfg := DiskConfig([]int{300}, 3, 13)
+	cfg.Workers = 1
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.BuildWorkers = 4
+	par, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial[0].Rings != par[0].Rings {
+		t.Error("rings differ across build-worker counts")
+	}
+	for di := range serial[0].ByDegree {
+		a, b := serial[0].ByDegree[di], par[0].ByDegree[di]
+		if a.Delay != b.Delay || a.Core != b.Core || a.Bound != b.Bound || a.DelayStdDev != b.DelayStdDev {
+			t.Errorf("degree %d stats differ across build-worker counts", a.Degree)
+		}
+	}
+}
+
+func TestTrialBuildsPassInvariants(t *testing.T) {
+	// Run keeps only aggregates, so rebuild a few trials exactly as runTrial
+	// does (same trialSeed stream) and audit the trees it aggregates over.
+	cfg := DiskConfig([]int{150, 400}, 2, 42)
+	for sizeIdx, n := range cfg.Sizes {
+		for trial := 0; trial < cfg.Trials; trial++ {
+			recv := rng.New(trialSeed(cfg.Seed, sizeIdx, trial)).UniformDiskN(n, 1)
+			dist := func(i, j int) float64 {
+				pi, pj := geom.Point2{}, geom.Point2{}
+				if i > 0 {
+					pi = recv[i-1]
+				}
+				if j > 0 {
+					pj = recv[j-1]
+				}
+				return pi.Dist(pj)
+			}
+			for _, deg := range cfg.Degrees {
+				res, err := core.Build2(geom.Point2{}, recv, core.WithMaxOutDegree(deg))
+				if err != nil {
+					t.Fatalf("n=%d deg=%d trial=%d: %v", n, deg, trial, err)
+				}
+				if l := invariant.Check(res.Tree, n+1, 0, res.MaxOutDegree, dist, res.Radius); len(l) != 0 {
+					t.Fatalf("n=%d deg=%d trial=%d: invariants violated: %v", n, deg, trial, l)
+				}
+			}
 		}
 	}
 }

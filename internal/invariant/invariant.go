@@ -1,0 +1,226 @@
+// Package invariant re-verifies the structural and metric guarantees of a
+// built multicast tree from scratch: that the tree spans all nodes from the
+// expected root without cycles, that every node respects the out-degree
+// bound, and that a reported radius matches a fresh root-to-leaf
+// recomputation. Violations come back as a structured list, so tests can
+// assert on individual codes and cmd/omtree can print them all.
+//
+// The checks deliberately duplicate logic that tree.Builder and
+// tree.Validate already enforce — the point is an independent audit path
+// that works straight off the parent array, trusting nothing the
+// construction cached.
+package invariant
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"omtree/internal/tree"
+)
+
+// Code classifies a violation.
+type Code string
+
+const (
+	// CodeNodeCount: the tree has the wrong number of nodes.
+	CodeNodeCount Code = "node-count"
+	// CodeRoot: the root is not the expected node or is malformed.
+	CodeRoot Code = "root"
+	// CodeParentRange: a parent pointer lies outside [0, n) (and is not the
+	// root's -1 marker).
+	CodeParentRange Code = "parent-range"
+	// CodeCycle: following parent pointers from some node never reaches the
+	// root.
+	CodeCycle Code = "cycle"
+	// CodeDegree: a node exceeds the out-degree bound.
+	CodeDegree Code = "degree"
+	// CodeRadius: the reported radius disagrees with a fresh recomputation.
+	CodeRadius Code = "radius"
+)
+
+// Violation is one broken invariant.
+type Violation struct {
+	Code Code
+	Msg  string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string { return fmt.Sprintf("%s: %s", v.Code, v.Msg) }
+
+// List is the outcome of a Check: empty means every invariant holds. It
+// implements error, so callers can return it directly once non-empty.
+type List []Violation
+
+// Error implements error.
+func (l List) Error() string {
+	if len(l) == 0 {
+		return "invariant: ok"
+	}
+	parts := make([]string, len(l))
+	for i, v := range l {
+		parts[i] = v.String()
+	}
+	return "invariant: " + strings.Join(parts, "; ")
+}
+
+// Err returns the list as an error, or nil when every invariant holds —
+// the idiomatic bridge for callers that just want an error.
+func (l List) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+// radiusTol is the relative tolerance of the radius recomputation. Both the
+// builders and this package accumulate delays root-to-leaf in the same
+// order, so agreement is exact in practice; the epsilon only guards against
+// a future metric implementation summing in a different association.
+const radiusTol = 1e-9
+
+// Check audits t against the expected shape: n nodes rooted at root, every
+// out-degree at most maxOutDegree (0 disables the degree check), and — when
+// dist is non-nil — a reported radius matching the recomputed maximum
+// root-to-node delay. All violations are collected, not just the first;
+// metric checks are skipped when the structure is too broken to traverse.
+func Check(t *tree.Tree, n, root, maxOutDegree int, dist tree.DistFunc, radius float64) List {
+	if t == nil {
+		return List{{Code: CodeNodeCount, Msg: "tree is nil"}}
+	}
+	var list List
+	if t.Root() != root {
+		list = append(list, Violation{CodeRoot,
+			fmt.Sprintf("tree rooted at %d, want %d", t.Root(), root)})
+	}
+	return append(list, CheckParents(t.Parents(), n, root, maxOutDegree, dist, radius)...)
+}
+
+// CheckParents is Check operating on a bare parent array — the form the
+// parallel builder produces and the codecs transport — so callers can audit
+// data that never went through a validating constructor.
+func CheckParents(parents []int32, n, root, maxOutDegree int, dist tree.DistFunc, radius float64) List {
+	var list List
+	if len(parents) != n {
+		list = append(list, Violation{CodeNodeCount,
+			fmt.Sprintf("tree has %d nodes, want %d", len(parents), n)})
+	}
+	if root < 0 || root >= len(parents) {
+		list = append(list, Violation{CodeRoot,
+			fmt.Sprintf("root %d out of range [0, %d)", root, len(parents))})
+		return list // nothing below can run without a valid root
+	}
+	if parents[root] != tree.NoParent {
+		list = append(list, Violation{CodeRoot,
+			fmt.Sprintf("root %d has parent %d, want none", root, parents[root])})
+	}
+
+	sound := true // parent pointers all in range
+	for i, p := range parents {
+		if i == root {
+			continue
+		}
+		if p < 0 || int(p) >= len(parents) {
+			list = append(list, Violation{CodeParentRange,
+				fmt.Sprintf("node %d has parent %d outside [0, %d)", i, p, len(parents))})
+			sound = false
+		}
+	}
+	if !sound {
+		return list
+	}
+
+	// Spanning / acyclicity: walk up from every node; a walk that revisits
+	// the current path is a cycle (and with in-range parents, failing to
+	// reach the root is only possible through a cycle). state: 0 unknown,
+	// 1 reaches root, 2 on the current path, 3 known to feed a cycle.
+	state := make([]int8, len(parents))
+	state[root] = 1
+	var stack []int32
+	firstBad, badCount := -1, 0
+	for i := range parents {
+		v := int32(i)
+		stack = stack[:0]
+		for state[v] == 0 {
+			state[v] = 2
+			stack = append(stack, v)
+			v = parents[v]
+		}
+		mark := int8(1)
+		if state[v] != 1 { // hit the current path or a known-bad node
+			mark = 3
+			badCount++
+			if firstBad < 0 {
+				firstBad = i
+			}
+		}
+		for _, u := range stack {
+			state[u] = mark
+		}
+	}
+	spanning := badCount == 0
+	if !spanning {
+		list = append(list, Violation{CodeCycle,
+			fmt.Sprintf("%d nodes cannot reach root %d (parent cycle; e.g. node %d)",
+				badCount, root, firstBad)})
+	}
+
+	if maxOutDegree > 0 {
+		counts := make([]int32, len(parents))
+		for i, p := range parents {
+			if i != root {
+				counts[p]++
+			}
+		}
+		for i, c := range counts {
+			if int(c) > maxOutDegree {
+				list = append(list, Violation{CodeDegree,
+					fmt.Sprintf("node %d has out-degree %d > %d", i, c, maxOutDegree)})
+			}
+		}
+	}
+
+	if dist != nil && spanning {
+		if got := recomputeRadius(parents, root, dist); !closeEnough(got, radius) {
+			list = append(list, Violation{CodeRadius,
+				fmt.Sprintf("reported radius %v, recomputed %v", radius, got)})
+		}
+	}
+	return list
+}
+
+// recomputeRadius measures the largest root-to-node delay directly off the
+// parent array, in its own breadth-first pass.
+func recomputeRadius(parents []int32, root int, dist tree.DistFunc) float64 {
+	n := len(parents)
+	children := make([][]int32, n)
+	for i, p := range parents {
+		if i != root {
+			children[p] = append(children[p], int32(i))
+		}
+	}
+	delays := make([]float64, n)
+	queue := make([]int32, 0, n)
+	queue = append(queue, int32(root))
+	var radius float64
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, c := range children[v] {
+			delays[c] = delays[v] + dist(int(v), int(c))
+			if delays[c] > radius {
+				radius = delays[c]
+			}
+			queue = append(queue, c)
+		}
+	}
+	return radius
+}
+
+// closeEnough compares two radii with a relative epsilon (see radiusTol).
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= radiusTol*scale
+}

@@ -1,0 +1,150 @@
+package invariant
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"omtree/internal/tree"
+)
+
+// chain builds 0 -> 1 -> 2 -> ... -> n-1 with unit edge lengths.
+func chain(t *testing.T, n int) *tree.Tree {
+	t.Helper()
+	parents := make([]int32, n)
+	parents[0] = tree.NoParent
+	for i := 1; i < n; i++ {
+		parents[i] = int32(i - 1)
+	}
+	tr, err := tree.FromParents(0, parents, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func unitDist(i, j int) float64 { return 1 }
+
+func hasCode(l List, c Code) bool {
+	for _, v := range l {
+		if v.Code == c {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCheckAcceptsValidTree(t *testing.T) {
+	tr := chain(t, 5)
+	if l := Check(tr, 5, 0, 1, unitDist, 4); len(l) != 0 {
+		t.Fatalf("valid chain rejected: %v", l)
+	}
+	if err := Check(tr, 5, 0, 1, unitDist, 4).Err(); err != nil {
+		t.Fatalf("Err() on clean list: %v", err)
+	}
+}
+
+func TestCheckNodeCountAndRoot(t *testing.T) {
+	tr := chain(t, 4)
+	l := Check(tr, 7, 0, 0, nil, 0)
+	if !hasCode(l, CodeNodeCount) {
+		t.Errorf("missing node-count violation: %v", l)
+	}
+	l = Check(tr, 4, 2, 0, nil, 0)
+	if !hasCode(l, CodeRoot) {
+		t.Errorf("missing root violation: %v", l)
+	}
+	if l := Check(nil, 4, 0, 0, nil, 0); len(l) == 0 {
+		t.Error("nil tree accepted")
+	}
+}
+
+func TestCheckDegree(t *testing.T) {
+	// Star: root 0 with 4 children.
+	parents := []int32{tree.NoParent, 0, 0, 0, 0}
+	tr, err := tree.FromParents(0, parents, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := Check(tr, 5, 0, 4, nil, 0); len(l) != 0 {
+		t.Fatalf("degree-4 star rejected at cap 4: %v", l)
+	}
+	l := Check(tr, 5, 0, 3, nil, 0)
+	if !hasCode(l, CodeDegree) {
+		t.Errorf("missing degree violation at cap 3: %v", l)
+	}
+}
+
+func TestCheckRadius(t *testing.T) {
+	tr := chain(t, 4)
+	if l := Check(tr, 4, 0, 0, unitDist, 3); len(l) != 0 {
+		t.Fatalf("correct radius rejected: %v", l)
+	}
+	l := Check(tr, 4, 0, 0, unitDist, 2.5)
+	if !hasCode(l, CodeRadius) {
+		t.Errorf("missing radius violation: %v", l)
+	}
+	// A relative error far below the tolerance passes.
+	if l := Check(tr, 4, 0, 0, unitDist, 3*(1+1e-13)); len(l) != 0 {
+		t.Errorf("tolerance too tight: %v", l)
+	}
+}
+
+func TestCheckWeightedRadius(t *testing.T) {
+	tr := chain(t, 3)
+	dist := func(i, j int) float64 { return float64(i + j) } // edges 0-1: 1, 1-2: 3
+	if l := Check(tr, 3, 0, 0, dist, 4); len(l) != 0 {
+		t.Fatalf("weighted radius rejected: %v", l)
+	}
+	if l := Check(tr, 3, 0, 0, dist, math.Pi); !hasCode(l, CodeRadius) {
+		t.Errorf("wrong weighted radius accepted")
+	}
+}
+
+func TestCheckParentsCycle(t *testing.T) {
+	// 3 <-> 4 form a cycle; 5 hangs off it. Nodes 0..2 are a valid chain.
+	parents := []int32{tree.NoParent, 0, 1, 4, 3, 3}
+	l := CheckParents(parents, 6, 0, 0, unitDist, 2)
+	if !hasCode(l, CodeCycle) {
+		t.Fatalf("missing cycle violation: %v", l)
+	}
+	for _, v := range l {
+		if v.Code == CodeCycle && !strings.Contains(v.Msg, "3 nodes") {
+			t.Errorf("cycle violation should count 3 bad nodes, got %q", v.Msg)
+		}
+		if v.Code == CodeRadius {
+			t.Errorf("radius checked on a non-spanning tree: %v", v)
+		}
+	}
+}
+
+func TestCheckParentsRange(t *testing.T) {
+	parents := []int32{tree.NoParent, 0, 9}
+	l := CheckParents(parents, 3, 0, 0, nil, 0)
+	if !hasCode(l, CodeParentRange) {
+		t.Errorf("missing parent-range violation: %v", l)
+	}
+	if hasCode(l, CodeCycle) {
+		t.Errorf("cycle check ran on unsound parents: %v", l)
+	}
+	l = CheckParents([]int32{0, tree.NoParent}, 2, 5, 0, nil, 0)
+	if !hasCode(l, CodeRoot) {
+		t.Errorf("missing out-of-range-root violation: %v", l)
+	}
+}
+
+func TestListError(t *testing.T) {
+	l := List{
+		{Code: CodeRoot, Msg: "tree rooted at 1, want 0"},
+		{Code: CodeDegree, Msg: "node 3 has out-degree 5 > 2"},
+	}
+	msg := l.Error()
+	for _, want := range []string{"root:", "degree:", ";"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	if l.Err() == nil {
+		t.Error("Err() dropped violations")
+	}
+}

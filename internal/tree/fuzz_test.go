@@ -1,0 +1,94 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// corpusTrees builds a few small representative trees (chain, star, binary
+// heap shape, singleton) whose binary encodings seed the fuzz corpus.
+func corpusTrees(tb testing.TB) []*Tree {
+	tb.Helper()
+	shapes := [][]int32{
+		{NoParent},
+		{NoParent, 0, 1, 2, 3},          // chain
+		{NoParent, 0, 0, 0, 0, 0},       // star
+		{NoParent, 0, 0, 1, 1, 2, 2},    // balanced binary
+		{2, 2, NoParent, 0, 1, 4, 3, 0}, // root in the middle
+	}
+	trees := make([]*Tree, 0, len(shapes))
+	for _, parents := range shapes {
+		root := 0
+		for i, p := range parents {
+			if p == NoParent {
+				root = i
+			}
+		}
+		tr, err := FromParents(root, parents, 0)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		trees = append(trees, tr)
+	}
+	return trees
+}
+
+// FuzzCodecRoundTrip throws arbitrary bytes at the binary decoder: anything
+// it accepts must re-encode to the identical byte string, survive a JSON
+// round-trip, and still validate as a tree; anything else must be rejected
+// with an error, never a panic.
+func FuzzCodecRoundTrip(f *testing.F) {
+	for _, tr := range corpusTrees(f) {
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		var out bytes.Buffer
+		if err := tr.WriteBinary(&out); err != nil {
+			t.Fatalf("re-encoding accepted tree: %v", err)
+		}
+		// The encoding is canonical, so decode(encode(decode(x))) must equal
+		// encode's output byte-for-byte. (out may be shorter than data when
+		// the input carried trailing garbage the decoder never read.)
+		back, err := ReadBinary(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("decoder rejected its own output: %v", err)
+		}
+		var again bytes.Buffer
+		if err := back.WriteBinary(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), again.Bytes()) {
+			t.Fatal("binary encoding not canonical under round-trip")
+		}
+		if err := tr.Validate(0); err != nil {
+			t.Fatalf("decoder accepted an invalid tree: %v", err)
+		}
+
+		// JSON round-trip preserves the tree exactly.
+		js, err := json.Marshal(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var viaJSON Tree
+		if err := json.Unmarshal(js, &viaJSON); err != nil {
+			t.Fatalf("JSON round-trip rejected: %v", err)
+		}
+		if viaJSON.Root() != tr.Root() || viaJSON.N() != tr.N() {
+			t.Fatal("JSON round-trip changed root or size")
+		}
+		for i := 0; i < tr.N(); i++ {
+			if viaJSON.Parent(i) != tr.Parent(i) {
+				t.Fatalf("JSON round-trip changed parent of node %d", i)
+			}
+		}
+	})
+}

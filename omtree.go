@@ -9,7 +9,8 @@
 // region around the source — and BuildBisection, the stand-alone
 // constant-factor approximation (factor 5 at out-degree 4, 9 at out-degree
 // 2). Node 0 of every resulting tree is the source; node i >= 1 is
-// receivers[i-1].
+// receivers[i-1]. Builds are deterministic; WithParallelism fans the
+// construction over a worker pool without changing the resulting tree.
 //
 // Supporting toolkits are re-exported here: baselines (Star, GreedyClosest,
 // BandwidthLatency, ...), the discrete-event overlay simulator (NewSim,
@@ -76,6 +77,10 @@ var (
 	WithForceK = core.WithForceK
 	// WithKMax caps the automatic ring search.
 	WithKMax = core.WithKMax
+	// WithParallelism fans the build over n workers (1 = serial; <= 0 =
+	// GOMAXPROCS for large inputs). Parallel and serial builds of the same
+	// input produce identical trees.
+	WithParallelism = core.WithParallelism
 )
 
 // Build runs Algorithm Polar_Grid over planar receivers (default: the
