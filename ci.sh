@@ -1,6 +1,7 @@
 #!/bin/sh
 # ci.sh — the repo's full gate: formatting, vet, the regular test suite,
-# and the race-detector run that guards the parallel build pipeline.
+# the race-detector run that guards the parallel build pipeline, and
+# short fuzz smokes over the codec and fault-schedule fuzzers.
 set -eu
 
 cd "$(dirname "$0")"
@@ -24,5 +25,10 @@ go test ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== fuzz smoke =="
+go test -run='^$' -fuzz='^FuzzWireRoundTrip$' -fuzztime=10s ./internal/core
+go test -run='^$' -fuzz='^FuzzCodecRoundTrip$' -fuzztime=10s ./internal/tree
+go test -run='^$' -fuzz='^FuzzFaultSchedule$' -fuzztime=10s ./internal/protocol
 
 echo "ci: all green"

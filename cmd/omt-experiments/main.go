@@ -47,6 +47,7 @@ func run() error {
 	baselines := flag.Bool("baselines", false, "compare against baseline heuristics")
 	churn := flag.Bool("churn", false, "decentralized protocol vs centralized build")
 	repairs := flag.Bool("repairs", false, "failure/repair robustness sweep")
+	faults := flag.Bool("faults", false, "unreliable control plane: loss sweep with self-healing")
 	scale := flag.Bool("scale", false, "large-n comparison vs the k-d-tree greedy")
 	dims := flag.Bool("dims", false, "delay convergence across dimensions 2..5")
 	all := flag.Bool("all", false, "run everything")
@@ -62,9 +63,9 @@ func run() error {
 
 	if *all {
 		*table1, *fig4, *fig5, *fig6, *fig7, *fig8 = true, true, true, true, true, true
-		*baselines, *churn, *dims, *repairs, *scale = true, true, true, true, true
+		*baselines, *churn, *dims, *repairs, *scale, *faults = true, true, true, true, true, true
 	}
-	if !*table1 && !*fig4 && !*fig5 && !*fig6 && !*fig7 && !*fig8 && !*baselines && !*churn && !*dims && !*repairs && !*scale {
+	if !*table1 && !*fig4 && !*fig5 && !*fig6 && !*fig7 && !*fig8 && !*baselines && !*churn && !*dims && !*repairs && !*scale && !*faults {
 		flag.Usage()
 		return fmt.Errorf("nothing selected (try -all)")
 	}
@@ -96,6 +97,7 @@ func run() error {
 		Churn     []experiment.ChurnRow    `json:"churn,omitempty"`
 		Dims      []experiment.DimRow      `json:"dims,omitempty"`
 		Repairs   []experiment.RepairRow   `json:"repairs,omitempty"`
+		Faults    []experiment.FaultRow    `json:"faults,omitempty"`
 	}{Seed: *seed}
 
 	need2D := *table1 || *fig4 || *fig5 || *fig6 || *fig7
@@ -247,6 +249,23 @@ func run() error {
 		}
 		manifest.Repairs = rows
 		if err := experiment.RepairTable(rows, 2000).Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if *faults {
+		fmt.Println("Unreliable control plane (n = 500, degree 6):")
+		fmt.Println()
+		rows, err := experiment.RunFaultSweep(experiment.FaultSweepConfig{
+			N: 500, LossRates: []float64{0, 0.05, 0.10, 0.20, 0.30},
+			Trials: trialsForExtensions(nTrials), Seed: *seed, MaxOutDegree: 6,
+		})
+		if err != nil {
+			return err
+		}
+		manifest.Faults = rows
+		if err := experiment.FaultTable(rows, 500).Render(os.Stdout); err != nil {
 			return err
 		}
 		fmt.Println()

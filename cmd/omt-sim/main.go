@@ -6,6 +6,16 @@
 //
 // It prints the simulated delivery (cross-checked against the analytic
 // radius), the damage failures cause, and the post-repair delay.
+//
+// With -loss or -crash-rate, omt-sim instead runs the decentralized
+// protocol over a fault-injected control plane: members join under message
+// loss, -fail members crash without warning, heartbeat rounds run while the
+// network misbehaves, and injection then stops so the overlay self-heals.
+// It prints the degradation metrics (retries, timeouts, lost attempts,
+// mid-operation crashes, coverage) and the healed tree's data-plane
+// delivery ratio under the same link loss.
+//
+//	omt-sim -n 1000 -degree 6 -seed 1 -loss 0.2 -crash-rate 0.01 -fail 5
 package main
 
 import (
@@ -32,8 +42,14 @@ func run(args []string) error {
 	failCount := fs.Int("fail", 0, "number of internal nodes to fail mid-session")
 	repairFlag := fs.String("repair", "bestdelay", "repair strategy: grandparent or bestdelay")
 	procDelay := fs.Float64("proc", 0, "per-hop forwarding delay")
+	loss := fs.Float64("loss", 0, "control/data message loss probability in [0, 1)")
+	crashRate := fs.Float64("crash-rate", 0, "per-message chance the destination crashes, in [0, 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *loss > 0 || *crashRate > 0 {
+		return runFaulty(*n, *degree, *packets, *failCount, *seed, *loss, *crashRate)
 	}
 
 	var strategy omtree.RepairStrategy
@@ -120,6 +136,113 @@ func run(args []string) error {
 		}
 	}
 	fmt.Printf("post-repair delivery: max delay %.4f, %d survivors missing\n", d2.MaxDelay, missing)
+	return nil
+}
+
+// runFaulty exercises the decentralized protocol over a fault-injected
+// control plane and reports degradation and recovery.
+func runFaulty(n, degree, packets, failCount int, seed uint64, loss, crashRate float64) error {
+	fmt.Printf("unreliable control plane: loss %.0f%%, duplication %.0f%%, crash rate %.2f%%\n",
+		100*loss, 100*loss/2, 100*crashRate)
+
+	o, err := omtree.NewOverlay(omtree.OverlayConfig{
+		Source: omtree.Point2{}, Scale: 1,
+		K: omtree.SuggestOverlayK(n), MaxOutDegree: degree,
+	})
+	if err != nil {
+		return err
+	}
+	plane, err := omtree.NewFaultPlane(omtree.FaultScenario{
+		Seed: seed, LossRate: loss, DupRate: loss / 2,
+		CrashRate: crashRate, DelayMean: 0.1,
+	})
+	if err != nil {
+		return err
+	}
+	fcfg := omtree.DefaultOverlayFaultConfig()
+	if err := o.SetTransport(plane, fcfg); err != nil {
+		return err
+	}
+
+	// Members join while the network misbehaves; some give up after
+	// exhausting their retry budget.
+	r := omtree.NewRand(seed)
+	refused := 0
+	live := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		id, _, err := o.Join(r.UniformDisk(1))
+		if err != nil {
+			refused++
+			continue
+		}
+		live = append(live, id)
+	}
+
+	// Crash -fail members without warning, then run heartbeat rounds with
+	// injection still active.
+	crashed := 0
+	for crashed < failCount && len(live) > 0 {
+		pick := r.Intn(len(live))
+		id := live[pick]
+		live[pick] = live[len(live)-1]
+		live = live[:len(live)-1]
+		// A mid-operation crash may have taken the node already.
+		if o.FailAbrupt(id) == nil {
+			crashed++
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := o.MaintenanceRound(); err != nil {
+			return err
+		}
+	}
+
+	st := &o.Stats
+	fmt.Printf("joins: %d admitted, %d gave up; %d crashed by operator, %d mid-operation\n",
+		n-refused, refused, crashed, st.InjectedCrashes)
+	fmt.Printf("transport: %d retries, %d timeouts, %d attempts lost, %d duplicates delivered\n",
+		st.Retries, st.Timeouts, st.MessagesLost, st.DuplicatesDelivered)
+	fmt.Printf("degraded coverage: %.1f%% of live members reachable from the source\n",
+		100*o.CoverageRatio())
+
+	// Injection stops; the heartbeat detector converges the overlay back to
+	// a clean audit.
+	plane.SetActive(false)
+	rounds, err := o.Converge(fcfg.ConfirmAfter + 12)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("self-heal: audit clean after %d rounds (%d false suspicions, %d false confirms, %d elections)\n",
+		rounds, st.FalseSuspects, st.FalseConfirms, st.RepElections)
+
+	// Data plane on the healed tree, links dropping at the same rate.
+	t, pts, _, err := o.Snapshot()
+	if err != nil {
+		return err
+	}
+	radius := t.Radius(func(i, j int) float64 { return pts[i].Dist(pts[j]) })
+	sim, err := omtree.NewSim(t, omtree.SimConfig{
+		Latency: func(i, j int) float64 { return pts[i].Dist(pts[j]) },
+		Drop:    omtree.LinkDrop(seed^0xd07a, loss),
+	})
+	if err != nil {
+		return err
+	}
+	session := sim.Session(packets, 2*radius, nil)
+	missed, drops, forwards := 0, 0, 0
+	for _, l := range session.Lost {
+		missed += l
+	}
+	for _, d := range session.Deliveries {
+		drops += d.LinkDrops
+		forwards += d.Forwards
+	}
+	ratio := 1.0
+	if recvs := t.N() - 1; recvs > 0 {
+		ratio = 1 - float64(missed)/float64(packets*recvs)
+	}
+	fmt.Printf("data plane: %d members, radius %.4f; %d/%d transmissions dropped -> %.2f%% of deliveries made\n",
+		t.N()-1, radius, drops, forwards, 100*ratio)
 	return nil
 }
 

@@ -27,3 +27,19 @@ func TestRunRejectsBadStrategy(t *testing.T) {
 		t.Error("accepted unknown repair strategy")
 	}
 }
+
+func TestRunFaulty(t *testing.T) {
+	if err := run([]string{"-n", "300", "-degree", "6", "-seed", "3",
+		"-loss", "0.2", "-crash-rate", "0.005", "-fail", "3", "-packets", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFaultyRejectsBadRates(t *testing.T) {
+	if err := run([]string{"-n", "100", "-loss", "1.5"}); err == nil {
+		t.Error("accepted loss rate 1.5")
+	}
+	if err := run([]string{"-n", "100", "-crash-rate", "-0.1", "-loss", "0.1"}); err == nil {
+		t.Error("accepted negative crash rate")
+	}
+}

@@ -89,6 +89,44 @@ func main() {
 	}
 	report("after 200 more joins:")
 
+	// The network turns hostile: 15% of control messages vanish, some are
+	// duplicated, and the occasional peer crashes mid-conversation. Joins
+	// retry with backoff (and may give up); heartbeats keep running.
+	plane, err := omtree.NewFaultPlane(omtree.FaultScenario{
+		Seed: 778, LossRate: 0.15, DupRate: 0.05, CrashRate: 0.002, DelayMean: 0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fcfg := omtree.DefaultOverlayFaultConfig()
+	if err := overlay.SetTransport(plane, fcfg); err != nil {
+		log.Fatal(err)
+	}
+	refused := 0
+	for i := 0; i < 300; i++ {
+		if _, _, err := overlay.Join(r.UniformDisk(1)); err != nil {
+			refused++
+		}
+		if i%50 == 49 {
+			if _, err := overlay.MaintenanceRound(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("%-28s %d joins refused, %d retries, %d mid-op crashes, coverage %.1f%%\n",
+		"under 15% message loss:", refused, overlay.Stats.Retries,
+		overlay.Stats.InjectedCrashes, 100*overlay.CoverageRatio())
+
+	// Loss stops; the failure detector converges the overlay back to a
+	// clean structural audit within a bounded number of heartbeat rounds.
+	plane.SetActive(false)
+	rounds, err := overlay.Converge(fcfg.ConfirmAfter + 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s audit clean after %d heartbeat rounds\n", "self-healed:", rounds)
+	report("after self-healing:")
+
 	tr, _, _, err := overlay.Snapshot()
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunFaultSweep(t *testing.T) {
+	cfg := FaultSweepConfig{
+		N: 60, LossRates: []float64{0, 0.25},
+		Ops: 80, Trials: 2, Seed: 99, MaxOutDegree: 5,
+	}
+	rows, err := RunFaultSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	reliable, lossy := rows[0], rows[1]
+	if reliable.Loss != 0 || lossy.Loss != 0.25 {
+		t.Fatalf("loss columns %v, %v", reliable.Loss, lossy.Loss)
+	}
+	// Zero link loss still degrades the control plane (crashes and
+	// over-timeout delays remain in the scenario), but the data plane on the
+	// healed tree must be perfect.
+	if reliable.DeliveryRatio != 1 {
+		t.Errorf("delivery at zero loss = %v", reliable.DeliveryRatio)
+	}
+	// Injected loss must surface as additional retries and lost attempts,
+	// and as data-plane misses; healing must still complete (RunFaultSweep
+	// errors otherwise).
+	if lossy.RetriesPerMsg <= reliable.RetriesPerMsg || lossy.LossPerMsg <= reliable.LossPerMsg {
+		t.Errorf("loss added no transport overhead:\nzero: %+v\n25%%: %+v", reliable, lossy)
+	}
+	if lossy.DeliveryRatio >= 1 || lossy.DeliveryRatio <= 0 {
+		t.Errorf("delivery ratio at 25%% loss = %v", lossy.DeliveryRatio)
+	}
+	for _, r := range rows {
+		if r.PreCoverage <= 0 || r.PreCoverage > 1 {
+			t.Errorf("coverage %v at loss %v", r.PreCoverage, r.Loss)
+		}
+		if math.IsNaN(r.ConvergeRounds) || r.ConvergeRounds < 0 {
+			t.Errorf("rounds %v at loss %v", r.ConvergeRounds, r.Loss)
+		}
+	}
+
+	// Determinism: the whole sweep replays identically.
+	again, err := RunFaultSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Errorf("row %d differs on replay:\n%+v\n%+v", i, rows[i], again[i])
+		}
+	}
+
+	var buf strings.Builder
+	if err := FaultTable(rows, cfg.N).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "25%") {
+		t.Errorf("table missing loss column:\n%s", buf.String())
+	}
+}
+
+func TestRunFaultSweepValidation(t *testing.T) {
+	if _, err := RunFaultSweep(FaultSweepConfig{}); err == nil {
+		t.Error("accepted empty config")
+	}
+	if _, err := RunFaultSweep(FaultSweepConfig{
+		N: 50, LossRates: []float64{1.5}, Trials: 1, MaxOutDegree: 4,
+	}); err == nil {
+		t.Error("accepted loss rate 1.5")
+	}
+	if _, err := RunFaultSweep(FaultSweepConfig{
+		N: 50, LossRates: []float64{0.1}, Trials: 1, MaxOutDegree: 2,
+	}); err == nil {
+		t.Error("accepted degree 2")
+	}
+}

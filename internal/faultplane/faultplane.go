@@ -1,0 +1,172 @@
+// Package faultplane injects deterministic, seeded network faults into the
+// decentralized protocol's control plane. A Plane sits under the overlay as
+// its message transport and decides, per message attempt, whether the
+// network loses it, delivers it twice, delays it past the sender's timeout,
+// or crashes the destination host mid-operation.
+//
+// Every decision is drawn from one xoshiro256++ stream seeded by the
+// scenario, so an identical scenario driving an identical message sequence
+// reproduces an identical fault schedule — chaos tests replay bit-for-bit,
+// and a failing seed is a complete repro.
+//
+// The package also provides LinkDrop, an order-independent per-(edge,
+// packet) loss predicate for the data plane (internal/netsim), so control-
+// and data-plane loss experiments can share one loss rate.
+package faultplane
+
+import (
+	"fmt"
+	"math"
+
+	"omtree/internal/rng"
+)
+
+// Scenario configures the fault mix. The zero value injects nothing.
+type Scenario struct {
+	// Seed drives every fault decision.
+	Seed uint64
+	// LossRate is the probability the network consumes a message attempt.
+	LossRate float64
+	// DupRate is the probability a delivered message arrives a second time
+	// (the receiver's handler runs twice; handlers must be idempotent).
+	DupRate float64
+	// CrashRate is the probability the destination host crashes upon
+	// receipt, taking the message down with it.
+	CrashRate float64
+	// DelayMean is the mean of the exponential extra latency added to each
+	// delivered message; 0 disables delays. A delay beyond the sender's
+	// timeout behaves like a loss (the retry's effect subsumes the late
+	// delivery, which is safe because handlers are idempotent).
+	DelayMean float64
+}
+
+// Validate rejects rates outside [0, 1] and negative or non-finite delays.
+func (s Scenario) Validate() error {
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"LossRate", s.LossRate},
+		{"DupRate", s.DupRate},
+		{"CrashRate", s.CrashRate},
+	}
+	for _, r := range rates {
+		if math.IsNaN(r.v) || r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faultplane: %s %v outside [0, 1]", r.name, r.v)
+		}
+	}
+	if math.IsNaN(s.DelayMean) || math.IsInf(s.DelayMean, 0) || s.DelayMean < 0 {
+		return fmt.Errorf("faultplane: DelayMean %v must be finite and non-negative", s.DelayMean)
+	}
+	return nil
+}
+
+// Outcome is the fate the plane assigns one message attempt.
+type Outcome struct {
+	// Lost: the network consumed the message; the receiver never sees it.
+	Lost bool
+	// Duplicate: the message arrives twice; the handler runs twice.
+	Duplicate bool
+	// CrashDest: the destination host crashes on receipt.
+	CrashDest bool
+	// Delay is extra latency added to the delivery.
+	Delay float64
+}
+
+// Stats counts the faults injected so far.
+type Stats struct {
+	Attempts   int
+	Lost       int
+	Duplicated int
+	Crashes    int
+	DelaySum   float64
+}
+
+// Plane is a seeded fault injector implementing the overlay protocol's
+// Transport contract.
+type Plane struct {
+	sc     Scenario
+	r      *rng.Rand
+	active bool
+
+	// Stats accumulates the injected faults.
+	Stats Stats
+}
+
+// New validates the scenario and returns an active plane.
+func New(sc Scenario) (*Plane, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &Plane{sc: sc, r: rng.New(sc.Seed), active: true}, nil
+}
+
+// SetActive toggles injection. An inactive plane delivers every message
+// intact and instantly — the "injection stops" phase of a chaos run.
+func (p *Plane) SetActive(on bool) { p.active = on }
+
+// Active reports whether faults are currently injected.
+func (p *Plane) Active() bool { return p.active }
+
+// Scenario returns the plane's configuration.
+func (p *Plane) Scenario() Scenario { return p.sc }
+
+// Attempt decides the fate of one control-message attempt from -> to. The
+// endpoints do not influence the draw (faults are link-agnostic), but are
+// part of the contract so planes that model per-link conditions can slot in.
+func (p *Plane) Attempt(from, to int32) Outcome {
+	_, _ = from, to
+	p.Stats.Attempts++
+	var out Outcome
+	if !p.active {
+		return out
+	}
+	if p.sc.LossRate > 0 && p.r.Float64() < p.sc.LossRate {
+		out.Lost = true
+		p.Stats.Lost++
+		return out
+	}
+	if p.sc.CrashRate > 0 && p.r.Float64() < p.sc.CrashRate {
+		out.CrashDest = true
+		p.Stats.Crashes++
+	}
+	if p.sc.DupRate > 0 && p.r.Float64() < p.sc.DupRate {
+		out.Duplicate = true
+		p.Stats.Duplicated++
+	}
+	if p.sc.DelayMean > 0 {
+		// Inverse-CDF exponential; 1-u keeps the argument in (0, 1].
+		out.Delay = -math.Log(1-p.r.Float64()) * p.sc.DelayMean
+		p.Stats.DelaySum += out.Delay
+	}
+	return out
+}
+
+// Jitter returns a uniform [0, 1) draw from the plane's stream, used by the
+// protocol to jitter its retry backoff deterministically.
+func (p *Plane) Jitter() float64 { return p.r.Float64() }
+
+// mix64 is the splitmix64 finalizer, used to hash rather than stream.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// LinkDrop returns a deterministic per-(edge, packet) drop predicate with
+// the given loss probability, for the data-plane simulator. It hashes the
+// coordinates instead of consuming a stream, so the verdict for a given
+// (from, to, packet) triple does not depend on evaluation order. A rate of
+// zero (or less) returns nil, meaning no losses.
+func LinkDrop(seed uint64, rate float64) func(from, to, packet int) bool {
+	if rate <= 0 {
+		return nil
+	}
+	return func(from, to, packet int) bool {
+		h := seed
+		for _, v := range [...]uint64{uint64(from), uint64(to), uint64(packet)} {
+			h = mix64(h ^ (v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)))
+		}
+		return float64(h>>11)/(1<<53) < rate
+	}
+}

@@ -1,0 +1,128 @@
+package faultplane
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Scenario{
+		{LossRate: -0.1},
+		{LossRate: 1.5},
+		{DupRate: math.NaN()},
+		{CrashRate: 2},
+		{DelayMean: -1},
+		{DelayMean: math.Inf(1)},
+	}
+	for _, sc := range bad {
+		if _, err := New(sc); err == nil {
+			t.Errorf("accepted invalid scenario %+v", sc)
+		}
+	}
+	if _, err := New(Scenario{Seed: 1, LossRate: 0.3, DupRate: 0.1, CrashRate: 0.01, DelayMean: 0.2}); err != nil {
+		t.Fatalf("rejected valid scenario: %v", err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	sc := Scenario{Seed: 42, LossRate: 0.25, DupRate: 0.1, CrashRate: 0.02, DelayMean: 0.3}
+	a, _ := New(sc)
+	b, _ := New(sc)
+	for i := 0; i < 5000; i++ {
+		oa := a.Attempt(int32(i%7), int32(i%11))
+		ob := b.Attempt(int32(i%7), int32(i%11))
+		if oa != ob {
+			t.Fatalf("attempt %d diverged: %+v vs %+v", i, oa, ob)
+		}
+		if a.Jitter() != b.Jitter() {
+			t.Fatalf("jitter %d diverged", i)
+		}
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+func TestRatesRoughlyHonored(t *testing.T) {
+	sc := Scenario{Seed: 7, LossRate: 0.3, DupRate: 0.2, CrashRate: 0.05, DelayMean: 0.5}
+	p, _ := New(sc)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		p.Attempt(0, 1)
+	}
+	lossFrac := float64(p.Stats.Lost) / n
+	if math.Abs(lossFrac-sc.LossRate) > 0.02 {
+		t.Errorf("loss fraction %.3f far from %.2f", lossFrac, sc.LossRate)
+	}
+	// Dup/crash/delay are drawn only for delivered messages.
+	delivered := float64(n - p.Stats.Lost)
+	if dupFrac := float64(p.Stats.Duplicated) / delivered; math.Abs(dupFrac-sc.DupRate) > 0.02 {
+		t.Errorf("dup fraction %.3f far from %.2f", dupFrac, sc.DupRate)
+	}
+	if meanDelay := p.Stats.DelaySum / delivered; math.Abs(meanDelay-sc.DelayMean) > 0.05 {
+		t.Errorf("mean delay %.3f far from %.2f", meanDelay, sc.DelayMean)
+	}
+}
+
+func TestInactivePlaneIsReliable(t *testing.T) {
+	p, _ := New(Scenario{Seed: 3, LossRate: 1, DupRate: 1, CrashRate: 1, DelayMean: 10})
+	p.SetActive(false)
+	for i := 0; i < 100; i++ {
+		if out := p.Attempt(1, 2); out != (Outcome{}) {
+			t.Fatalf("inactive plane injected %+v", out)
+		}
+	}
+	if p.Active() {
+		t.Error("Active() should be false")
+	}
+	p.SetActive(true)
+	if out := p.Attempt(1, 2); !out.Lost {
+		t.Error("reactivated plane with LossRate 1 delivered a message")
+	}
+}
+
+func TestZeroScenarioInjectsNothing(t *testing.T) {
+	p, _ := New(Scenario{Seed: 9})
+	for i := 0; i < 100; i++ {
+		if out := p.Attempt(0, 1); out != (Outcome{}) {
+			t.Fatalf("zero scenario injected %+v", out)
+		}
+	}
+}
+
+func TestLinkDrop(t *testing.T) {
+	if LinkDrop(1, 0) != nil {
+		t.Error("rate 0 should return nil")
+	}
+	drop := LinkDrop(11, 0.3)
+	// Order independence: same triple, same verdict, any time.
+	first := drop(3, 4, 5)
+	for i := 0; i < 10; i++ {
+		drop(i, i+1, i+2)
+	}
+	if drop(3, 4, 5) != first {
+		t.Error("verdict depends on evaluation order")
+	}
+	// Rate roughly honored.
+	dropped := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if drop(i%100, (i+1)%100, i) {
+			dropped++
+		}
+	}
+	if frac := float64(dropped) / n; math.Abs(frac-0.3) > 0.02 {
+		t.Errorf("drop fraction %.3f far from 0.30", frac)
+	}
+	// Different seeds give different schedules.
+	other := LinkDrop(12, 0.3)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if drop(i, i+1, 0) == other(i, i+1, 0) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Error("two seeds produced identical schedules")
+	}
+}

@@ -37,6 +37,10 @@ const (
 	CodeDegree Code = "degree"
 	// CodeRadius: the reported radius disagrees with a fresh recomputation.
 	CodeRadius Code = "radius"
+	// CodeSymmetry: a doubly-linked parent/children representation
+	// disagrees with itself (dangling, duplicated, or unacknowledged child
+	// entries).
+	CodeSymmetry Code = "symmetry"
 )
 
 // Violation is one broken invariant.
@@ -184,6 +188,60 @@ func CheckParents(parents []int32, n, root, maxOutDegree int, dist tree.DistFunc
 		if got := recomputeRadius(parents, root, dist); !closeEnough(got, radius) {
 			list = append(list, Violation{CodeRadius,
 				fmt.Sprintf("reported radius %v, recomputed %v", radius, got)})
+		}
+	}
+	return list
+}
+
+// CheckSymmetry audits a doubly-linked tree representation — a parent
+// pointer and a child list per node, as the live overlay protocol keeps —
+// for internal consistency: every child-list entry must be in range, must
+// name exactly this node as its parent, and must appear in exactly one
+// child list overall; conversely every node with an in-range parent must
+// appear in that parent's list. Entries with negative parents (roots,
+// detached, or tombstoned nodes) must appear in no list. This is exactly
+// the corruption that duplicated or lost control messages would inflict
+// on an overlay (double attach, half-completed detach), which the
+// snapshot-based checks cannot see because building the snapshot already
+// trusts the child lists.
+func CheckSymmetry(parents []int32, children [][]int32) List {
+	var list List
+	if len(parents) != len(children) {
+		return List{{Code: CodeSymmetry,
+			Msg: fmt.Sprintf("%d parent entries vs %d child lists", len(parents), len(children))}}
+	}
+	n := len(parents)
+	listed := make([]int32, n) // listed[c] = 1 + parent whose list holds c
+	for p := range children {
+		for _, c := range children[p] {
+			if c < 0 || int(c) >= n {
+				list = append(list, Violation{CodeSymmetry,
+					fmt.Sprintf("node %d lists child %d outside [0, %d)", p, c, n)})
+				continue
+			}
+			if listed[c] != 0 {
+				list = append(list, Violation{CodeSymmetry,
+					fmt.Sprintf("node %d appears in the child lists of both %d and %d",
+						c, listed[c]-1, p)})
+				continue
+			}
+			listed[c] = int32(p) + 1
+			if parents[c] != int32(p) {
+				list = append(list, Violation{CodeSymmetry,
+					fmt.Sprintf("node %d lists child %d, whose parent is %d", p, c, parents[c])})
+			}
+		}
+	}
+	for i, p := range parents {
+		if p >= 0 && int(p) < n && listed[i] == 0 {
+			// listed != 0 with the wrong parent was already flagged above.
+			list = append(list, Violation{CodeSymmetry,
+				fmt.Sprintf("node %d has parent %d but is missing from its child list", i, p)})
+		}
+		if p < 0 && listed[i] != 0 {
+			list = append(list, Violation{CodeSymmetry,
+				fmt.Sprintf("node %d has no parent but appears in the child list of %d",
+					i, listed[i]-1)})
 		}
 	}
 	return list

@@ -148,3 +148,38 @@ func TestListError(t *testing.T) {
 		t.Error("Err() dropped violations")
 	}
 }
+
+func TestCheckSymmetry(t *testing.T) {
+	// A consistent doubly-linked chain with a detached tombstone (node 3,
+	// parent -2, in no list) passes.
+	parents := []int32{-1, 0, 1, -2}
+	children := [][]int32{{1}, {2}, nil, nil}
+	if l := CheckSymmetry(parents, children); len(l) != 0 {
+		t.Fatalf("consistent state rejected: %v", l)
+	}
+
+	// Duplicate attach: node 2 in two child lists.
+	if l := CheckSymmetry([]int32{-1, 0, 0}, [][]int32{{1, 2}, {2}, nil}); !hasCode(l, CodeSymmetry) {
+		t.Error("duplicate child entry not flagged")
+	}
+	// Dangling entry: node 1 listed under 0 but claims parent 2.
+	if l := CheckSymmetry([]int32{-1, 2, 0}, [][]int32{{1, 2}, nil, nil}); !hasCode(l, CodeSymmetry) {
+		t.Error("child/parent mismatch not flagged")
+	}
+	// Half-completed detach: node 1 has parent 0 but is in no list.
+	if l := CheckSymmetry([]int32{-1, 0}, [][]int32{nil, nil}); !hasCode(l, CodeSymmetry) {
+		t.Error("missing child entry not flagged")
+	}
+	// Tombstone still wired into a list.
+	if l := CheckSymmetry([]int32{-1, -2}, [][]int32{{1}, nil}); !hasCode(l, CodeSymmetry) {
+		t.Error("parentless node in a child list not flagged")
+	}
+	// Out-of-range child entry.
+	if l := CheckSymmetry([]int32{-1}, [][]int32{{7}}); !hasCode(l, CodeSymmetry) {
+		t.Error("out-of-range child not flagged")
+	}
+	// Mismatched array lengths.
+	if l := CheckSymmetry([]int32{-1, 0}, [][]int32{nil}); !hasCode(l, CodeSymmetry) {
+		t.Error("length mismatch not flagged")
+	}
+}

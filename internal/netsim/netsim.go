@@ -42,6 +42,14 @@ type Config struct {
 	// (edge, packet) pair. It may be random; determinism is up to the
 	// caller's function.
 	Jitter func(from, to, packet int) float64
+	// Drop, when non-nil, reports whether the transmission of `packet`
+	// over the link from -> to is lost in flight. The bandwidth is still
+	// spent (Forwards counts it) but nothing arrives, so the receiver's
+	// whole subtree misses the packet — overlay multicast has no
+	// retransmission on the data path. faultplane.LinkDrop provides a
+	// deterministic seeded implementation matching the control plane's
+	// loss rate.
+	Drop func(from, to, packet int) bool
 }
 
 // Sim simulates multicast over one tree.
@@ -85,6 +93,9 @@ type Delivery struct {
 	MaxDelay float64
 	// Forwards counts link transmissions performed.
 	Forwards int
+	// LinkDrops counts transmissions lost in flight (Config.Drop fired);
+	// each is also counted in Forwards — the sender spent the uplink.
+	LinkDrops int
 }
 
 // event is a packet arrival at a node.
@@ -175,6 +186,10 @@ func (s *Sim) MulticastAt(start float64, packet int, failures []Failure) Deliver
 				continue
 			}
 			d.Forwards++
+			if s.cfg.Drop != nil && s.cfg.Drop(int(e.node), int(c), packet) {
+				d.LinkDrops++
+				continue
+			}
 			h.push(event{time: sendAt + lat, node: c})
 		}
 	}

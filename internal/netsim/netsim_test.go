@@ -332,3 +332,52 @@ func TestRepairedTreeStillDelivers(t *testing.T) {
 		t.Error("simulated delay disagrees with repaired radius")
 	}
 }
+
+func TestLinkDrop(t *testing.T) {
+	tr, dist := buildDiskTree(t, 12, 200, 6)
+
+	// Drop everything out of the root: only the root receives.
+	s, err := New(tr, Config{Latency: dist, Drop: func(from, to, packet int) bool {
+		return from == 0
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Multicast()
+	got := 0
+	for _, r := range d.Received {
+		if r {
+			got++
+		}
+	}
+	if got != 1 {
+		t.Errorf("%d nodes received despite all root links dropping", got)
+	}
+	if d.LinkDrops == 0 || d.LinkDrops > d.Forwards {
+		t.Errorf("LinkDrops %d inconsistent with Forwards %d", d.LinkDrops, d.Forwards)
+	}
+
+	// A deterministic drop function yields identical deliveries on replay,
+	// and every node past a dropped link misses the packet together with
+	// its whole subtree.
+	drop := func(from, to, packet int) bool { return (from*31+to*7+packet)%5 == 0 }
+	s2, err := New(tr, Config{Latency: dist, Drop: drop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s2.MulticastAt(0, 3, nil)
+	b := s2.MulticastAt(0, 3, nil)
+	for i := range a.Received {
+		if a.Received[i] != b.Received[i] {
+			t.Fatalf("node %d delivery differs on replay", i)
+		}
+	}
+	for i := 1; i < tr.N(); i++ {
+		if a.Received[i] && !a.Received[tr.Parent(i)] {
+			t.Errorf("node %d received but its parent %d did not", i, tr.Parent(i))
+		}
+	}
+	if a.LinkDrops == 0 {
+		t.Error("deterministic drop function never fired")
+	}
+}

@@ -144,6 +144,7 @@ func TestChurnWithAbruptFailuresQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 	var live []int
+	dirty := false // unrepaired abrupt failures outstanding
 	for step := 0; step < 400; step++ {
 		switch {
 		case len(live) > 5 && r.Float64() < 0.2:
@@ -154,16 +155,25 @@ func TestChurnWithAbruptFailuresQuick(t *testing.T) {
 			if err := o.FailAbrupt(id); err != nil {
 				t.Fatal(err)
 			}
+			dirty = true
 		case len(live) > 5 && r.Float64() < 0.2:
 			if _, err := o.DetectAndRepair(); err != nil {
 				t.Fatal(err)
 			}
+			dirty = false
 		default:
 			id, _, err := o.Join(r.UniformDisk(1))
 			if err != nil {
 				t.Fatal(err)
 			}
 			live = append(live, id)
+		}
+		// Audit after every operation; while crashes are undetected the
+		// overlay is legitimately degraded, so audit only when repaired.
+		if !dirty {
+			if err := o.Audit(); err != nil {
+				t.Fatalf("audit after step %d: %v", step, err)
+			}
 		}
 	}
 	if _, err := o.DetectAndRepair(); err != nil {

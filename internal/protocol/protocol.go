@@ -18,11 +18,22 @@
 // delay quality can be compared against a fresh centralized build — the
 // price of decentralization.
 //
-// Simplifications versus a deployable protocol, chosen to keep the model
-// analyzable: control messages are reliable and ordered, there is no
-// concurrency between operations, and the grid depth k is fixed at session
-// start (a production system would re-deepen the grid as membership grows;
-// Rebuild measures what that buys).
+// The control plane does not assume a friendly network. Control traffic
+// can be routed through a Transport (internal/faultplane provides a seeded
+// injector) that drops, duplicates, delays, and crashes mid-operation;
+// senders bound each exchange with timeouts and retries under exponential
+// backoff with jitter, handlers are idempotent so duplicates and retried
+// late deliveries are safe, and a heartbeat failure detector
+// (MaintenanceRound) moves silent nodes through alive -> suspected ->
+// confirmed-dead before repairing around them — false suspicion degrades
+// to wasted messages, never a corrupted tree. With no transport attached
+// the session behaves as the original analyzable model: every message
+// delivered, exactly once, instantly.
+//
+// Remaining simplifications: there is no concurrency between operations,
+// and the grid depth k is fixed at session start (a production system
+// would re-deepen the grid as membership grows; Rebuild measures what that
+// buys).
 package protocol
 
 import (
@@ -74,6 +85,10 @@ type node struct {
 	delay    float64 // measured source-to-node delay (nodes observe this)
 	alive    bool
 	isRep    bool
+	// susp counts consecutive heartbeat rounds in which every monitor of
+	// this node observed silence (the failure detector's state: 0 alive,
+	// >= FaultConfig.SuspectAfter suspected, >= ConfirmAfter confirmed).
+	susp int
 }
 
 const (
@@ -94,6 +109,11 @@ type Overlay struct {
 	reps  []int32
 	alive int
 
+	// transport carries control messages when set; nil is the reliable
+	// default (every message delivered, exactly once, instantly).
+	transport Transport
+	fcfg      FaultConfig
+
 	// Stats accumulates control-message totals for the session.
 	Stats SessionStats
 }
@@ -109,14 +129,39 @@ type SessionStats struct {
 	Rebuilds         int
 	RebuildMessages  int
 	AbruptFailures   int
+
+	// Degradation accounting under an unreliable transport.
+	Retries             int // re-sent message attempts
+	Timeouts            int // exchanges that exhausted their retry budget
+	MessagesLost        int // attempts eaten (or over-delayed) by the network
+	DuplicatesDelivered int // attempts whose handler ran twice
+	InjectedCrashes     int // nodes killed mid-operation by the transport
+	Heartbeats          int // failure-detector probes sent
+	MaintenanceRounds   int
+	MaintenanceMessages int
+	FalseSuspects       int // live nodes that reached the suspected state
+	FalseConfirms       int // live nodes wrongly confirmed dead
+	OrphanNodeRounds    int // sum over rounds of live members still dark
 }
 
 // OpStats describes one operation's cost.
 type OpStats struct {
-	// Messages is the control messages this operation generated.
+	// Messages is the control messages this operation generated, retries
+	// included.
 	Messages int
 	// CoreHops is the representative-chain length walked by a join.
 	CoreHops int
+	// Retries counts re-sent attempts (zero under a reliable transport).
+	Retries int
+	// Timeouts counts exchanges that exhausted their retry budget.
+	Timeouts int
+	// Lost counts attempts the network ate or delayed past the timeout.
+	Lost int
+	// Duplicates counts attempts delivered (and handled) twice.
+	Duplicates int
+	// SimTime is the simulated wall time the operation spent waiting on
+	// deliveries and timeouts.
+	SimTime float64
 }
 
 // New starts a session containing only the source (node 0).
@@ -133,6 +178,7 @@ func New(cfg Config) (*Overlay, error) {
 		g:       g,
 		members: make([][]int32, g.NumCells()),
 		reps:    make([]int32, g.NumCells()),
+		fcfg:    DefaultFaultConfig(),
 	}
 	for i := range o.reps {
 		o.reps[i] = -1
@@ -236,34 +282,86 @@ func (o *Overlay) Join(p geom.Point2) (int, OpStats, error) {
 
 	// Route along the representative core: JOIN to the source, then one
 	// hop per ring toward the target cell.
-	st.Messages++ // new node -> source
+	if !o.exchange(id, 0, &st) {
+		o.nodes = o.nodes[:id] // roll back
+		o.Stats.JoinMessages += st.Messages
+		return 0, st, fmt.Errorf("protocol: join could not reach the source")
+	}
 	ring, idx := grid.RingIdx(int(cell))
-	st.CoreHops = o.coreRouteHops(ring, idx)
-	st.Messages += st.CoreHops
+	var routeOK bool
+	st.CoreHops, routeOK = o.coreRoute(ring, idx, id, &st)
 
 	if o.reps[cell] < 0 && cell != 0 {
 		// First member of the cell: become its representative and attach
 		// to the nearest occupied ancestor cell's representative.
 		anchor := o.ancestorAnchor(ring, idx, p, &st)
-		o.nodes[id].isRep = true
-		o.reps[cell] = id
-		o.attach(id, anchor)
-		st.Messages++ // attach handshake
+		if o.transport == nil {
+			o.reps[cell] = id
+			o.nodes[id].isRep = true
+			o.attach(id, anchor)
+			st.Messages++ // attach handshake
+		} else if o.exchange(id, anchor, &st) {
+			o.reps[cell] = id
+			o.nodes[id].isRep = true
+			o.attach(id, anchor)
+		} else {
+			// The anchor is unreachable: join as an ordinary member via a
+			// descent from the source. The cell stays representative-less
+			// until a maintenance round elects one.
+			parent := o.descendParent(p, o.residual, &st)
+			if parent < 0 || !o.exchange(id, parent, &st) {
+				o.nodes = o.nodes[:id] // roll back
+				o.Stats.JoinMessages += st.Messages
+				return 0, st, fmt.Errorf("protocol: join could not reach a parent")
+			}
+			o.attach(id, parent)
+		}
 	} else {
 		// Attach to the best member of the cell with spare degree; the
 		// representative answers the query with its member list (1 msg),
 		// then one handshake.
-		parent := o.bestLocalParent(cell, p, &st)
+		parent := int32(-1)
+		queried := routeOK
+		if o.transport != nil && queried {
+			if rep := o.reps[cell]; rep > 0 {
+				queried = o.exchange(id, rep, &st)
+			}
+		}
+		if queried {
+			parent = o.bestLocalParent(cell, p)
+			if parent >= 0 && o.transport == nil {
+				st.Messages++ // member-list query to the representative
+			}
+		}
 		if parent < 0 {
-			// Cell saturated: descend from the source toward the joiner.
+			// Cell saturated (or its representative unreachable): descend
+			// from the source toward the joiner.
 			parent = o.descendParent(p, o.residual, &st)
 			if parent < 0 {
 				o.nodes = o.nodes[:id] // roll back
 				return 0, st, fmt.Errorf("protocol: overlay out of capacity")
 			}
 		}
-		o.attach(id, parent)
-		st.Messages += 2 // query + handshake
+		if o.transport == nil {
+			o.attach(id, parent)
+			st.Messages += 2 // query + handshake
+		} else {
+			ok := o.exchange(id, parent, &st)
+			if !ok {
+				// The chosen parent went dark mid-join; fall back to a
+				// fresh descent before giving up.
+				if alt := o.descendParent(p, o.residual, &st); alt >= 0 {
+					parent = alt
+					ok = o.exchange(id, parent, &st)
+				}
+			}
+			if !ok {
+				o.nodes = o.nodes[:id] // roll back
+				o.Stats.JoinMessages += st.Messages
+				return 0, st, fmt.Errorf("protocol: join could not reach a parent")
+			}
+			o.attach(id, parent)
+		}
 	}
 
 	o.nodes[id].alive = true
@@ -274,18 +372,24 @@ func (o *Overlay) Join(p geom.Point2) (int, OpStats, error) {
 	return int(id), st, nil
 }
 
-// coreRouteHops counts representative-chain hops from the source to the
-// target cell: one per ring whose ancestor cell is occupied (empty
-// ancestor cells are skipped — the chain shortcuts them).
-func (o *Overlay) coreRouteHops(ring, idx int) int {
-	hops := 0
+// coreRoute forwards the JOIN along the representative chain from the
+// source to the target cell: one hop per ring whose ancestor cell has a
+// live representative (empty or dark ancestor cells are skipped — the
+// chain shortcuts them). ok reports whether every hop got through; a
+// broken route means the joiner never reached its cell's representative
+// and must fall back to a descent.
+func (o *Overlay) coreRoute(ring, idx int, joiner int32, st *OpStats) (hops int, ok bool) {
+	ok = true
 	for r, i := ring, idx; r >= 1; r-- {
-		if o.reps[grid.CellID(r, i)] >= 0 {
+		if rep := o.reps[grid.CellID(r, i)]; rep >= 0 && o.nodes[rep].alive {
 			hops++
+			if !o.exchange(joiner, rep, st) {
+				ok = false
+			}
 		}
 		i = grid.ParentCell(i)
 	}
-	return hops
+	return hops, ok
 }
 
 // ancestorAnchor finds the attachment point for a new cell representative:
@@ -295,7 +399,7 @@ func (o *Overlay) coreRouteHops(ring, idx int) int {
 func (o *Overlay) ancestorAnchor(ring, idx int, pos geom.Point2, st *OpStats) int32 {
 	i := grid.ParentCell(idx)
 	for r := ring - 1; r >= 1; r-- {
-		if rep := o.reps[grid.CellID(r, i)]; rep >= 0 {
+		if rep := o.reps[grid.CellID(r, i)]; rep >= 0 && o.nodes[rep].alive {
 			if o.residualAsCoreParent(rep) > 0 {
 				return rep
 			}
@@ -324,15 +428,16 @@ func (o *Overlay) residualAsCoreParent(id int32) int {
 	return r
 }
 
-// bestLocalParent returns the cell member (or, for ring 0, the source)
-// with spare degree minimizing the child's resulting delay: the parent's
-// measured source delay plus the new unicast hop — both locally known (the
-// parent observes its own delay, the joiner can ping the candidates).
-func (o *Overlay) bestLocalParent(cell int32, p geom.Point2, st *OpStats) int32 {
+// bestLocalParent returns the live cell member (or, for ring 0, the
+// source) with spare degree minimizing the child's resulting delay: the
+// parent's measured source delay plus the new unicast hop — both locally
+// known (the parent observes its own delay, the joiner can ping the
+// candidates). The caller accounts for the member-list query message.
+func (o *Overlay) bestLocalParent(cell int32, p geom.Point2) int32 {
 	best := int32(-1)
 	bestScore := math.Inf(1)
 	consider := func(id int32) {
-		if o.residual(id) == 0 {
+		if !o.nodeAlive(id) || o.residual(id) == 0 {
 			return
 		}
 		cand := &o.nodes[id]
@@ -346,9 +451,6 @@ func (o *Overlay) bestLocalParent(cell int32, p geom.Point2, st *OpStats) int32 
 	}
 	for _, id := range o.members[cell] {
 		consider(id)
-	}
-	if best >= 0 {
-		st.Messages++ // member-list query to the representative
 	}
 	return best
 }
@@ -365,17 +467,22 @@ func (o *Overlay) descendParent(p geom.Point2, room func(int32) int, st *OpStats
 	lastWithRoom := int32(-1)
 	lastScore := math.Inf(1)
 	for hop := 0; hop <= len(o.nodes); hop++ {
-		st.Messages++
+		if !o.exchange(0, v, st) {
+			break // this probe went dark; settle for what the walk has
+		}
 		vd := o.nodes[v].pos.Dist(p)
 		// Rank candidates by the delay the child would end up with, not by
 		// raw proximity: a near node at the end of a long chain is a worse
 		// parent than a slightly farther low-delay one.
-		if score := o.nodes[v].delay + vd; room(v) > 0 && score < lastScore {
+		if score := o.nodes[v].delay + vd; o.nodes[v].alive && room(v) > 0 && score < lastScore {
 			lastWithRoom, lastScore = v, score
 		}
 		best := int32(-1)
 		bestD := math.Inf(1)
 		for _, c := range o.nodes[v].children {
+			if !o.nodes[c].alive {
+				continue // never descend into a dead subtree
+			}
 			if d := o.nodes[c].pos.Dist(p); d < bestD {
 				best, bestD = c, d
 			}
@@ -391,7 +498,9 @@ func (o *Overlay) descendParent(p geom.Point2, room func(int32) int, st *OpStats
 	return o.scanParent(room, st)
 }
 
-// scanParent is the last-resort breadth-first scan for any node with room.
+// scanParent is the last-resort breadth-first scan for any live node with
+// room, over the live-connected component only (capacity hanging under an
+// undetected dead node is unusable until repair frees it).
 func (o *Overlay) scanParent(room func(int32) int, st *OpStats) int32 {
 	o.Stats.FallbackScans++
 	queue := []int32{0}
@@ -401,7 +510,11 @@ func (o *Overlay) scanParent(room func(int32) int, st *OpStats) int32 {
 		if room(v) > 0 {
 			return v
 		}
-		queue = append(queue, o.nodes[v].children...)
+		for _, c := range o.nodes[v].children {
+			if o.nodes[c].alive {
+				queue = append(queue, c)
+			}
+		}
 	}
 	return -1
 }
@@ -420,6 +533,13 @@ func (o *Overlay) dist(a, b geom.Polar) float64 {
 // grandparent, walking up while degrees are exhausted; if the leaver
 // represented its cell, the survivors elect a new representative (the
 // member closest to the cell's inner arc, as in the static algorithm).
+//
+// Under an unreliable transport the goodbye itself can vanish: the leaver
+// is gone either way, but if no neighbor heard it the overlay keeps its
+// state wired — indistinguishable from a crash — until the failure
+// detector confirms the silence and repairs around it. An orphan whose
+// reattachment handshake fails likewise stays put for the next
+// maintenance round.
 func (o *Overlay) Leave(id int) (OpStats, error) {
 	var st OpStats
 	if id <= 0 || id >= len(o.nodes) {
@@ -430,70 +550,42 @@ func (o *Overlay) Leave(id int) (OpStats, error) {
 		return st, fmt.Errorf("protocol: node %d already left", id)
 	}
 
-	// Detach from the parent.
-	parent := n.parent
-	o.detachChild(parent, int32(id))
-	st.Messages++ // goodbye to parent
-
-	// Remove from cell membership.
-	cellMembers := o.members[n.cell]
-	for i, m := range cellMembers {
-		if m == int32(id) {
-			cellMembers[i] = cellMembers[len(cellMembers)-1]
-			o.members[n.cell] = cellMembers[:len(cellMembers)-1]
-			break
-		}
-	}
+	// The leaver stops forwarding now, whatever the network does to its
+	// goodbye.
 	n.alive = false
+	o.alive--
+	o.Stats.Leaves++
+
+	parent := n.parent
+	if !o.exchange(int32(id), parent, &st) { // goodbye to parent
+		o.Stats.LeaveMessages += st.Messages
+		return st, nil // nobody heard; the detector will clean the ghost
+	}
+	o.detachChild(parent, int32(id))
+	o.removeMember(n.cell, int32(id))
 
 	// Representative re-election.
 	if n.isRep {
 		n.isRep = false
 		o.reps[n.cell] = -1
-		if len(o.members[n.cell]) > 0 {
-			ring, idx := grid.RingIdx(int(n.cell))
-			seg := o.g.Segment(ring, idx)
-			center := geom.Polar{R: seg.RMin, Theta: seg.MidTheta()}
-			best, bestD := int32(-1), math.Inf(1)
-			for _, m := range o.members[n.cell] {
-				st.Messages++ // election ballot
-				if d := o.dist(o.nodes[m].polar, center); d < bestD {
-					best, bestD = m, d
-				}
-			}
-			o.reps[n.cell] = best
-			o.nodes[best].isRep = true
-			o.Stats.RepElections++
-		}
+		o.electRep(n.cell, &st)
 	}
 
 	// Reattach orphans: grandparent first, then walk up, then fallback.
 	orphans := n.children
-	n.children = nil
+	var kept []int32
 	for _, c := range orphans {
 		st.Messages++ // orphan notices and contacts the grandparent chain
-		target := parent
-		for target > 0 && o.residual(target) == 0 {
-			target = o.nodes[target].parent
-			st.Messages++
+		if !o.adoptOrphan(c, parent, &st) {
+			kept = append(kept, c)
 		}
-		if target < 0 {
-			target = 0
-		}
-		if o.residual(target) == 0 && target == 0 {
-			// Source full too: descend toward the orphan.
-			if alt := o.descendParent(o.nodes[c].pos, o.residual, &st); alt >= 0 {
-				target = alt
-			}
-		}
-		o.attach(c, target)
-		o.refreshDelays(c)
-		st.Messages++ // handshake
 	}
-
-	n.parent = parentDead
-	o.alive--
-	o.Stats.Leaves++
+	n.children = kept
+	if len(kept) == 0 {
+		n.parent = parentDead
+	} else {
+		n.parent = parentNone // floating; maintenance finishes the cleanup
+	}
 	o.Stats.LeaveMessages += st.Messages
 	return st, nil
 }
@@ -502,9 +594,11 @@ func (o *Overlay) Leave(id int) (OpStats, error) {
 // the tree, the positions (indexed by snapshot id), and the mapping from
 // snapshot ids back to overlay ids. Snapshot id 0 is the source.
 //
-// After FailAbrupt, run DetectAndRepair before snapshotting: until the
-// sweep, live members may still hang under crashed parents (they haven't
-// noticed yet), and the snapshot would be disconnected.
+// After FailAbrupt (or fault-injected crashes and lost goodbyes), run
+// DetectAndRepair — or MaintenanceRound until Audit passes — before
+// snapshotting: until then, live members may still hang under dead
+// parents (they haven't noticed yet), and the snapshot would be
+// disconnected.
 func (o *Overlay) Snapshot() (*tree.Tree, []geom.Point2, []int, error) {
 	newID := make([]int, len(o.nodes))
 	oldID := make([]int, 0, o.alive)
@@ -526,13 +620,16 @@ func (o *Overlay) Snapshot() (*tree.Tree, []geom.Point2, []int, error) {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, c := range o.nodes[v].children {
+			if !o.nodes[c].alive {
+				continue // an unrepaired ghost; its subtree is dark
+			}
 			b.MustAttach(newID[c], newID[v])
 			stack = append(stack, c)
 		}
 	}
 	t, err := b.Build()
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("protocol: inconsistent overlay (bug): %w", err)
+		return nil, nil, nil, fmt.Errorf("protocol: overlay is not a spanning tree (unrepaired failures?): %w", err)
 	}
 	pts := make([]geom.Point2, len(oldID))
 	for i, old := range oldID {
@@ -578,7 +675,7 @@ func (o *Overlay) Optimize() (OptimizeStats, error) {
 		for idx := 0; idx < grid.CellsInRing(ring); idx++ {
 			cell := grid.CellID(ring, idx)
 			rep := o.reps[cell]
-			if rep < 0 {
+			if rep < 0 || !o.nodes[rep].alive {
 				continue
 			}
 			target := o.properAnchor(ring, idx, rep, &st.Op)
@@ -595,6 +692,9 @@ func (o *Overlay) Optimize() (OptimizeStats, error) {
 			if newDelay >= o.nodes[rep].delay-1e-12 {
 				continue
 			}
+			if o.transport != nil && !o.exchange(rep, target, &st.Op) {
+				continue // the new anchor went dark; stay put
+			}
 			o.moveSubtree(rep, target)
 			st.Moves++
 			st.Op.Messages += 2 // detach + handshake
@@ -604,14 +704,14 @@ func (o *Overlay) Optimize() (OptimizeStats, error) {
 	// Pass 2: member re-homing within cells.
 	for cell := range o.members {
 		for _, m := range o.members[cell] {
-			if o.nodes[m].isRep {
+			if o.nodes[m].isRep || !o.nodes[m].alive {
 				continue
 			}
 			cur := o.nodes[m].parent
 			best := cur
 			bestDelay := o.nodes[m].delay
 			consider := func(id int32) {
-				if id == m || id == cur || o.residual(id) == 0 {
+				if id == m || id == cur || !o.nodeAlive(id) || o.residual(id) == 0 {
 					return
 				}
 				if o.isDescendant(id, m) {
@@ -630,6 +730,9 @@ func (o *Overlay) Optimize() (OptimizeStats, error) {
 				consider(id)
 			}
 			if best != cur {
+				if o.transport != nil && !o.exchange(m, best, &st.Op) {
+					continue // the new parent went dark; stay put
+				}
 				o.moveSubtree(m, best)
 				st.Moves++
 				st.Op.Messages += 2
@@ -643,7 +746,11 @@ func (o *Overlay) Optimize() (OptimizeStats, error) {
 	// decisions. Breadth-first order settles ancestors before descendants.
 	order := []int32{0}
 	for head := 0; head < len(order); head++ {
-		order = append(order, o.nodes[order[head]].children...)
+		for _, c := range o.nodes[order[head]].children {
+			if o.nodes[c].alive {
+				order = append(order, c)
+			}
+		}
 	}
 	for _, m := range order[1:] {
 		cand := o.descendParent(o.nodes[m].pos, o.residual, &st.Op)
@@ -656,6 +763,9 @@ func (o *Overlay) Optimize() (OptimizeStats, error) {
 		newDelay := o.nodes[cand].delay + o.nodes[cand].pos.Dist(o.nodes[m].pos)
 		if newDelay >= o.nodes[m].delay-1e-12 {
 			continue
+		}
+		if o.transport != nil && !o.exchange(m, cand, &st.Op) {
+			continue // the new parent went dark; stay put
 		}
 		o.moveSubtree(m, cand)
 		st.Moves++
@@ -685,7 +795,7 @@ func (o *Overlay) properAnchor(ring, idx int, rep int32, st *OpStats) int32 {
 			best := int32(-1)
 			bestDelay := math.Inf(1)
 			consider := func(id int32) {
-				if id == rep {
+				if id == rep || !o.nodeAlive(id) {
 					return
 				}
 				// The current parent is always an admissible "candidate"
@@ -739,6 +849,30 @@ func (o *Overlay) moveSubtree(node, target int32) {
 // continue to work against the rebuilt state.
 func (o *Overlay) Rebuild() (OpStats, error) {
 	var st OpStats
+
+	// Flush unrepaired ghosts first: the wholesale rewire below would
+	// otherwise leave dead nodes holding stale child lists into the new
+	// tree. The source-coordinated refresh knows the true membership, so
+	// this is free of messages.
+	for i := 1; i < len(o.nodes); i++ {
+		n := &o.nodes[i]
+		if n.alive {
+			continue
+		}
+		n.parent = parentDead
+		n.children = nil
+		n.isRep = false
+		n.susp = 0
+	}
+	for cell := range o.members {
+		ms := o.members[cell][:0]
+		for _, m := range o.members[cell] {
+			if o.nodes[m].alive {
+				ms = append(ms, m)
+			}
+		}
+		o.members[cell] = ms
+	}
 
 	// Collect alive members (excluding the source) in id order.
 	memberIDs := make([]int32, 0, o.alive-1)
@@ -819,18 +953,19 @@ func (o *Overlay) FailAbrupt(id int) error {
 	return nil
 }
 
-// DetectAndRepair sweeps the overlay for crashed members — each live child
-// of a dead parent notices via a heartbeat timeout (one message) — and
-// repairs exactly as a graceful leave would: orphans climb to the nearest
-// live ancestor with room, dead representatives are re-elected. Returns the
-// operation stats; idempotent once everything is repaired.
+// DetectAndRepair sweeps the overlay for dead members still wired in —
+// each live child of a dead parent notices via a heartbeat timeout (one
+// message) — and repairs exactly as a graceful leave would: orphans climb
+// to the nearest live ancestor with room, dead representatives are
+// re-elected. It is the whole-overlay eager form of the per-round
+// MaintenanceRound detector: no suspicion countdown, every ghost handled
+// in one sweep. Returns the operation stats; idempotent once everything is
+// repaired (a second sweep costs nothing).
 func (o *Overlay) DetectAndRepair() (OpStats, error) {
 	var st OpStats
-	// Collect dead nodes still wired into the overlay (parent != dead
-	// marker means their state has not been cleaned yet).
 	for id := 1; id < len(o.nodes); id++ {
 		n := &o.nodes[id]
-		if n.alive || n.parent == parentDead {
+		if n.alive || n.parent == parentDead && len(n.children) == 0 {
 			continue
 		}
 		// Heartbeat detection: every live child pings and times out.
@@ -839,71 +974,9 @@ func (o *Overlay) DetectAndRepair() (OpStats, error) {
 				st.Messages++
 			}
 		}
-
-		// Clean up exactly as Leave does, minus the goodbye message.
-		parent := n.parent
-		if parent >= 0 || parent == parentNone {
-			if parent >= 0 {
-				o.detachChild(parent, int32(id))
-			}
-		}
-		cellMembers := o.members[n.cell]
-		for i, m := range cellMembers {
-			if m == int32(id) {
-				cellMembers[i] = cellMembers[len(cellMembers)-1]
-				o.members[n.cell] = cellMembers[:len(cellMembers)-1]
-				break
-			}
-		}
-		if n.isRep {
-			n.isRep = false
-			o.reps[n.cell] = -1
-			if len(o.members[n.cell]) > 0 {
-				ring, idx := grid.RingIdx(int(n.cell))
-				seg := o.g.Segment(ring, idx)
-				center := geom.Polar{R: seg.RMin, Theta: seg.MidTheta()}
-				best, bestD := int32(-1), math.Inf(1)
-				for _, m := range o.members[n.cell] {
-					st.Messages++
-					if d := o.dist(o.nodes[m].polar, center); d < bestD {
-						best, bestD = m, d
-					}
-				}
-				o.reps[n.cell] = best
-				o.nodes[best].isRep = true
-				o.Stats.RepElections++
-			}
-		}
-
-		orphans := n.children
-		n.children = nil
-		for _, c := range orphans {
-			if !o.nodes[c].alive {
-				// A dead child of a dead parent: its own sweep iteration
-				// will handle its subtree; break the link so it becomes a
-				// root of its own cleanup.
-				o.nodes[c].parent = parentNone
-				continue
-			}
-			st.Messages++
-			target := parent
-			for target > 0 && (!o.nodes[target].alive || o.residual(target) == 0) {
-				target = o.nodes[target].parent
-				st.Messages++
-			}
-			if target < 0 {
-				target = 0
-			}
-			if o.residual(target) == 0 && target == 0 {
-				if alt := o.descendParent(o.nodes[c].pos, o.residual, &st); alt >= 0 {
-					target = alt
-				}
-			}
-			o.attach(c, target)
-			o.refreshDelays(c)
-		}
-		n.parent = parentDead
-		o.Stats.LeaveMessages += st.Messages
+		before := st.Messages
+		o.repairDead(int32(id), &st)
+		o.Stats.LeaveMessages += st.Messages - before
 	}
 	return st, nil
 }

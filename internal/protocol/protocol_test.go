@@ -53,6 +53,9 @@ func TestJoinBuildsValidTree(t *testing.T) {
 		if _, _, err := o.Join(r.UniformDisk(1)); err != nil {
 			t.Fatalf("join %d: %v", i, err)
 		}
+		if err := o.Audit(); err != nil {
+			t.Fatalf("audit after join %d: %v", i, err)
+		}
 	}
 	if o.N() != 501 {
 		t.Fatalf("N = %d", o.N())
@@ -179,6 +182,9 @@ func TestLeaveRepairsTree(t *testing.T) {
 		if _, err := o.Leave(id); err != nil {
 			t.Fatalf("leave %d: %v", id, err)
 		}
+		if err := o.Audit(); err != nil {
+			t.Fatalf("audit after leave %d: %v", id, err)
+		}
 	}
 	if o.N() != 201 {
 		t.Fatalf("N = %d", o.N())
@@ -295,6 +301,11 @@ func TestChurnPropertyQuick(t *testing.T) {
 					return false
 				}
 				live = append(live, id)
+			}
+			// Full independent audit after EVERY operation, not just at
+			// the end: symmetry, spanning, degree, radius.
+			if err := o.Audit(); err != nil {
+				return false
 			}
 		}
 		tr, _, _, err := o.Snapshot()

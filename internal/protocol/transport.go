@@ -1,0 +1,543 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+
+	"omtree/internal/faultplane"
+	"omtree/internal/geom"
+	"omtree/internal/grid"
+	"omtree/internal/invariant"
+)
+
+// Transport decides the fate of each control-message attempt. The default
+// (a nil transport) is perfectly reliable and free of delay, reproducing
+// the original cost model exactly; internal/faultplane.Plane implements
+// this contract to inject loss, duplication, delay, and crashes.
+type Transport interface {
+	// Attempt reports the fate of one message attempt from -> to.
+	Attempt(from, to int32) faultplane.Outcome
+	// Jitter returns a uniform [0, 1) draw for retry-backoff jitter.
+	Jitter() float64
+}
+
+// RetryPolicy bounds how hard a sender pushes one control exchange through
+// an unreliable network.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per exchange (>= 1).
+	MaxAttempts int
+	// BaseTimeout is the first attempt's timeout in simulated time units.
+	BaseTimeout float64
+	// Backoff multiplies the timeout after each failed attempt (>= 1).
+	Backoff float64
+	// Jitter adds up to this fraction of the timeout as random slack, so
+	// synchronized retries decorrelate.
+	Jitter float64
+}
+
+// FaultConfig tunes the robust control plane: the retry policy for
+// request/response exchanges and the heartbeat failure detector's
+// suspicion thresholds (alive -> suspected -> confirmed-dead).
+type FaultConfig struct {
+	Retry RetryPolicy
+	// SuspectAfter is the number of consecutive missed heartbeat rounds
+	// after which a node is suspected (>= 1).
+	SuspectAfter int
+	// ConfirmAfter is the number of consecutive missed rounds after which
+	// a suspected node is confirmed dead and repaired around
+	// (>= SuspectAfter). Larger values tolerate more message loss before a
+	// false positive; smaller values shorten orphaned time.
+	ConfirmAfter int
+}
+
+// DefaultFaultConfig returns the tuning used by the experiments: four
+// attempts with doubling timeouts survive 30% loss on 99.2% of exchanges,
+// and four missed rounds keep false confirmation rare while bounding
+// repair latency.
+func DefaultFaultConfig() FaultConfig {
+	return FaultConfig{
+		Retry:        RetryPolicy{MaxAttempts: 4, BaseTimeout: 0.05, Backoff: 2, Jitter: 0.25},
+		SuspectAfter: 2,
+		ConfirmAfter: 4,
+	}
+}
+
+// validate rejects degenerate tunings.
+func (c FaultConfig) validate() error {
+	if c.Retry.MaxAttempts < 1 {
+		return fmt.Errorf("protocol: retry MaxAttempts %d < 1", c.Retry.MaxAttempts)
+	}
+	if c.Retry.Backoff < 1 {
+		return fmt.Errorf("protocol: retry Backoff %v < 1", c.Retry.Backoff)
+	}
+	if c.Retry.BaseTimeout < 0 || c.Retry.Jitter < 0 {
+		return fmt.Errorf("protocol: negative retry timeout or jitter")
+	}
+	if c.SuspectAfter < 1 {
+		return fmt.Errorf("protocol: SuspectAfter %d < 1", c.SuspectAfter)
+	}
+	if c.ConfirmAfter < c.SuspectAfter {
+		return fmt.Errorf("protocol: ConfirmAfter %d < SuspectAfter %d", c.ConfirmAfter, c.SuspectAfter)
+	}
+	return nil
+}
+
+// SetTransport routes every subsequent control message through t with the
+// given fault tuning. Passing a nil transport restores the reliable
+// default. Typical use: attach a faultplane.Plane, drive a churn workload,
+// deactivate the plane, then run MaintenanceRound until Audit passes.
+func (o *Overlay) SetTransport(t Transport, cfg FaultConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	o.transport = t
+	o.fcfg = cfg
+	return nil
+}
+
+// exchange performs one request/response control exchange from -> to with
+// the full retry budget. See exchangeN.
+func (o *Overlay) exchange(from, to int32, st *OpStats) bool {
+	return o.exchangeN(from, to, 0, st)
+}
+
+// exchangeN pushes one control exchange through the transport, retrying on
+// timeout with exponential backoff and jitter; maxAttempts 0 means the
+// policy default. Under the reliable default it costs exactly one message
+// and always succeeds, preserving the original cost model. A false return
+// means the retry budget is exhausted: the destination crashed, or the
+// network ate (or over-delayed) every attempt. Handlers behind an exchange
+// must be idempotent — a duplicated attempt applies them twice, and a
+// delivery delayed past the timeout is modeled as a loss precisely because
+// the retry's effect subsumes the late one.
+func (o *Overlay) exchangeN(from, to int32, maxAttempts int, st *OpStats) bool {
+	if o.transport == nil {
+		st.Messages++
+		return true
+	}
+	pol := o.fcfg.Retry
+	if maxAttempts <= 0 {
+		maxAttempts = pol.MaxAttempts
+	}
+	timeout := pol.BaseTimeout
+	for attempt := 1; ; attempt++ {
+		st.Messages++
+		if attempt > 1 {
+			st.Retries++
+			o.Stats.Retries++
+		}
+		out := o.transport.Attempt(from, to)
+		if out.CrashDest {
+			o.crash(to)
+		}
+		if o.nodeAlive(to) && !out.Lost && (timeout <= 0 || out.Delay <= timeout) {
+			st.SimTime += out.Delay
+			if out.Duplicate {
+				st.Duplicates++
+				o.Stats.DuplicatesDelivered++
+			}
+			return true
+		}
+		st.Lost++
+		o.Stats.MessagesLost++
+		st.SimTime += timeout
+		if attempt >= maxAttempts {
+			st.Timeouts++
+			o.Stats.Timeouts++
+			return false
+		}
+		timeout *= pol.Backoff
+		timeout += timeout * pol.Jitter * o.transport.Jitter()
+	}
+}
+
+// nodeAlive reports whether id is a live endpoint (the source always is).
+func (o *Overlay) nodeAlive(id int32) bool {
+	return id == 0 || (id > 0 && int(id) < len(o.nodes) && o.nodes[id].alive)
+}
+
+// crash kills a node mid-operation — fault injection, not a graceful
+// leave. The source never crashes. Like FailAbrupt, the victim's state
+// stays wired until the failure detector confirms the death.
+func (o *Overlay) crash(id int32) {
+	if id <= 0 || int(id) >= len(o.nodes) {
+		return
+	}
+	n := &o.nodes[id]
+	if !n.alive {
+		return
+	}
+	n.alive = false
+	o.alive--
+	o.Stats.InjectedCrashes++
+}
+
+// MaintenanceStats reports one failure-detector round.
+type MaintenanceStats struct {
+	Op OpStats
+	// Probes is the number of heartbeat exchanges performed.
+	Probes int
+	// NewlySuspected / NewlyConfirmed count state transitions this round.
+	NewlySuspected int
+	NewlyConfirmed int
+	// FalseConfirms counts live nodes wrongly confirmed dead this round
+	// (they recover by re-handshaking or re-joining; the tree stays valid).
+	FalseConfirms int
+	// Cleaned counts dead nodes whose repair completed this round.
+	Cleaned int
+	// Elections counts representative elections held this round.
+	Elections int
+	// Orphaned is the number of live members unreachable from the source
+	// at the end of the round — still waiting for repair.
+	Orphaned int
+}
+
+// MaintenanceRound runs one periodic round of the deployed control loop:
+// heartbeat probes over every parent-child link and every
+// (representative, member) pair, suspicion updates, cleanup of
+// confirmed-dead members (orphan adoption, re-election), recovery of live
+// nodes the detector wrongly confirmed, and elections for
+// representative-less cells. A step that fails under an unreliable
+// transport leaves its node pending and is retried next round, so the
+// round is idempotent; once injection stops, the overlay converges back to
+// a spanning tree within ConfirmAfter plus a few rounds (the chaos
+// property test asserts this).
+func (o *Overlay) MaintenanceRound() (MaintenanceStats, error) {
+	var ms MaintenanceStats
+	st := &ms.Op
+	o.Stats.MaintenanceRounds++
+
+	// Phase 1: heartbeats. heard/missed aggregate what each node's
+	// monitors observed this round: one successful exchange anywhere
+	// clears suspicion, silence on every monitored link raises it.
+	heard := make([]bool, len(o.nodes))
+	missed := make([]bool, len(o.nodes))
+	probe := func(a, b int32) {
+		if a == b || a < 0 || b < 0 {
+			return
+		}
+		an, bn := o.nodes[a].alive, o.nodes[b].alive
+		if !an && !bn {
+			return // no live endpoint left to observe this link
+		}
+		ms.Probes++
+		o.Stats.Heartbeats++
+		if an && bn {
+			if o.exchangeN(a, b, 1, st) {
+				heard[a], heard[b] = true, true
+				return
+			}
+		} else {
+			st.Messages++ // the live side probes into silence
+		}
+		if an {
+			missed[b] = true
+		}
+		if bn {
+			missed[a] = true
+		}
+	}
+	for id := 1; id < len(o.nodes); id++ {
+		if p := o.nodes[id].parent; p >= 0 {
+			probe(int32(id), p)
+		}
+	}
+	for cell := 1; cell < len(o.members); cell++ {
+		rep := o.reps[cell]
+		if rep < 0 {
+			continue
+		}
+		for _, m := range o.members[cell] {
+			if m != rep {
+				probe(m, rep)
+			}
+		}
+	}
+
+	// Phase 2: suspicion state machine (alive -> suspected -> confirmed).
+	for id := 1; id < len(o.nodes); id++ {
+		n := &o.nodes[id]
+		switch {
+		case heard[id]:
+			n.susp = 0
+		case missed[id]:
+			n.susp++
+			if n.susp == o.fcfg.SuspectAfter {
+				ms.NewlySuspected++
+				if n.alive {
+					o.Stats.FalseSuspects++
+				}
+			}
+			if n.susp == o.fcfg.ConfirmAfter {
+				ms.NewlyConfirmed++
+			}
+		}
+	}
+
+	// Phase 3: act on confirmations. Dead nodes are repaired around; live
+	// nodes wrongly confirmed re-handshake with their parent (or re-join),
+	// so false positives degrade to wasted messages, never a broken tree.
+	for id := 1; id < len(o.nodes); id++ {
+		n := &o.nodes[id]
+		if n.susp < o.fcfg.ConfirmAfter {
+			continue
+		}
+		if n.alive {
+			ms.FalseConfirms++
+			o.Stats.FalseConfirms++
+			o.rejoinEvicted(int32(id), st)
+			n.susp = 0
+			continue
+		}
+		if n.parent == parentDead && len(n.children) == 0 {
+			continue // already fully cleaned
+		}
+		if o.repairDead(int32(id), st) {
+			ms.Cleaned++
+		}
+	}
+
+	// Phase 4: elect representatives for cells that lost theirs (a failed
+	// election, or a joiner that could not reach its anchor).
+	for cell := 1; cell < len(o.members); cell++ {
+		if o.reps[cell] >= 0 || !o.cellHasLiveMember(int32(cell)) {
+			continue
+		}
+		if o.electRep(int32(cell), st) {
+			ms.Elections++
+		}
+	}
+
+	// Phase 5: degradation accounting — live members still dark.
+	ms.Orphaned = o.alive - o.reachableAlive()
+	o.Stats.OrphanNodeRounds += ms.Orphaned
+	o.Stats.MaintenanceMessages += st.Messages
+	return ms, nil
+}
+
+// Converge runs maintenance rounds until the overlay passes the full audit
+// or maxRounds is exhausted. It returns the rounds used and the last audit
+// error (nil on success). Call after fault injection stops.
+func (o *Overlay) Converge(maxRounds int) (int, error) {
+	var lastErr error
+	for round := 1; round <= maxRounds; round++ {
+		if _, err := o.MaintenanceRound(); err != nil {
+			return round, err
+		}
+		if lastErr = o.Audit(); lastErr == nil {
+			return round, nil
+		}
+	}
+	return maxRounds, lastErr
+}
+
+// repairDead cleans up one confirmed-dead node: unlink it from its parent,
+// drop it from its cell's membership, re-elect if it held the
+// representative role, and adopt its orphans. Each step is idempotent, so
+// partial progress under an unreliable transport is retried on the next
+// round. Returns true once the node is fully cleaned (no wired edges
+// left); the caller may then forget it.
+func (o *Overlay) repairDead(id int32, st *OpStats) bool {
+	n := &o.nodes[id]
+	anchor := n.parent
+
+	// Unlink from the parent. Dropping a dead child is local bookkeeping
+	// at the parent — it noticed the silence itself; no message needed. A
+	// dead parent's own cleanup simply no longer sees this child.
+	if p := n.parent; p >= 0 {
+		o.detachChild(p, id)
+		n.parent = parentNone
+	}
+
+	// Membership removal is local at the cell (the representative and the
+	// members observed the silence through their own probes).
+	o.removeMember(n.cell, id)
+
+	// Representative re-election among the survivors.
+	if n.isRep {
+		n.isRep = false
+		o.reps[n.cell] = -1
+		o.electRep(n.cell, st)
+	}
+
+	// Orphan adoption: live children climb to the nearest live ancestor
+	// with room; an orphan whose handshake fails stays put for next round.
+	var kept []int32
+	for _, c := range n.children {
+		if !o.nodes[c].alive {
+			// A dead child becomes a floating root of its own cleanup; its
+			// live descendants' probes keep its confirmation advancing.
+			o.nodes[c].parent = parentNone
+			continue
+		}
+		st.Messages++ // the orphan notices and starts the climb
+		if o.adoptOrphan(c, anchor, st) {
+			continue
+		}
+		kept = append(kept, c)
+	}
+	n.children = kept
+	if len(kept) == 0 {
+		n.parent = parentDead
+		n.susp = 0
+		return true
+	}
+	return false
+}
+
+// adoptOrphan reattaches live orphan c after its parent died: it climbs
+// from the dead parent's anchor toward the source looking for a live node
+// with room (one probe per hop), falls back to a descent from the source,
+// and confirms with a handshake exchange. Returns false when the handshake
+// failed — the orphan stays where it is and retries next round.
+func (o *Overlay) adoptOrphan(c, anchor int32, st *OpStats) bool {
+	target := anchor
+	for target > 0 && (!o.nodes[target].alive || o.residual(target) == 0) {
+		st.Messages++
+		target = o.nodes[target].parent
+	}
+	if target < 0 {
+		target = 0
+	}
+	if o.residual(target) == 0 && target == 0 {
+		if alt := o.descendParent(o.nodes[c].pos, o.residual, st); alt >= 0 {
+			target = alt
+		}
+	}
+	if !o.exchange(c, target, st) {
+		return false
+	}
+	o.attach(c, target)
+	o.refreshDelays(c)
+	return true
+}
+
+// rejoinEvicted recovers a live node the failure detector wrongly
+// confirmed dead. It first re-handshakes with its current parent — under
+// plain message loss that succeeds and nothing moves. Only if the parent
+// is truly unreachable does it re-join by descending from the source,
+// bringing its subtree along; if even that fails it stays put and the next
+// round retries. The tree is never corrupted either way.
+func (o *Overlay) rejoinEvicted(id int32, st *OpStats) {
+	if p := o.nodes[id].parent; p >= 0 && o.nodes[p].alive && o.exchange(id, p, st) {
+		return // re-admitted in place
+	}
+	cand := o.descendParent(o.nodes[id].pos, o.residual, st)
+	if cand < 0 || cand == id || cand == o.nodes[id].parent || o.isDescendant(cand, id) {
+		return
+	}
+	if !o.exchange(id, cand, st) {
+		return
+	}
+	o.moveSubtree(id, cand)
+}
+
+// electRep runs a representative election in a cell: the lowest-id live
+// member convenes, every live member it can reach casts a ballot, and the
+// reachable member closest to the cell's inner arc wins (the static
+// algorithm's choice). Idempotent: re-running with the same survivors
+// elects the same node. Returns false when no member was electable.
+func (o *Overlay) electRep(cell int32, st *OpStats) bool {
+	var convener int32 = -1
+	ring, idx := grid.RingIdx(int(cell))
+	seg := o.g.Segment(ring, idx)
+	center := geom.Polar{R: seg.RMin, Theta: seg.MidTheta()}
+	best, bestD := int32(-1), math.Inf(1)
+	for _, m := range o.members[cell] {
+		if !o.nodes[m].alive {
+			continue
+		}
+		if convener < 0 {
+			convener = m
+			st.Messages++ // the convener announces the election
+		} else if !o.exchange(convener, m, st) {
+			continue // unreachable members sit this one out
+		}
+		if d := o.dist(o.nodes[m].polar, center); d < bestD {
+			best, bestD = m, d
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	o.reps[cell] = best
+	o.nodes[best].isRep = true
+	o.Stats.RepElections++
+	return true
+}
+
+// removeMember drops id from its cell's membership list (idempotent).
+func (o *Overlay) removeMember(cell, id int32) {
+	ms := o.members[cell]
+	for i, m := range ms {
+		if m == id {
+			ms[i] = ms[len(ms)-1]
+			o.members[cell] = ms[:len(ms)-1]
+			return
+		}
+	}
+}
+
+// cellHasLiveMember reports whether any member of the cell is alive.
+func (o *Overlay) cellHasLiveMember(cell int32) bool {
+	for _, m := range o.members[cell] {
+		if o.nodes[m].alive {
+			return true
+		}
+	}
+	return false
+}
+
+// reachableAlive counts live nodes reachable from the source over live
+// links — the set a multicast packet would cover right now.
+func (o *Overlay) reachableAlive() int {
+	reach := 0
+	stack := []int32{0}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		reach++
+		for _, c := range o.nodes[v].children {
+			if o.nodes[c].alive {
+				stack = append(stack, c)
+			}
+		}
+	}
+	return reach
+}
+
+// CoverageRatio returns the fraction of live members (including the
+// source) a multicast packet would currently reach — 1.0 once every
+// failure has been repaired, lower while subtrees hang dark under
+// undetected crashes.
+func (o *Overlay) CoverageRatio() float64 {
+	if o.alive == 0 {
+		return 0
+	}
+	return float64(o.reachableAlive()) / float64(o.alive)
+}
+
+// Audit independently re-verifies the whole overlay. First the wired
+// parent/child state must be symmetric — duplicate or dangling child
+// entries are exactly the corruption duplicated or lost control messages
+// would cause. Then the snapshot tree must pass the full invariant audit:
+// spanning every live member from the source, acyclic, within the degree
+// bound, with a radius matching an independent recomputation. Returns nil
+// only when the overlay has fully converged.
+func (o *Overlay) Audit() error {
+	parents := make([]int32, len(o.nodes))
+	children := make([][]int32, len(o.nodes))
+	for i := range o.nodes {
+		parents[i] = o.nodes[i].parent
+		children[i] = o.nodes[i].children
+	}
+	if err := invariant.CheckSymmetry(parents, children).Err(); err != nil {
+		return err
+	}
+	t, pts, _, err := o.Snapshot()
+	if err != nil {
+		return err
+	}
+	dist := func(i, j int) float64 { return pts[i].Dist(pts[j]) }
+	return invariant.Check(t, o.alive, 0, o.cfg.MaxOutDegree, dist, t.Radius(dist)).Err()
+}

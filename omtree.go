@@ -25,6 +25,7 @@ import (
 	"omtree/internal/bisect"
 	"omtree/internal/coords"
 	"omtree/internal/core"
+	"omtree/internal/faultplane"
 	"omtree/internal/geom"
 	"omtree/internal/netsim"
 	"omtree/internal/protocol"
@@ -251,6 +252,15 @@ type (
 	OpStats = protocol.OpStats
 	// OptimizeStats reports one maintenance round.
 	OptimizeStats = protocol.OptimizeStats
+	// OverlayTransport delivers (or drops, delays, duplicates) control
+	// messages between overlay nodes.
+	OverlayTransport = protocol.Transport
+	// RetryPolicy bounds per-message retransmission.
+	RetryPolicy = protocol.RetryPolicy
+	// OverlayFaultConfig tunes retries and the failure detector.
+	OverlayFaultConfig = protocol.FaultConfig
+	// MaintenanceStats reports one heartbeat/repair round.
+	MaintenanceStats = protocol.MaintenanceStats
 )
 
 // Decentralized-session constructors.
@@ -259,7 +269,28 @@ var (
 	NewOverlay = protocol.New
 	// SuggestOverlayK sizes the published grid for an expected membership.
 	SuggestOverlayK = protocol.SuggestK
+	// DefaultOverlayFaultConfig is the retry/detector tuning used when none
+	// is supplied.
+	DefaultOverlayFaultConfig = protocol.DefaultFaultConfig
 )
+
+// Fault-injection types (see internal/faultplane): a deterministic
+// adversarial network for exercising the overlay protocol.
+type (
+	// FaultScenario configures seeded loss, duplication, delay, and crashes.
+	FaultScenario = faultplane.Scenario
+	// FaultPlane is the seeded transport implementing OverlayTransport.
+	FaultPlane = faultplane.Plane
+	// FaultOutcome is the fate of a single message attempt.
+	FaultOutcome = faultplane.Outcome
+)
+
+// NewFaultPlane validates a scenario and returns an active fault plane.
+func NewFaultPlane(sc FaultScenario) (*FaultPlane, error) { return faultplane.New(sc) }
+
+// LinkDrop returns a deterministic per-(edge, packet) drop predicate for
+// SimConfig.Drop, matching the control plane's loss model on the data path.
+var LinkDrop = faultplane.LinkDrop
 
 // Coordinate-substrate constructors.
 var (
