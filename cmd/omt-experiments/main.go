@@ -12,6 +12,11 @@
 // (sizes up to 5,000,000, 200 trials) — budget considerable time and RAM.
 // -sizes and -trials override either. -csv PATH additionally dumps the raw
 // sweep as CSV.
+//
+// -metrics FILE writes a JSON metrics snapshot (aggregated build-phase
+// spans across every trial) on exit and embeds it in the -json manifest;
+// -pprof ADDR serves net/http/pprof for live profiling. Both are off by
+// default and do not change any result.
 package main
 
 import (
@@ -19,15 +24,19 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
 
 	"omtree/internal/experiment"
+	"omtree/internal/obs"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "omt-experiments:", err)
 		os.Exit(1)
 	}
@@ -37,36 +46,62 @@ var defaultSizes = []int{100, 500, 1000, 5000, 10000, 50000, 100000}
 
 var paperSizes = []int{100, 500, 1000, 5000, 10000, 50000, 100000, 500000, 1000000, 5000000}
 
-func run() error {
-	table1 := flag.Bool("table1", false, "reproduce Table I")
-	fig4 := flag.Bool("fig4", false, "reproduce Figure 4 (delay vs bounds, degree 6)")
-	fig5 := flag.Bool("fig5", false, "reproduce Figure 5 (degree 2 vs degree 6)")
-	fig6 := flag.Bool("fig6", false, "reproduce Figure 6 (rings vs n)")
-	fig7 := flag.Bool("fig7", false, "reproduce Figure 7 (running time)")
-	fig8 := flag.Bool("fig8", false, "reproduce Figure 8 (3-D unit ball)")
-	baselines := flag.Bool("baselines", false, "compare against baseline heuristics")
-	churn := flag.Bool("churn", false, "decentralized protocol vs centralized build")
-	repairs := flag.Bool("repairs", false, "failure/repair robustness sweep")
-	faults := flag.Bool("faults", false, "unreliable control plane: loss sweep with self-healing")
-	scale := flag.Bool("scale", false, "large-n comparison vs the k-d-tree greedy")
-	dims := flag.Bool("dims", false, "delay convergence across dimensions 2..5")
-	all := flag.Bool("all", false, "run everything")
-	paper := flag.Bool("paper", false, "use the paper's sizes (up to 5M) and 200 trials")
-	sizesFlag := flag.String("sizes", "", "comma-separated sizes (overrides defaults)")
-	trials := flag.Int("trials", 0, "trials per size (default 20, or 200 with -paper)")
-	seed := flag.Uint64("seed", 2004, "random seed")
-	workers := flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
-	buildWorkers := flag.Int("build-workers", 0, "workers inside each build (0 = serial; trees are identical regardless)")
-	csvPath := flag.String("csv", "", "also write the sweep as CSV here")
-	jsonPath := flag.String("json", "", "write all executed experiment rows as JSON here")
-	flag.Parse()
+// startPprof serves the default mux (which net/http/pprof registers on) at
+// addr; off when addr is empty.
+func startPprof(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof: %w", err)
+	}
+	go http.Serve(ln, nil)
+	return nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("omt-experiments", flag.ContinueOnError)
+	table1 := fs.Bool("table1", false, "reproduce Table I")
+	fig4 := fs.Bool("fig4", false, "reproduce Figure 4 (delay vs bounds, degree 6)")
+	fig5 := fs.Bool("fig5", false, "reproduce Figure 5 (degree 2 vs degree 6)")
+	fig6 := fs.Bool("fig6", false, "reproduce Figure 6 (rings vs n)")
+	fig7 := fs.Bool("fig7", false, "reproduce Figure 7 (running time)")
+	fig8 := fs.Bool("fig8", false, "reproduce Figure 8 (3-D unit ball)")
+	baselines := fs.Bool("baselines", false, "compare against baseline heuristics")
+	churn := fs.Bool("churn", false, "decentralized protocol vs centralized build")
+	repairs := fs.Bool("repairs", false, "failure/repair robustness sweep")
+	faults := fs.Bool("faults", false, "unreliable control plane: loss sweep with self-healing")
+	scale := fs.Bool("scale", false, "large-n comparison vs the k-d-tree greedy")
+	dims := fs.Bool("dims", false, "delay convergence across dimensions 2..5")
+	all := fs.Bool("all", false, "run everything")
+	paper := fs.Bool("paper", false, "use the paper's sizes (up to 5M) and 200 trials")
+	sizesFlag := fs.String("sizes", "", "comma-separated sizes (overrides defaults)")
+	trials := fs.Int("trials", 0, "trials per size (default 20, or 200 with -paper)")
+	seed := fs.Uint64("seed", 2004, "random seed")
+	workers := fs.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+	buildWorkers := fs.Int("build-workers", 0, "workers inside each build (0 = serial; trees are identical regardless)")
+	csvPath := fs.String("csv", "", "also write the sweep as CSV here")
+	jsonPath := fs.String("json", "", "write all executed experiment rows as JSON here")
+	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot (build-phase spans) here on exit")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := startPprof(*pprofAddr); err != nil {
+		return err
+	}
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.New()
+	}
 
 	if *all {
 		*table1, *fig4, *fig5, *fig6, *fig7, *fig8 = true, true, true, true, true, true
 		*baselines, *churn, *dims, *repairs, *scale, *faults = true, true, true, true, true, true
 	}
 	if !*table1 && !*fig4 && !*fig5 && !*fig6 && !*fig7 && !*fig8 && !*baselines && !*churn && !*dims && !*repairs && !*scale && !*faults {
-		flag.Usage()
+		fs.Usage()
 		return fmt.Errorf("nothing selected (try -all)")
 	}
 
@@ -98,6 +133,7 @@ func run() error {
 		Dims      []experiment.DimRow      `json:"dims,omitempty"`
 		Repairs   []experiment.RepairRow   `json:"repairs,omitempty"`
 		Faults    []experiment.FaultRow    `json:"faults,omitempty"`
+		Metrics   *obs.Snapshot            `json:"metrics,omitempty"`
 	}{Seed: *seed}
 
 	need2D := *table1 || *fig4 || *fig5 || *fig6 || *fig7
@@ -106,6 +142,7 @@ func run() error {
 		cfg := experiment.DiskConfig(sizes, nTrials, *seed)
 		cfg.Workers = *workers
 		cfg.BuildWorkers = *buildWorkers
+		cfg.Obs = reg
 		cfg.Progress = func(m string) { fmt.Fprintln(os.Stderr, "[disk]", m) }
 		var err error
 		if rows2, err = experiment.Run(cfg); err != nil {
@@ -116,12 +153,12 @@ func run() error {
 	manifest.Trials = nTrials
 
 	if *table1 {
-		fmt.Println("Table I: unit disk, uniform points, source at center")
-		fmt.Printf("(%d trials per size, seed %d)\n\n", nTrials, *seed)
-		if err := experiment.Table1(rows2).Render(os.Stdout); err != nil {
+		fmt.Fprintln(out, "Table I: unit disk, uniform points, source at center")
+		fmt.Fprintf(out, "(%d trials per size, seed %d)\n\n", nTrials, *seed)
+		if err := experiment.Table1(rows2).Render(out); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 	if *csvPath != "" && rows2 != nil {
 		f, err := os.Create(*csvPath)
@@ -156,16 +193,17 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := p.Render(os.Stdout); err != nil {
+		if err := p.Render(out); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 
 	if *fig8 {
 		cfg := experiment.BallConfig(sizes, nTrials, *seed)
 		cfg.Workers = *workers
 		cfg.BuildWorkers = *buildWorkers
+		cfg.Obs = reg
 		cfg.Progress = func(m string) { fmt.Fprintln(os.Stderr, "[ball]", m) }
 		rows3, err := experiment.Run(cfg)
 		if err != nil {
@@ -177,21 +215,21 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := p.Render(os.Stdout); err != nil {
+		if err := p.Render(out); err != nil {
 			return err
 		}
-		fmt.Println()
-		fmt.Println("3-D sweep data:")
-		if err := experiment.Table1(rows3).Render(os.Stdout); err != nil {
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, "3-D sweep data:")
+		if err := experiment.Table1(rows3).Render(out); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 
 	if *churn {
 		cSizes := clampSizes(sizes, 5000)
 		extTrials := trialsForExtensions(nTrials)
-		fmt.Printf("Decentralized protocol vs centralized (degree 6, %d trials):\n\n", extTrials)
+		fmt.Fprintf(out, "Decentralized protocol vs centralized (degree 6, %d trials):\n\n", extTrials)
 		rows, err := experiment.RunChurn(experiment.ChurnConfig{
 			Sizes: cSizes, Trials: extTrials, Seed: *seed, MaxOutDegree: 6,
 		})
@@ -199,15 +237,15 @@ func run() error {
 			return err
 		}
 		manifest.Churn = rows
-		if err := experiment.ChurnTable(rows).Render(os.Stdout); err != nil {
+		if err := experiment.ChurnTable(rows).Render(out); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 
 	if *dims {
-		fmt.Println("Delay convergence across dimensions (n = 2000):")
-		fmt.Println()
+		fmt.Fprintln(out, "Delay convergence across dimensions (n = 2000):")
+		fmt.Fprintln(out)
 		rows, err := experiment.RunDimSweep(experiment.DimSweepConfig{
 			Dims: []int{2, 3, 4, 5}, N: 2000, Trials: trialsForExtensions(nTrials), Seed: *seed,
 		})
@@ -215,15 +253,15 @@ func run() error {
 			return err
 		}
 		manifest.Dims = rows
-		if err := experiment.DimSweepTable(rows, 2000).Render(os.Stdout); err != nil {
+		if err := experiment.DimSweepTable(rows, 2000).Render(out); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 
 	if *scale {
 		extTrials := trialsForExtensions(nTrials)
-		fmt.Printf("Large-n comparison, near-linear algorithms only (degree 6, %d trials):\n\n", extTrials)
+		fmt.Fprintf(out, "Large-n comparison, near-linear algorithms only (degree 6, %d trials):\n\n", extTrials)
 		rows, err := experiment.RunScalableBaselines(experiment.BaselineConfig{
 			Sizes: sizes, Trials: extTrials, Seed: *seed, MaxOutDegree: 6, Workers: *workers,
 		})
@@ -231,15 +269,15 @@ func run() error {
 			return err
 		}
 		manifest.Scalable = rows
-		if err := experiment.ScalableTable(rows).Render(os.Stdout); err != nil {
+		if err := experiment.ScalableTable(rows).Render(out); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 
 	if *repairs {
-		fmt.Println("Failure/repair robustness (n = 2000, degree 6):")
-		fmt.Println()
+		fmt.Fprintln(out, "Failure/repair robustness (n = 2000, degree 6):")
+		fmt.Fprintln(out)
 		rows, err := experiment.RunRepairs(experiment.RepairConfig{
 			N: 2000, FailFractions: []float64{0.01, 0.05, 0.10},
 			Trials: trialsForExtensions(nTrials), Seed: *seed, MaxOutDegree: 6,
@@ -248,15 +286,15 @@ func run() error {
 			return err
 		}
 		manifest.Repairs = rows
-		if err := experiment.RepairTable(rows, 2000).Render(os.Stdout); err != nil {
+		if err := experiment.RepairTable(rows, 2000).Render(out); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 
 	if *faults {
-		fmt.Println("Unreliable control plane (n = 500, degree 6):")
-		fmt.Println()
+		fmt.Fprintln(out, "Unreliable control plane (n = 500, degree 6):")
+		fmt.Fprintln(out)
 		rows, err := experiment.RunFaultSweep(experiment.FaultSweepConfig{
 			N: 500, LossRates: []float64{0, 0.05, 0.10, 0.20, 0.30},
 			Trials: trialsForExtensions(nTrials), Seed: *seed, MaxOutDegree: 6,
@@ -265,15 +303,15 @@ func run() error {
 			return err
 		}
 		manifest.Faults = rows
-		if err := experiment.FaultTable(rows, 500).Render(os.Stdout); err != nil {
+		if err := experiment.FaultTable(rows, 500).Render(out); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 
 	if *baselines {
 		bSizes := clampSizes(sizes, 5000) // greedy baselines are O(n^2)
-		fmt.Printf("Baseline comparison (degree 6, sizes capped at 5000, %d trials):\n\n", nTrials)
+		fmt.Fprintf(out, "Baseline comparison (degree 6, sizes capped at 5000, %d trials):\n\n", nTrials)
 		rows, err := experiment.RunBaselines(experiment.BaselineConfig{
 			Sizes: bSizes, Trials: nTrials, Seed: *seed, MaxOutDegree: 6, Workers: *workers,
 		})
@@ -281,12 +319,23 @@ func run() error {
 			return err
 		}
 		manifest.Baselines = rows
-		if err := experiment.BaselineTable(rows, 6).Render(os.Stdout); err != nil {
+		if err := experiment.BaselineTable(rows, 6).Render(out); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 
+	if reg != nil {
+		snap := reg.Snapshot()
+		manifest.Metrics = &snap
+		data, err := snap.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*metricsPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(manifest, "", "  ")
 		if err != nil {

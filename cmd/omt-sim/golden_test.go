@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file instead when -update is set.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output drifted from %s (re-run with -update if intended)\n got:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+// TestGoldenOutput locks down the exact CLI text for both the reliable
+// build+fail+repair path and the fault-injected protocol path. Every input
+// is seeded and the simulator is discrete-event, so the output is
+// byte-deterministic; drift here means the build, simulation, or protocol
+// changed behavior.
+func TestGoldenOutput(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"reliable", []string{"-n", "500", "-degree", "6", "-seed", "3",
+			"-packets", "4", "-fail", "3", "-repair", "bestdelay"}},
+		{"grandparent", []string{"-n", "300", "-degree", "2", "-seed", "5",
+			"-packets", "4", "-fail", "2", "-repair", "grandparent"}},
+		{"faulty", []string{"-n", "300", "-degree", "6", "-seed", "3",
+			"-packets", "4", "-fail", "3", "-loss", "0.2", "-crash-rate", "0.01"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.name, out.Bytes())
+		})
+	}
+}

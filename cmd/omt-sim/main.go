@@ -16,24 +16,60 @@
 // delivery ratio under the same link loss.
 //
 //	omt-sim -n 1000 -degree 6 -seed 1 -loss 0.2 -crash-rate 0.01 -fail 5
+//
+// -metrics FILE writes a JSON metrics snapshot (build-phase spans, protocol
+// and data-plane counters) on exit; -pprof ADDR serves net/http/pprof on
+// the given address for live profiling. Both are off by default and change
+// nothing about the simulated results.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"omtree"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "omt-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// startPprof serves the default mux (which net/http/pprof registers on) at
+// addr. The listener outlives run — profiling is for interactive use; tests
+// do not pass -pprof.
+func startPprof(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof: %w", err)
+	}
+	go http.Serve(ln, nil)
+	return nil
+}
+
+// writeMetrics dumps the registry's snapshot as JSON to path.
+func writeMetrics(reg *omtree.Observer, path string) error {
+	if path == "" {
+		return nil
+	}
+	data, err := reg.Snapshot().JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("omt-sim", flag.ContinueOnError)
 	n := fs.Int("n", 1000, "number of receivers")
 	degree := fs.Int("degree", 6, "max out-degree")
@@ -44,13 +80,29 @@ func run(args []string) error {
 	procDelay := fs.Float64("proc", 0, "per-hop forwarding delay")
 	loss := fs.Float64("loss", 0, "control/data message loss probability in [0, 1)")
 	crashRate := fs.Float64("crash-rate", 0, "per-message chance the destination crashes, in [0, 1)")
+	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := startPprof(*pprofAddr); err != nil {
+		return err
+	}
+	var reg *omtree.Observer
+	if *metricsPath != "" {
+		reg = omtree.NewObserver()
+	}
 
 	if *loss > 0 || *crashRate > 0 {
-		return runFaulty(*n, *degree, *packets, *failCount, *seed, *loss, *crashRate)
+		if err := runFaulty(out, reg, *n, *degree, *packets, *failCount, *seed, *loss, *crashRate); err != nil {
+			return err
+		}
+		return writeMetrics(reg, *metricsPath)
 	}
+	// Register the protocol schema even on the reliable path, so every
+	// snapshot carries the same counter set (zeros when no session ran).
+	var sessionStats omtree.OverlaySessionStats
+	omtree.RegisterSessionMetrics(reg, &sessionStats)
 
 	var strategy omtree.RepairStrategy
 	switch *repairFlag {
@@ -65,26 +117,27 @@ func run(args []string) error {
 	r := omtree.NewRand(*seed)
 	receivers := r.UniformDiskN(*n, 1)
 	source := omtree.Point2{}
-	res, err := omtree.Build(source, receivers, omtree.WithMaxOutDegree(*degree))
+	res, err := omtree.Build(source, receivers,
+		omtree.WithMaxOutDegree(*degree), omtree.WithObserver(reg))
 	if err != nil {
 		return err
 	}
 	dist := omtree.Dist(source, receivers)
-	fmt.Printf("tree: %d nodes, variant %v, k=%d, radius %.4f (bound %.4f)\n",
+	fmt.Fprintf(out, "tree: %d nodes, variant %v, k=%d, radius %.4f (bound %.4f)\n",
 		res.Tree.N(), res.Variant, res.K, res.Radius, res.Bound)
 
-	sim, err := omtree.NewSim(res.Tree, omtree.SimConfig{Latency: dist, ProcDelay: *procDelay})
+	sim, err := omtree.NewSim(res.Tree, omtree.SimConfig{Latency: dist, ProcDelay: *procDelay, Obs: reg})
 	if err != nil {
 		return err
 	}
 	d := sim.Multicast()
-	fmt.Printf("simulated delivery: max delay %.4f, %d forwards\n", d.MaxDelay, d.Forwards)
+	fmt.Fprintf(out, "simulated delivery: max delay %.4f, %d forwards\n", d.MaxDelay, d.Forwards)
 	if *procDelay == 0 && !almost(d.MaxDelay, res.Radius) {
 		return fmt.Errorf("simulation disagrees with analytic radius: %v vs %v", d.MaxDelay, res.Radius)
 	}
 
 	if *failCount <= 0 {
-		return nil
+		return writeMetrics(reg, *metricsPath)
 	}
 
 	// Fail the first internal (forwarding) nodes mid-session.
@@ -111,7 +164,7 @@ func run(args []string) error {
 			lostTotal += lost
 		}
 	}
-	fmt.Printf("failures: %d internal nodes at t=%.2f -> %d receivers lost %d packets total\n",
+	fmt.Fprintf(out, "failures: %d internal nodes at t=%.2f -> %d receivers lost %d packets total\n",
 		len(failed), failTime, affected, lostTotal)
 
 	rep, err := omtree.Repair(res.Tree, failed, *degree, dist, strategy)
@@ -120,11 +173,11 @@ func run(args []string) error {
 	}
 	repairedDist := func(a, b int) float64 { return dist(rep.OldID[a], rep.OldID[b]) }
 	repairedRadius := rep.Tree.Radius(repairedDist)
-	fmt.Printf("repair (%s): %d orphan subtrees reattached, radius %.4f -> %.4f (%.1f%% change)\n",
+	fmt.Fprintf(out, "repair (%s): %d orphan subtrees reattached, radius %.4f -> %.4f (%.1f%% change)\n",
 		*repairFlag, rep.Reattached, res.Radius, repairedRadius,
 		100*(repairedRadius-res.Radius)/res.Radius)
 
-	repairedSim, err := omtree.NewSim(rep.Tree, omtree.SimConfig{Latency: repairedDist, ProcDelay: *procDelay})
+	repairedSim, err := omtree.NewSim(rep.Tree, omtree.SimConfig{Latency: repairedDist, ProcDelay: *procDelay, Obs: reg})
 	if err != nil {
 		return err
 	}
@@ -135,14 +188,14 @@ func run(args []string) error {
 			missing++
 		}
 	}
-	fmt.Printf("post-repair delivery: max delay %.4f, %d survivors missing\n", d2.MaxDelay, missing)
-	return nil
+	fmt.Fprintf(out, "post-repair delivery: max delay %.4f, %d survivors missing\n", d2.MaxDelay, missing)
+	return writeMetrics(reg, *metricsPath)
 }
 
 // runFaulty exercises the decentralized protocol over a fault-injected
 // control plane and reports degradation and recovery.
-func runFaulty(n, degree, packets, failCount int, seed uint64, loss, crashRate float64) error {
-	fmt.Printf("unreliable control plane: loss %.0f%%, duplication %.0f%%, crash rate %.2f%%\n",
+func runFaulty(out io.Writer, reg *omtree.Observer, n, degree, packets, failCount int, seed uint64, loss, crashRate float64) error {
+	fmt.Fprintf(out, "unreliable control plane: loss %.0f%%, duplication %.0f%%, crash rate %.2f%%\n",
 		100*loss, 100*loss/2, 100*crashRate)
 
 	o, err := omtree.NewOverlay(omtree.OverlayConfig{
@@ -163,6 +216,8 @@ func runFaulty(n, degree, packets, failCount int, seed uint64, loss, crashRate f
 	if err := o.SetTransport(plane, fcfg); err != nil {
 		return err
 	}
+	o.Observe(reg)
+	plane.Observe(reg)
 
 	// Members join while the network misbehaves; some give up after
 	// exhausting their retry budget.
@@ -198,11 +253,11 @@ func runFaulty(n, degree, packets, failCount int, seed uint64, loss, crashRate f
 	}
 
 	st := &o.Stats
-	fmt.Printf("joins: %d admitted, %d gave up; %d crashed by operator, %d mid-operation\n",
+	fmt.Fprintf(out, "joins: %d admitted, %d gave up; %d crashed by operator, %d mid-operation\n",
 		n-refused, refused, crashed, st.InjectedCrashes)
-	fmt.Printf("transport: %d retries, %d timeouts, %d attempts lost, %d duplicates delivered\n",
+	fmt.Fprintf(out, "transport: %d retries, %d timeouts, %d attempts lost, %d duplicates delivered\n",
 		st.Retries, st.Timeouts, st.MessagesLost, st.DuplicatesDelivered)
-	fmt.Printf("degraded coverage: %.1f%% of live members reachable from the source\n",
+	fmt.Fprintf(out, "degraded coverage: %.1f%% of live members reachable from the source\n",
 		100*o.CoverageRatio())
 
 	// Injection stops; the heartbeat detector converges the overlay back to
@@ -212,7 +267,7 @@ func runFaulty(n, degree, packets, failCount int, seed uint64, loss, crashRate f
 	if err != nil {
 		return err
 	}
-	fmt.Printf("self-heal: audit clean after %d rounds (%d false suspicions, %d false confirms, %d elections)\n",
+	fmt.Fprintf(out, "self-heal: audit clean after %d rounds (%d false suspicions, %d false confirms, %d elections)\n",
 		rounds, st.FalseSuspects, st.FalseConfirms, st.RepElections)
 
 	// Data plane on the healed tree, links dropping at the same rate.
@@ -224,6 +279,7 @@ func runFaulty(n, degree, packets, failCount int, seed uint64, loss, crashRate f
 	sim, err := omtree.NewSim(t, omtree.SimConfig{
 		Latency: func(i, j int) float64 { return pts[i].Dist(pts[j]) },
 		Drop:    omtree.LinkDrop(seed^0xd07a, loss),
+		Obs:     reg,
 	})
 	if err != nil {
 		return err
@@ -241,7 +297,7 @@ func runFaulty(n, degree, packets, failCount int, seed uint64, loss, crashRate f
 	if recvs := t.N() - 1; recvs > 0 {
 		ratio = 1 - float64(missed)/float64(packets*recvs)
 	}
-	fmt.Printf("data plane: %d members, radius %.4f; %d/%d transmissions dropped -> %.2f%% of deliveries made\n",
+	fmt.Fprintf(out, "data plane: %d members, radius %.4f; %d/%d transmissions dropped -> %.2f%% of deliveries made\n",
 		t.N()-1, radius, drops, forwards, 100*ratio)
 	return nil
 }

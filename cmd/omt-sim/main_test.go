@@ -1,45 +1,48 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"testing"
+)
 
 func TestRunBasic(t *testing.T) {
-	if err := run([]string{"-n", "300", "-degree", "6", "-seed", "2"}); err != nil {
+	if err := run([]string{"-n", "300", "-degree", "6", "-seed", "2"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithFailuresAndRepair(t *testing.T) {
 	for _, strategy := range []string{"grandparent", "bestdelay"} {
-		if err := run([]string{"-n", "300", "-degree", "2", "-fail", "3", "-repair", strategy}); err != nil {
+		if err := run([]string{"-n", "300", "-degree", "2", "-fail", "3", "-repair", strategy}, io.Discard); err != nil {
 			t.Fatalf("%s: %v", strategy, err)
 		}
 	}
 }
 
 func TestRunWithProcDelay(t *testing.T) {
-	if err := run([]string{"-n", "100", "-proc", "0.01"}); err != nil {
+	if err := run([]string{"-n", "100", "-proc", "0.01"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadStrategy(t *testing.T) {
-	if err := run([]string{"-repair", "magic"}); err == nil {
+	if err := run([]string{"-repair", "magic"}, io.Discard); err == nil {
 		t.Error("accepted unknown repair strategy")
 	}
 }
 
 func TestRunFaulty(t *testing.T) {
 	if err := run([]string{"-n", "300", "-degree", "6", "-seed", "3",
-		"-loss", "0.2", "-crash-rate", "0.005", "-fail", "3", "-packets", "3"}); err != nil {
+		"-loss", "0.2", "-crash-rate", "0.005", "-fail", "3", "-packets", "3"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFaultyRejectsBadRates(t *testing.T) {
-	if err := run([]string{"-n", "100", "-loss", "1.5"}); err == nil {
+	if err := run([]string{"-n", "100", "-loss", "1.5"}, io.Discard); err == nil {
 		t.Error("accepted loss rate 1.5")
 	}
-	if err := run([]string{"-n", "100", "-crash-rate", "-0.1", "-loss", "0.1"}); err == nil {
+	if err := run([]string{"-n", "100", "-crash-rate", "-0.1", "-loss", "0.1"}, io.Discard); err == nil {
 		t.Error("accepted negative crash rate")
 	}
 }

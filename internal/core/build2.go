@@ -73,11 +73,14 @@ func Build2(source geom.Point2, receivers []geom.Point2, opts ...Option) (*Resul
 	}
 	n := len(receivers)
 	workers := o.effectiveWorkers(n)
+	o.obs.Gauge("build/workers").Set(float64(workers))
 
+	spConv := o.obs.Start("build/convert")
 	polars := make([]geom.Polar, n+1)
 	scale := convertCoords(workers, receivers, polars,
 		func(p geom.Point2) geom.Polar { return p.PolarAround(source) },
 		func(c geom.Polar) float64 { return c.R })
+	spConv.End()
 	dist := func(i, j int) float64 {
 		pi, pj := source, source
 		if i > 0 {
@@ -99,25 +102,29 @@ func Build2(source geom.Point2, receivers []geom.Point2, opts ...Option) (*Resul
 		return res, nil
 	}
 
+	spGrid := o.obs.Start("build/grid")
 	k, err := pickK(o, n, func(k int) bool {
 		return grid.PolarGrid{K: k, Scale: scale}.InteriorOccupied(polars[1:])
 	}, func(kMax int) int {
 		return grid.MaxFeasibleK(polars[1:], scale, kMax)
 	})
+	spGrid.End()
 	if err != nil {
 		return nil, err
 	}
 	g := grid.PolarGrid{K: k, Scale: scale}
 
+	spBucket := o.obs.Start("build/bucketing")
 	cellOf := make([]int32, n)
 	assignCells(workers, cellOf, func(i int) int32 { return int32(g.CellOf(polars[i+1])) })
 	groups := groupByCellParallel(cellOf, g.NumCells(), workers)
+	spBucket.End()
 	var reps []int32
 	if workers > 1 {
 		res.Tree, reps, err = wireParallel(n, k, g.NumCells(), degCap, workers, groups,
 			func(a bisect.Attacher) connector {
 				return &conn2{ctx: &bisect.Ctx2{B: a, Pts: polars}, g: g}
-			}, variant)
+			}, variant, o.obs)
 		if err != nil {
 			return nil, err
 		}
@@ -127,18 +134,24 @@ func Build2(source geom.Point2, receivers []geom.Point2, opts ...Option) (*Resul
 			return nil, berr
 		}
 		conn := &conn2{ctx: &bisect.Ctx2{B: b, Pts: polars}, g: g}
+		spReps := o.obs.Start("build/reps")
 		reps = chooseReps(groups, conn, g.NumCells())
+		spReps.End()
 		reps[0] = -1 // the source itself anchors ring 0; cell 0 has no separate representative
-		wireCore(b, k, groups, reps, conn, variant)
+		spWire := o.obs.Start("build/wire")
+		wireCore(b, k, groups, reps, conn, variant, o.obs)
+		spWire.End()
 		if res.Tree, err = b.Build(); err != nil {
 			return nil, fmt.Errorf("core: incomplete wiring (bug): %w", err)
 		}
 	}
+	spMetrics := o.obs.Start("build/metrics")
 	delays := res.Tree.Delays(dist)
 	res.K = k
 	res.Radius = maxOf(delays)
 	res.CoreDelay = coreDelay(delays, reps)
 	res.Bound = g.UpperBound(arcCoeff(variant))
+	spMetrics.End()
 	return res, nil
 }
 

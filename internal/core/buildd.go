@@ -84,12 +84,15 @@ func BuildD(source geom.Vec, receivers []geom.Vec, opts ...Option) (*Result, err
 	}
 	n := len(receivers)
 	workers := o.effectiveWorkers(n)
+	o.obs.Gauge("build/workers").Set(float64(workers))
 
+	spConv := o.obs.Start("build/convert")
 	hs := make([]geom.Hyperspherical, n+1)
 	hs[0] = geom.Hyperspherical{Phi: make([]float64, d-2)}
 	scale := convertCoords(workers, receivers, hs,
 		func(p geom.Vec) geom.Hyperspherical { return p.Sub(source).ToHyperspherical() },
 		func(c geom.Hyperspherical) float64 { return c.R })
+	spConv.End()
 	dist := func(i, j int) float64 {
 		pi, pj := source, source
 		if i > 0 {
@@ -109,13 +112,16 @@ func BuildD(source geom.Vec, receivers []geom.Vec, opts ...Option) (*Result, err
 		return res, nil
 	}
 
+	spGrid := o.obs.Start("build/grid")
 	var g *grid.GridD
 	if o.forceK > 0 {
 		g, err = grid.NewGridD(d, o.forceK, scale)
 		if err != nil {
+			spGrid.End()
 			return nil, err
 		}
 		if o.forceK > 1 && !g.InteriorOccupied(hs[1:]) {
+			spGrid.End()
 			return nil, fmt.Errorf("core: forced k = %d leaves an interior grid cell empty", o.forceK)
 		}
 	} else {
@@ -125,19 +131,23 @@ func BuildD(source geom.Vec, receivers []geom.Vec, opts ...Option) (*Result, err
 		}
 		g, err = grid.MaxFeasibleKD(d, hs[1:], scale, kMax)
 		if err != nil {
+			spGrid.End()
 			return nil, err
 		}
 	}
+	spGrid.End()
 
+	spBucket := o.obs.Start("build/bucketing")
 	cellOf := make([]int32, n)
 	assignCells(workers, cellOf, func(i int) int32 { return int32(g.CellOf(hs[i+1])) })
 	groups := groupByCellParallel(cellOf, g.NumCells(), workers)
+	spBucket.End()
 	var reps []int32
 	if workers > 1 {
 		res.Tree, reps, err = wireParallel(n, g.K, g.NumCells(), degCap, workers, groups,
 			func(a bisect.Attacher) connector {
 				return &connD{ctx: &bisect.CtxD{B: a, Pts: hs}, g: g}
-			}, variant)
+			}, variant, o.obs)
 		if err != nil {
 			return nil, err
 		}
@@ -147,17 +157,23 @@ func BuildD(source geom.Vec, receivers []geom.Vec, opts ...Option) (*Result, err
 			return nil, berr
 		}
 		conn := &connD{ctx: &bisect.CtxD{B: b, Pts: hs}, g: g}
+		spReps := o.obs.Start("build/reps")
 		reps = chooseReps(groups, conn, g.NumCells())
+		spReps.End()
 		reps[0] = -1 // the source itself anchors ring 0; cell 0 has no separate representative
-		wireCore(b, g.K, groups, reps, conn, variant)
+		spWire := o.obs.Start("build/wire")
+		wireCore(b, g.K, groups, reps, conn, variant, o.obs)
+		spWire.End()
 		if res.Tree, err = b.Build(); err != nil {
 			return nil, fmt.Errorf("core: incomplete wiring (bug): %w", err)
 		}
 	}
+	spMetrics := o.obs.Start("build/metrics")
 	delays := res.Tree.Delays(dist)
 	res.K = g.K
 	res.Radius = maxOf(delays)
 	res.CoreDelay = coreDelay(delays, reps)
 	res.Bound = g.UpperBound(arcCoeff(variant))
+	spMetrics.End()
 	return res, nil
 }

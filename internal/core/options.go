@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"runtime"
+
+	"omtree/internal/obs"
 )
 
 // Variant selects the wiring style of Polar_Grid.
@@ -43,6 +45,7 @@ type options struct {
 	forceK       int // 0 = automatic (largest feasible)
 	kMax         int // 0 = grid.DefaultKMax
 	workers      int // 0 = automatic (GOMAXPROCS above the size threshold)
+	obs          *obs.Registry
 }
 
 // Option configures a Build call.
@@ -78,6 +81,16 @@ func WithKMax(k int) Option {
 // serial builds of the same input produce identical trees.
 func WithParallelism(n int) Option {
 	return func(o *options) { o.workers = n }
+}
+
+// WithObserver attaches a metrics registry to the build: phase timings land
+// as spans under "build/..." (coordinate conversion, grid selection, cell
+// bucketing, representative selection, core wiring, per-cell Bisection),
+// worker-pool shape as gauges. A nil registry (the default) is free — every
+// instrumentation point is a nil check — and metrics never influence the
+// resulting tree: instrumented and uninstrumented builds are byte-identical.
+func WithObserver(r *obs.Registry) Option {
+	return func(o *options) { o.obs = r }
 }
 
 // effectiveWorkers resolves the worker count for a build over n receivers.

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"omtree/internal/bisect"
+	"omtree/internal/obs"
 	"omtree/internal/tree"
 )
 
@@ -86,15 +88,16 @@ func parRange(workers, n int, fn func(w, lo, hi int)) {
 // population.
 const cellBlock = 32
 
-// parCells runs fn(c) for every cell id in [0, numCells), distributing
-// blocks of cells over the worker pool through an atomic cursor. Per-cell
-// work is proportional to cell population, which varies by orders of
-// magnitude across rings, so dynamic block distribution balances far better
-// than contiguous pre-partitioning.
-func parCells(workers, numCells int, fn func(c int)) {
+// parCells runs fn(w, c) for every cell id in [0, numCells), distributing
+// blocks of cells over the worker pool through an atomic cursor; w is the
+// worker index (for per-worker accumulators). Per-cell work is proportional
+// to cell population, which varies by orders of magnitude across rings, so
+// dynamic block distribution balances far better than contiguous
+// pre-partitioning.
+func parCells(workers, numCells int, fn func(w, c int)) {
 	if workers <= 1 {
 		for c := 0; c < numCells; c++ {
-			fn(c)
+			fn(0, c)
 		}
 		return
 	}
@@ -102,7 +105,7 @@ func parCells(workers, numCells int, fn func(c int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				lo := int(cursor.Add(cellBlock)) - cellBlock
@@ -114,10 +117,10 @@ func parCells(workers, numCells int, fn func(c int)) {
 					hi = numCells
 				}
 				for c := lo; c < hi; c++ {
-					fn(c)
+					fn(w, c)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -208,7 +211,7 @@ func groupByCellParallel(cellOf []int32, numCells, workers int) cellGroups {
 // per-cell selection is untouched, so the result is identical.
 func chooseRepsParallel(g cellGroups, conn connector, numCells, workers int) []int32 {
 	reps := make([]int32, numCells)
-	parCells(workers, numCells, func(c int) {
+	parCells(workers, numCells, func(_, c int) {
 		members := g.order[g.start[c]:g.start[c+1]]
 		if len(members) == 0 {
 			reps[c] = -1
@@ -234,14 +237,50 @@ func chooseRepsParallel(g cellGroups, conn connector, numCells, workers int) []i
 // disjoint parent entries, so the finished array is independent of the
 // order in which workers happen to process cells.
 func wireParallel(n, k, numCells, degCap, workers int, g cellGroups,
-	mkConn func(bisect.Attacher) connector, variant Variant) (*tree.Tree, []int32, error) {
+	mkConn func(bisect.Attacher) connector, variant Variant, reg *obs.Registry) (*tree.Tree, []int32, error) {
 	sink := newParentSink(n + 1)
 	conn := mkConn(sink)
+	spReps := reg.Start("build/reps")
 	reps := chooseRepsParallel(g, conn, numCells, workers)
+	spReps.End()
 	reps[0] = -1 // the source itself anchors ring 0; cell 0 has no separate representative
-	parCells(workers, numCells, func(c int) {
-		wireCell(sink, k, c, g, reps, conn, variant)
-	})
+	spWire := reg.Start("build/wire")
+	if reg.Enabled() {
+		// Instrumented pass: per-worker busy time and cell counts feed the
+		// utilization and skew gauges. Each worker writes only its own slot;
+		// parCells's WaitGroup publishes the slices to this goroutine.
+		wireStart := time.Now()
+		busyNs := make([]int64, workers)
+		cellCnt := make([]int64, workers)
+		parCells(workers, numCells, func(w, c int) {
+			t0 := time.Now()
+			wireCell(sink, k, c, g, reps, conn, variant, reg)
+			busyNs[w] += int64(time.Since(t0))
+			cellCnt[w]++
+		})
+		wall := time.Since(wireStart).Seconds()
+		var busyTotal, maxCells int64
+		for w := 0; w < workers; w++ {
+			busyTotal += busyNs[w]
+			if cellCnt[w] > maxCells {
+				maxCells = cellCnt[w]
+			}
+		}
+		if wall > 0 && workers > 0 {
+			reg.Gauge("build/wire/worker_utilization").Set(
+				float64(busyTotal) / 1e9 / (wall * float64(workers)))
+		}
+		if numCells > 0 && workers > 0 {
+			mean := float64(numCells) / float64(workers)
+			reg.Gauge("build/wire/cells_per_worker_max").Set(float64(maxCells))
+			reg.Gauge("build/wire/cells_per_worker_skew").Set(float64(maxCells) / mean)
+		}
+	} else {
+		parCells(workers, numCells, func(_, c int) {
+			wireCell(sink, k, c, g, reps, conn, variant, nil)
+		})
+	}
+	spWire.End()
 	t, err := sink.build(degCap)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: incomplete wiring (bug): %w", err)

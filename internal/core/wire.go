@@ -3,6 +3,7 @@ package core
 import (
 	"omtree/internal/bisect"
 	"omtree/internal/grid"
+	"omtree/internal/obs"
 )
 
 // connector abstracts the dimension-specific pieces of the core wiring: the
@@ -81,9 +82,9 @@ func chooseReps(g cellGroups, conn connector, numCells int) []int32 {
 // source (node 0) acts as ring 0's representative. Interior cells (rings
 // 1..k-1) must be occupied. The ring-by-ring order matters only for sinks
 // (tree.Builder) that enforce top-down attachment.
-func wireCore(b bisect.Attacher, k int, g cellGroups, reps []int32, conn connector, variant Variant) {
+func wireCore(b bisect.Attacher, k int, g cellGroups, reps []int32, conn connector, variant Variant, reg *obs.Registry) {
 	for id := 0; id < grid.NumCells(k); id++ {
-		wireCell(b, k, id, g, reps, conn, variant)
+		wireCell(b, k, id, g, reps, conn, variant, reg)
 	}
 }
 
@@ -96,7 +97,7 @@ func wireCore(b bisect.Attacher, k int, g cellGroups, reps []int32, conn connect
 // (and inside the Bisection fan-outs) stay within this cell's slice of
 // g.order, so distinct cells touch disjoint memory and may run concurrently
 // against a concurrency-tolerant Attacher.
-func wireCell(b bisect.Attacher, k, id int, g cellGroups, reps []int32, conn connector, variant Variant) {
+func wireCell(b bisect.Attacher, k, id int, g cellGroups, reps []int32, conn connector, variant Variant, reg *obs.Registry) {
 	ring, idx := grid.RingIdx(id)
 	var repNode int32
 	if ring == 0 {
@@ -131,6 +132,10 @@ func wireCell(b bisect.Attacher, k, id int, g cellGroups, reps []int32, conn con
 		}
 	}
 
+	// Per-cell span: dominated by the in-cell Bisection fan-out. Span
+	// mutation is atomic, so concurrent cells share one accumulator safely;
+	// with no registry attached this costs two nil checks per cell.
+	sp := reg.Start("build/wire/bisect")
 	switch variant {
 	case VariantNatural:
 		for _, cr := range childReps {
@@ -146,6 +151,7 @@ func wireCell(b bisect.Attacher, k, id int, g cellGroups, reps []int32, conn con
 	default:
 		wireBinaryCell(b, conn, repNode, members, childReps, id)
 	}
+	sp.End()
 }
 
 // wireBinaryCell realizes the three cases of §IV-A for one cell in the

@@ -14,6 +14,7 @@ import (
 
 	"omtree/internal/core"
 	"omtree/internal/geom"
+	"omtree/internal/obs"
 	"omtree/internal/rng"
 	"omtree/internal/stats"
 )
@@ -42,6 +43,10 @@ type Config struct {
 	// Workers is small and individual builds are huge. Results are identical
 	// either way, only timing changes.
 	BuildWorkers int
+	// Obs, when non-nil, receives build-phase spans from every trial (the
+	// registry is concurrency-safe, so parallel trials share it). Aggregates
+	// are unaffected; attach one to see where sweep time goes.
+	Obs *obs.Registry
 	// Progress, when non-nil, receives one line per completed size.
 	Progress func(msg string)
 }
@@ -196,7 +201,7 @@ func runTrial(cfg Config, sizeIdx, n, trial int) (trialResult, error) {
 		cpuSec: make([]float64, len(cfg.Degrees)),
 	}
 	buildOpts := func(deg int) []core.Option {
-		opts := []core.Option{core.WithMaxOutDegree(deg)}
+		opts := []core.Option{core.WithMaxOutDegree(deg), core.WithObserver(cfg.Obs)}
 		if cfg.BuildWorkers != 0 {
 			opts = append(opts, core.WithParallelism(cfg.BuildWorkers))
 		}

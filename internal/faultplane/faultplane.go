@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"omtree/internal/obs"
 	"omtree/internal/rng"
 )
 
@@ -79,6 +80,7 @@ type Stats struct {
 	Lost       int
 	Duplicated int
 	Crashes    int
+	Delayed    int // attempts given nonzero extra latency
 	DelaySum   float64
 }
 
@@ -137,9 +139,33 @@ func (p *Plane) Attempt(from, to int32) Outcome {
 	if p.sc.DelayMean > 0 {
 		// Inverse-CDF exponential; 1-u keeps the argument in (0, 1].
 		out.Delay = -math.Log(1-p.r.Float64()) * p.sc.DelayMean
+		p.Stats.Delayed++
 		p.Stats.DelaySum += out.Delay
 	}
 	return out
+}
+
+// Observe publishes the plane's fault totals under "faultplane/..." as
+// counter funcs over Stats — the struct stays the source of truth and the
+// registry reads it at Snapshot() time. A nil registry is a no-op.
+func (p *Plane) Observe(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	fields := []struct {
+		name string
+		v    *int
+	}{
+		{"faultplane/attempts", &p.Stats.Attempts},
+		{"faultplane/lost", &p.Stats.Lost},
+		{"faultplane/duplicated", &p.Stats.Duplicated},
+		{"faultplane/crashes", &p.Stats.Crashes},
+		{"faultplane/delayed", &p.Stats.Delayed},
+	}
+	for _, f := range fields {
+		v := f.v
+		r.RegisterCounterFunc(f.name, func() int64 { return int64(*v) })
+	}
 }
 
 // Jitter returns a uniform [0, 1) draw from the plane's stream, used by the

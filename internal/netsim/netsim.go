@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"omtree/internal/obs"
 	"omtree/internal/tree"
 )
 
@@ -50,6 +51,10 @@ type Config struct {
 	// deterministic seeded implementation matching the control plane's
 	// loss rate.
 	Drop func(from, to, packet int) bool
+	// Obs, when non-nil, accumulates data-plane totals under "netsim/..."
+	// (packets, forwards, link drops, nodes delivered/missed). The counters
+	// are batch-added once per packet, so the hot event loop is untouched.
+	Obs *obs.Registry
 }
 
 // Sim simulates multicast over one tree.
@@ -202,6 +207,19 @@ func (s *Sim) MulticastAt(start float64, packet int, failures []Failure) Deliver
 			d.Arrival[i] -= start
 		}
 		d.MaxDelay -= start
+	}
+	if s.cfg.Obs != nil {
+		delivered := 0
+		for _, got := range d.Received {
+			if got {
+				delivered++
+			}
+		}
+		s.cfg.Obs.Counter("netsim/packets").Inc()
+		s.cfg.Obs.Counter("netsim/forwards").Add(int64(d.Forwards))
+		s.cfg.Obs.Counter("netsim/link_drops").Add(int64(d.LinkDrops))
+		s.cfg.Obs.Counter("netsim/nodes_delivered").Add(int64(delivered))
+		s.cfg.Obs.Counter("netsim/nodes_missed").Add(int64(n - delivered))
 	}
 	return d
 }

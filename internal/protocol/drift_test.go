@@ -1,0 +1,116 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+
+	"omtree/internal/faultplane"
+	"omtree/internal/obs"
+	"omtree/internal/rng"
+)
+
+// TestAuditDetectsStatsDrift: Audit enforces the message-accounting
+// invariant (Attempts == AttemptsDelivered + MessagesLost, Timeouts <=
+// MessagesLost). A clean session passes; a corrupted counter is reported as
+// drift, not silently accepted.
+func TestAuditDetectsStatsDrift(t *testing.T) {
+	r := rng.New(31)
+	o, err := New(sessionConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		reliableJoin(t, o, r.UniformDisk(1))
+	}
+	if err := o.Audit(); err != nil {
+		t.Fatalf("clean session failed audit: %v", err)
+	}
+	if o.Stats.Attempts == 0 {
+		t.Fatal("reliable joins recorded no attempts; invariant test is vacuous")
+	}
+
+	o.Stats.MessagesLost++ // simulate a lost message that was never counted as an attempt
+	err = o.Audit()
+	if err == nil || !strings.Contains(err.Error(), "stats drift") {
+		t.Fatalf("audit missed Attempts/MessagesLost drift, got: %v", err)
+	}
+	o.Stats.MessagesLost--
+
+	o.Stats.Timeouts = o.Stats.MessagesLost + 1 // timeouts must be a subset of losses
+	err = o.Audit()
+	if err == nil || !strings.Contains(err.Error(), "stats drift") {
+		t.Fatalf("audit missed Timeouts > MessagesLost drift, got: %v", err)
+	}
+	o.Stats.Timeouts = 0
+
+	if err := o.Audit(); err != nil {
+		t.Fatalf("restored session failed audit: %v", err)
+	}
+}
+
+// TestStatsInvariantUnderFaults: the accounting invariant holds live — not
+// just at audit time — across a faulty session with loss, duplication, and
+// crashes, and the registry's counter-func views report exactly the struct
+// fields.
+func TestStatsInvariantUnderFaults(t *testing.T) {
+	r := rng.New(32)
+	o, err := New(sessionConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane, err := faultplane.New(faultplane.Scenario{
+		Seed: 32, LossRate: 0.25, DupRate: 0.1, CrashRate: 0.005,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetTransport(plane, DefaultFaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	o.Observe(reg)
+
+	check := func(stage string) {
+		t.Helper()
+		st := o.Stats
+		if st.Attempts != st.AttemptsDelivered+st.MessagesLost {
+			t.Fatalf("%s: Attempts = %d, AttemptsDelivered + MessagesLost = %d",
+				stage, st.Attempts, st.AttemptsDelivered+st.MessagesLost)
+		}
+		if st.Timeouts > st.MessagesLost {
+			t.Fatalf("%s: Timeouts = %d > MessagesLost = %d", stage, st.Timeouts, st.MessagesLost)
+		}
+	}
+
+	for i := 0; i < 60; i++ {
+		o.Join(r.UniformDisk(1)) // lossy joins may fail; accounting must balance either way
+		check("join")
+	}
+	for i := 0; i < 3; i++ {
+		if id := randomLiveNode(o, r); id > 0 {
+			o.FailAbrupt(id)
+			check("fail")
+		}
+	}
+	if _, err := o.MaintenanceRound(); err != nil {
+		t.Fatal(err)
+	}
+	check("maintenance")
+
+	if o.Stats.MessagesLost == 0 && o.Stats.Retries == 0 {
+		t.Fatal("fault injection produced no degradation; invariant test is vacuous")
+	}
+	snap := reg.Snapshot()
+	for name, want := range map[string]int{
+		"protocol/attempts":           o.Stats.Attempts,
+		"protocol/attempts_delivered": o.Stats.AttemptsDelivered,
+		"protocol/messages_lost":      o.Stats.MessagesLost,
+		"protocol/timeouts":           o.Stats.Timeouts,
+		"protocol/retries":            o.Stats.Retries,
+	} {
+		if got := snap.Counter(name); got != int64(want) {
+			t.Errorf("registry %s = %d, want %d (SessionStats is the source of truth)",
+				name, got, want)
+		}
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"omtree/internal/core"
 	"omtree/internal/geom"
 	"omtree/internal/grid"
+	"omtree/internal/obs"
 	"omtree/internal/tree"
 )
 
@@ -114,6 +115,9 @@ type Overlay struct {
 	transport Transport
 	fcfg      FaultConfig
 
+	// reg is the attached metrics registry (see Observe); nil by default.
+	reg *obs.Registry
+
 	// Stats accumulates control-message totals for the session.
 	Stats SessionStats
 }
@@ -129,6 +133,14 @@ type SessionStats struct {
 	Rebuilds         int
 	RebuildMessages  int
 	AbruptFailures   int
+
+	// Message-attempt accounting at the transport choke point. Every
+	// attempt a control exchange pushes through exchangeN is counted here
+	// exactly once, and each is either delivered or lost — Audit enforces
+	// Attempts == AttemptsDelivered + MessagesLost, so any stats drift in a
+	// future code path fails loudly instead of silently skewing experiments.
+	Attempts          int // message attempts sent (reliable and faulty alike)
+	AttemptsDelivered int // attempts the destination actually handled
 
 	// Degradation accounting under an unreliable transport.
 	Retries             int // re-sent message attempts
@@ -885,7 +897,8 @@ func (o *Overlay) Rebuild() (OpStats, error) {
 		}
 	}
 
-	res, err := core.Build2(o.cfg.Source, receivers, core.WithMaxOutDegree(o.cfg.MaxOutDegree))
+	res, err := core.Build2(o.cfg.Source, receivers,
+		core.WithMaxOutDegree(o.cfg.MaxOutDegree), core.WithObserver(o.reg))
 	if err != nil {
 		return st, fmt.Errorf("protocol: rebuild: %w", err)
 	}

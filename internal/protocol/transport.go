@@ -113,6 +113,8 @@ func (o *Overlay) exchange(from, to int32, st *OpStats) bool {
 func (o *Overlay) exchangeN(from, to int32, maxAttempts int, st *OpStats) bool {
 	if o.transport == nil {
 		st.Messages++
+		o.Stats.Attempts++
+		o.Stats.AttemptsDelivered++
 		return true
 	}
 	pol := o.fcfg.Retry
@@ -122,6 +124,7 @@ func (o *Overlay) exchangeN(from, to int32, maxAttempts int, st *OpStats) bool {
 	timeout := pol.BaseTimeout
 	for attempt := 1; ; attempt++ {
 		st.Messages++
+		o.Stats.Attempts++
 		if attempt > 1 {
 			st.Retries++
 			o.Stats.Retries++
@@ -132,6 +135,7 @@ func (o *Overlay) exchangeN(from, to int32, maxAttempts int, st *OpStats) bool {
 		}
 		if o.nodeAlive(to) && !out.Lost && (timeout <= 0 || out.Delay <= timeout) {
 			st.SimTime += out.Delay
+			o.Stats.AttemptsDelivered++
 			if out.Duplicate {
 				st.Duplicates++
 				o.Stats.DuplicatesDelivered++
@@ -525,6 +529,18 @@ func (o *Overlay) CoverageRatio() float64 {
 // bound, with a radius matching an independent recomputation. Returns nil
 // only when the overlay has fully converged.
 func (o *Overlay) Audit() error {
+	// Message-accounting invariant: every attempt that went through the
+	// transport choke point was either delivered or lost, and a timed-out
+	// exchange lost at least one attempt. A violation means some code path
+	// mutated the stats outside exchangeN — drift that would silently skew
+	// every experiment built on these counters.
+	if got, want := o.Stats.Attempts, o.Stats.AttemptsDelivered+o.Stats.MessagesLost; got != want {
+		return fmt.Errorf("protocol: stats drift: Attempts = %d, AttemptsDelivered + MessagesLost = %d", got, want)
+	}
+	if o.Stats.Timeouts > o.Stats.MessagesLost {
+		return fmt.Errorf("protocol: stats drift: Timeouts = %d > MessagesLost = %d",
+			o.Stats.Timeouts, o.Stats.MessagesLost)
+	}
 	parents := make([]int32, len(o.nodes))
 	children := make([][]int32, len(o.nodes))
 	for i := range o.nodes {

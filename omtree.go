@@ -28,6 +28,7 @@ import (
 	"omtree/internal/faultplane"
 	"omtree/internal/geom"
 	"omtree/internal/netsim"
+	"omtree/internal/obs"
 	"omtree/internal/protocol"
 	"omtree/internal/rng"
 	"omtree/internal/tree"
@@ -82,7 +83,31 @@ var (
 	// GOMAXPROCS for large inputs). Parallel and serial builds of the same
 	// input produce identical trees.
 	WithParallelism = core.WithParallelism
+	// WithObserver attaches a metrics registry to the build; phase timings
+	// land under "build/..." without changing the resulting tree.
+	WithObserver = core.WithObserver
 )
+
+// Observability types (see internal/obs): a dependency-free registry of
+// counters, gauges, histograms, and hierarchical timing spans with stable
+// text/JSON snapshots. An Observer threads through builds (WithObserver),
+// sessions (Overlay.Observe), simulations (SimConfig.Obs), and fault planes
+// (FaultPlane.Observe); a nil Observer is accepted everywhere and free.
+type (
+	// Observer collects metrics across the toolkit's layers.
+	Observer = obs.Registry
+	// MetricsSnapshot is a frozen, renderable view of an Observer.
+	MetricsSnapshot = obs.Snapshot
+	// OverlaySessionStats aggregates a session's control traffic.
+	OverlaySessionStats = protocol.SessionStats
+)
+
+// NewObserver returns an enabled metrics registry.
+func NewObserver() *Observer { return obs.New() }
+
+// RegisterSessionMetrics publishes a session's stats under "protocol/..."
+// in the registry (counter funcs; the struct stays the source of truth).
+var RegisterSessionMetrics = protocol.RegisterSessionMetrics
 
 // Build runs Algorithm Polar_Grid over planar receivers (default: the
 // natural out-degree-6 variant).
