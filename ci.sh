@@ -41,8 +41,16 @@ check_cover() {
     echo "coverage: $pkg ${pct}% (floor ${floor}%)"
 }
 check_cover ./internal/obs 92
+check_cover ./internal/obs/trace 90
 check_cover ./internal/core 89
 check_cover ./internal/protocol 92
+
+# Golden files (cmd/omt-sim and cmd/omt-experiments CLI output;
+# internal/protocol trace timelines) are compared byte-for-byte by the
+# regular test run above. After an INTENDED behavior or format change,
+# regenerate with
+#   go test ./cmd/omt-sim ./cmd/omt-experiments ./internal/protocol -update
+# and review the diff — never hand-edit a .golden file.
 
 echo "== go test -race =="
 go test -race ./...

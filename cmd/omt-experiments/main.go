@@ -15,8 +15,11 @@
 //
 // -metrics FILE writes a JSON metrics snapshot (aggregated build-phase
 // spans across every trial) on exit and embeds it in the -json manifest;
-// -pprof ADDR serves net/http/pprof for live profiling. Both are off by
-// default and do not change any result.
+// -trace FILE writes the faults sweep's causal event timeline as Chrome
+// trace-event JSON (requires -faults; load it in Perfetto); -pprof ADDR
+// serves net/http/pprof for live profiling. All are off by default and do
+// not change any result. Output files are created up front, so an
+// unwritable path fails before the sweep starts.
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 
 	"omtree/internal/experiment"
 	"omtree/internal/obs"
+	"omtree/internal/obs/trace"
 )
 
 func main() {
@@ -60,6 +64,20 @@ func startPprof(addr string) error {
 	return nil
 }
 
+// createOutput opens path for writing immediately, so a misspelled or
+// unwritable destination fails before the sweep runs instead of after it.
+// An empty path yields a nil file (feature off).
+func createOutput(flagName, path string) (*os.File, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("-%s: %w", flagName, err)
+	}
+	return f, nil
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("omt-experiments", flag.ContinueOnError)
 	table1 := fs.Bool("table1", false, "reproduce Table I")
@@ -84,6 +102,7 @@ func run(args []string, out io.Writer) error {
 	csvPath := fs.String("csv", "", "also write the sweep as CSV here")
 	jsonPath := fs.String("json", "", "write all executed experiment rows as JSON here")
 	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot (build-phase spans) here on exit")
+	tracePath := fs.String("trace", "", "write the faults sweep's Chrome trace-event JSON timeline here (requires -faults)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,8 +110,13 @@ func run(args []string, out io.Writer) error {
 	if err := startPprof(*pprofAddr); err != nil {
 		return err
 	}
+	// Fail fast: requested outputs must be writable before hours of sweeping.
+	metricsF, err := createOutput("metrics", *metricsPath)
+	if err != nil {
+		return err
+	}
 	var reg *obs.Registry
-	if *metricsPath != "" {
+	if metricsF != nil {
 		reg = obs.New()
 	}
 
@@ -103,6 +127,20 @@ func run(args []string, out io.Writer) error {
 	if !*table1 && !*fig4 && !*fig5 && !*fig6 && !*fig7 && !*fig8 && !*baselines && !*churn && !*dims && !*repairs && !*scale && !*faults {
 		fs.Usage()
 		return fmt.Errorf("nothing selected (try -all)")
+	}
+	// -trace records the fault sweep's timeline; without -faults it would
+	// silently write an empty file, so reject the combination outright.
+	var rec *trace.Recorder
+	var traceF *os.File
+	if *tracePath != "" {
+		if !*faults {
+			return fmt.Errorf("-trace requires -faults (it records the fault sweep's event timeline)")
+		}
+		if traceF, err = createOutput("trace", *tracePath); err != nil {
+			return err
+		}
+		rec = trace.New(1 << 20)
+		rec.Observe(reg)
 	}
 
 	sizes := defaultSizes
@@ -298,6 +336,7 @@ func run(args []string, out io.Writer) error {
 		rows, err := experiment.RunFaultSweep(experiment.FaultSweepConfig{
 			N: 500, LossRates: []float64{0, 0.05, 0.10, 0.20, 0.30},
 			Trials: trialsForExtensions(nTrials), Seed: *seed, MaxOutDegree: 6,
+			Trace: rec,
 		})
 		if err != nil {
 			return err
@@ -332,8 +371,19 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*metricsPath, append(data, '\n'), 0o644); err != nil {
+		if _, err := metricsF.Write(append(data, '\n')); err != nil {
 			return fmt.Errorf("writing metrics: %w", err)
+		}
+		if err := metricsF.Close(); err != nil {
+			return err
+		}
+	}
+	if traceF != nil {
+		if err := rec.WriteChromeJSON(traceF); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := traceF.Close(); err != nil {
+			return err
 		}
 	}
 	if *jsonPath != "" {

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTraceRequiresFaults: -trace records the fault sweep, so selecting it
+// without -faults is a usage error, reported before any file is created.
+func TestTraceRequiresFaults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	err := run([]string{"-table1", "-sizes", "100", "-trials", "1", "-trace", path}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-faults") {
+		t.Fatalf("err = %v, want a -trace requires -faults error", err)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Error("rejected -trace still created the output file")
+	}
+}
+
+// TestFaultSweepTrace: -faults with -trace writes a valid, non-empty
+// Chrome trace-event JSON.
+func TestFaultSweepTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	if err := run([]string{"-faults", "-trials", "1", "-trace", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("fault sweep trace has no events")
+	}
+}
+
+// TestMetricsFailFast: an unwritable -metrics path errors before the sweep.
+func TestMetricsFailFast(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "missing-dir", "m.json")
+	var out bytes.Buffer
+	err := run([]string{"-table1", "-sizes", "100", "-trials", "1", "-metrics", bad}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-metrics") {
+		t.Fatalf("err = %v, want a -metrics open error", err)
+	}
+	if out.Len() != 0 {
+		t.Error("sweep ran before the output check")
+	}
+}

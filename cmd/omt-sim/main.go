@@ -18,9 +18,12 @@
 //	omt-sim -n 1000 -degree 6 -seed 1 -loss 0.2 -crash-rate 0.01 -fail 5
 //
 // -metrics FILE writes a JSON metrics snapshot (build-phase spans, protocol
-// and data-plane counters) on exit; -pprof ADDR serves net/http/pprof on
-// the given address for live profiling. Both are off by default and change
-// nothing about the simulated results.
+// and data-plane counters) on exit; -trace FILE writes a Chrome trace-event
+// JSON timeline (load it in Perfetto or chrome://tracing) and -trace-text
+// FILE the same timeline as deterministic plain text; -pprof ADDR serves
+// net/http/pprof on the given address for live profiling. All are off by
+// default and change nothing about the simulated results. Output files are
+// created up front, so an unwritable path fails before the run starts.
 package main
 
 import (
@@ -57,16 +60,55 @@ func startPprof(addr string) error {
 	return nil
 }
 
-// writeMetrics dumps the registry's snapshot as JSON to path.
-func writeMetrics(reg *omtree.Observer, path string) error {
+// createOutput opens path for writing immediately, so a misspelled or
+// unwritable destination fails before the simulation runs instead of after
+// it. An empty path yields a nil file (feature off).
+func createOutput(flagName, path string) (*os.File, error) {
 	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("-%s: %w", flagName, err)
+	}
+	return f, nil
+}
+
+// writeMetrics dumps the registry's snapshot as JSON to the pre-opened file.
+func writeMetrics(reg *omtree.Observer, f *os.File) error {
+	if f == nil {
 		return nil
 	}
 	data, err := reg.Snapshot().JSON()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// writeTraces dumps the recorder as Chrome trace-event JSON and/or a plain
+// text timeline to the pre-opened files.
+func writeTraces(rec *omtree.TraceRecorder, jsonF, textF *os.File) error {
+	if jsonF != nil {
+		if err := rec.WriteChromeJSON(jsonF); err != nil {
+			return err
+		}
+		if err := jsonF.Close(); err != nil {
+			return err
+		}
+	}
+	if textF != nil {
+		if _, err := textF.WriteString(rec.Text()); err != nil {
+			return err
+		}
+		if err := textF.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func run(args []string, out io.Writer) error {
@@ -81,6 +123,8 @@ func run(args []string, out io.Writer) error {
 	loss := fs.Float64("loss", 0, "control/data message loss probability in [0, 1)")
 	crashRate := fs.Float64("crash-rate", 0, "per-message chance the destination crashes, in [0, 1)")
 	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) to this file on exit")
+	traceTextPath := fs.String("trace-text", "", "write a plain-text event timeline to this file on exit")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,16 +132,40 @@ func run(args []string, out io.Writer) error {
 	if err := startPprof(*pprofAddr); err != nil {
 		return err
 	}
+	// Fail fast: every requested output must be writable before any work runs.
+	metricsF, err := createOutput("metrics", *metricsPath)
+	if err != nil {
+		return err
+	}
+	traceF, err := createOutput("trace", *tracePath)
+	if err != nil {
+		return err
+	}
+	traceTextF, err := createOutput("trace-text", *traceTextPath)
+	if err != nil {
+		return err
+	}
 	var reg *omtree.Observer
-	if *metricsPath != "" {
+	if metricsF != nil {
 		reg = omtree.NewObserver()
+	}
+	var rec *omtree.TraceRecorder
+	if traceF != nil || traceTextF != nil {
+		rec = omtree.NewTraceRecorder(1 << 20)
+		rec.Observe(reg)
+	}
+	finish := func() error {
+		if err := writeMetrics(reg, metricsF); err != nil {
+			return err
+		}
+		return writeTraces(rec, traceF, traceTextF)
 	}
 
 	if *loss > 0 || *crashRate > 0 {
-		if err := runFaulty(out, reg, *n, *degree, *packets, *failCount, *seed, *loss, *crashRate); err != nil {
+		if err := runFaulty(out, reg, rec, *n, *degree, *packets, *failCount, *seed, *loss, *crashRate); err != nil {
 			return err
 		}
-		return writeMetrics(reg, *metricsPath)
+		return finish()
 	}
 	// Register the protocol schema even on the reliable path, so every
 	// snapshot carries the same counter set (zeros when no session ran).
@@ -118,7 +186,7 @@ func run(args []string, out io.Writer) error {
 	receivers := r.UniformDiskN(*n, 1)
 	source := omtree.Point2{}
 	res, err := omtree.Build(source, receivers,
-		omtree.WithMaxOutDegree(*degree), omtree.WithObserver(reg))
+		omtree.WithMaxOutDegree(*degree), omtree.WithObserver(reg), omtree.WithTrace(rec))
 	if err != nil {
 		return err
 	}
@@ -126,7 +194,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "tree: %d nodes, variant %v, k=%d, radius %.4f (bound %.4f)\n",
 		res.Tree.N(), res.Variant, res.K, res.Radius, res.Bound)
 
-	sim, err := omtree.NewSim(res.Tree, omtree.SimConfig{Latency: dist, ProcDelay: *procDelay, Obs: reg})
+	sim, err := omtree.NewSim(res.Tree, omtree.SimConfig{Latency: dist, ProcDelay: *procDelay, Obs: reg, Trace: rec})
 	if err != nil {
 		return err
 	}
@@ -137,7 +205,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *failCount <= 0 {
-		return writeMetrics(reg, *metricsPath)
+		return finish()
 	}
 
 	// Fail the first internal (forwarding) nodes mid-session.
@@ -177,7 +245,7 @@ func run(args []string, out io.Writer) error {
 		*repairFlag, rep.Reattached, res.Radius, repairedRadius,
 		100*(repairedRadius-res.Radius)/res.Radius)
 
-	repairedSim, err := omtree.NewSim(rep.Tree, omtree.SimConfig{Latency: repairedDist, ProcDelay: *procDelay, Obs: reg})
+	repairedSim, err := omtree.NewSim(rep.Tree, omtree.SimConfig{Latency: repairedDist, ProcDelay: *procDelay, Obs: reg, Trace: rec})
 	if err != nil {
 		return err
 	}
@@ -189,12 +257,12 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	fmt.Fprintf(out, "post-repair delivery: max delay %.4f, %d survivors missing\n", d2.MaxDelay, missing)
-	return writeMetrics(reg, *metricsPath)
+	return finish()
 }
 
 // runFaulty exercises the decentralized protocol over a fault-injected
 // control plane and reports degradation and recovery.
-func runFaulty(out io.Writer, reg *omtree.Observer, n, degree, packets, failCount int, seed uint64, loss, crashRate float64) error {
+func runFaulty(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, n, degree, packets, failCount int, seed uint64, loss, crashRate float64) error {
 	fmt.Fprintf(out, "unreliable control plane: loss %.0f%%, duplication %.0f%%, crash rate %.2f%%\n",
 		100*loss, 100*loss/2, 100*crashRate)
 
@@ -218,6 +286,7 @@ func runFaulty(out io.Writer, reg *omtree.Observer, n, degree, packets, failCoun
 	}
 	o.Observe(reg)
 	plane.Observe(reg)
+	o.Trace(rec)
 
 	// Members join while the network misbehaves; some give up after
 	// exhausting their retry budget.
@@ -280,6 +349,7 @@ func runFaulty(out io.Writer, reg *omtree.Observer, n, degree, packets, failCoun
 		Latency: func(i, j int) float64 { return pts[i].Dist(pts[j]) },
 		Drop:    omtree.LinkDrop(seed^0xd07a, loss),
 		Obs:     reg,
+		Trace:   rec,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTraceOutputDeterministic: the same seeded faulty run writes
+// byte-identical Chrome JSON and text timelines both times — the
+// acceptance bar for trace reproducibility.
+func TestTraceOutputDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(tag string) (jsonB, textB []byte) {
+		jsonPath := filepath.Join(dir, tag+".json")
+		textPath := filepath.Join(dir, tag+".txt")
+		var out bytes.Buffer
+		err := run([]string{"-n", "200", "-seed", "1", "-loss", "0.2", "-fail", "3",
+			"-trace", jsonPath, "-trace-text", textPath}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsonB, err = os.ReadFile(jsonPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		textB, err = os.ReadFile(textPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jsonB, textB
+	}
+	j1, t1 := runOnce("a")
+	j2, t2 := runOnce("b")
+	if !bytes.Equal(j1, j2) {
+		t.Error("Chrome trace JSON differs between identical seeded runs")
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Error("text timeline differs between identical seeded runs")
+	}
+
+	// The JSON must be a loadable Chrome trace: an object with a non-empty
+	// traceEvents array whose entries carry the required fields.
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(j1, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace output has no events")
+	}
+	for _, e := range doc.TraceEvents[:5] {
+		if e.Name == "" || e.Ph == "" || e.Pid == 0 {
+			t.Fatalf("trace event missing required fields: %+v", e)
+		}
+	}
+	if !bytes.Contains(t1, []byte("protocol/join.begin")) {
+		t.Error("text timeline missing protocol events")
+	}
+}
+
+// TestReliablePathTraces: tracing also covers the centralized build and
+// the data-plane simulator on the reliable path.
+func TestReliablePathTraces(t *testing.T) {
+	dir := t.TempDir()
+	textPath := filepath.Join(dir, "t.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-n", "100", "-seed", "1", "-trace-text", textPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"build/run.begin", "build/wire/cell", "netsim/packet.begin", "netsim/packet.end"} {
+		if !bytes.Contains(text, []byte(want)) {
+			t.Errorf("reliable-path timeline missing %q", want)
+		}
+	}
+}
+
+// TestOutputFlagsFailFast: an unwritable -metrics/-trace/-trace-text path
+// errors out before any simulation work, naming the offending flag.
+func TestOutputFlagsFailFast(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "missing-dir", "out.json")
+	for _, flagName := range []string{"metrics", "trace", "trace-text"} {
+		var out bytes.Buffer
+		err := run([]string{"-n", "100", "-" + flagName, bad}, &out)
+		if err == nil {
+			t.Errorf("-%s with unwritable path did not fail", flagName)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-"+flagName) {
+			t.Errorf("-%s error %q does not name the flag", flagName, err)
+		}
+		if out.Len() != 0 {
+			t.Errorf("-%s: simulation ran before the output check", flagName)
+		}
+	}
+}

@@ -23,6 +23,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Record the session's causal timeline: every join, retry, fault-plane
+	// verdict, heartbeat, and repair lands on one bounded ring. Tracing
+	// never changes the session — it only watches it.
+	rec := omtree.NewTraceRecorder(1 << 18)
+	overlay.Trace(rec)
 	r := omtree.NewRand(777)
 
 	report := func(phase string) {
@@ -136,4 +141,6 @@ func main() {
 	}
 	fmt.Println("\nfinal tree validated: spanning, acyclic, out-degree <= 6")
 	fmt.Printf("session totals: %+v\n", overlay.Stats)
+	fmt.Printf("trace: %d events buffered (%d evicted from the %d-event ring); write rec.WriteChromeJSON to inspect in Perfetto\n",
+		rec.Len(), rec.Dropped(), rec.Cap())
 }

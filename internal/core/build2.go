@@ -74,13 +74,15 @@ func Build2(source geom.Point2, receivers []geom.Point2, opts ...Option) (*Resul
 	n := len(receivers)
 	workers := o.effectiveWorkers(n)
 	o.obs.Gauge("build/workers").Set(float64(workers))
+	in := newInstr(o, 2, n)
+	defer in.finish()
 
-	spConv := o.obs.Start("build/convert")
+	endConv := in.phase("build/convert")
 	polars := make([]geom.Polar, n+1)
 	scale := convertCoords(workers, receivers, polars,
 		func(p geom.Point2) geom.Polar { return p.PolarAround(source) },
 		func(c geom.Polar) float64 { return c.R })
-	spConv.End()
+	endConv()
 	dist := func(i, j int) float64 {
 		pi, pj := source, source
 		if i > 0 {
@@ -102,29 +104,29 @@ func Build2(source geom.Point2, receivers []geom.Point2, opts ...Option) (*Resul
 		return res, nil
 	}
 
-	spGrid := o.obs.Start("build/grid")
+	endGrid := in.phase("build/grid")
 	k, err := pickK(o, n, func(k int) bool {
 		return grid.PolarGrid{K: k, Scale: scale}.InteriorOccupied(polars[1:])
 	}, func(kMax int) int {
 		return grid.MaxFeasibleK(polars[1:], scale, kMax)
 	})
-	spGrid.End()
+	endGrid()
 	if err != nil {
 		return nil, err
 	}
 	g := grid.PolarGrid{K: k, Scale: scale}
 
-	spBucket := o.obs.Start("build/bucketing")
+	endBucket := in.phase("build/bucketing")
 	cellOf := make([]int32, n)
 	assignCells(workers, cellOf, func(i int) int32 { return int32(g.CellOf(polars[i+1])) })
 	groups := groupByCellParallel(cellOf, g.NumCells(), workers)
-	spBucket.End()
+	endBucket()
 	var reps []int32
 	if workers > 1 {
 		res.Tree, reps, err = wireParallel(n, k, g.NumCells(), degCap, workers, groups,
 			func(a bisect.Attacher) connector {
 				return &conn2{ctx: &bisect.Ctx2{B: a, Pts: polars}, g: g}
-			}, variant, o.obs)
+			}, variant, in)
 		if err != nil {
 			return nil, err
 		}
@@ -134,24 +136,24 @@ func Build2(source geom.Point2, receivers []geom.Point2, opts ...Option) (*Resul
 			return nil, berr
 		}
 		conn := &conn2{ctx: &bisect.Ctx2{B: b, Pts: polars}, g: g}
-		spReps := o.obs.Start("build/reps")
+		endReps := in.phase("build/reps")
 		reps = chooseReps(groups, conn, g.NumCells())
-		spReps.End()
+		endReps()
 		reps[0] = -1 // the source itself anchors ring 0; cell 0 has no separate representative
-		spWire := o.obs.Start("build/wire")
-		wireCore(b, k, groups, reps, conn, variant, o.obs)
-		spWire.End()
+		endWire := in.phase("build/wire")
+		wireCore(b, k, groups, reps, conn, variant, in)
+		endWire()
 		if res.Tree, err = b.Build(); err != nil {
 			return nil, fmt.Errorf("core: incomplete wiring (bug): %w", err)
 		}
 	}
-	spMetrics := o.obs.Start("build/metrics")
+	endMetrics := in.phase("build/metrics")
 	delays := res.Tree.Delays(dist)
 	res.K = k
 	res.Radius = maxOf(delays)
 	res.CoreDelay = coreDelay(delays, reps)
 	res.Bound = g.UpperBound(arcCoeff(variant))
-	spMetrics.End()
+	endMetrics()
 	return res, nil
 }
 

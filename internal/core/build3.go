@@ -88,14 +88,16 @@ func Build3(source geom.Point3, receivers []geom.Point3, opts ...Option) (*Resul
 	n := len(receivers)
 	workers := o.effectiveWorkers(n)
 	o.obs.Gauge("build/workers").Set(float64(workers))
+	in := newInstr(o, 3, n)
+	defer in.finish()
 
-	spConv := o.obs.Start("build/convert")
+	endConv := in.phase("build/convert")
 	sph := make([]geom.Spherical, n+1)
 	sph[0] = geom.Spherical{U: 1}
 	scale := convertCoords(workers, receivers, sph,
 		func(p geom.Point3) geom.Spherical { return p.SphericalAround(source) },
 		func(c geom.Spherical) float64 { return c.R })
-	spConv.End()
+	endConv()
 	dist := func(i, j int) float64 {
 		pi, pj := source, source
 		if i > 0 {
@@ -115,29 +117,29 @@ func Build3(source geom.Point3, receivers []geom.Point3, opts ...Option) (*Resul
 		return res, nil
 	}
 
-	spGrid := o.obs.Start("build/grid")
+	endGrid := in.phase("build/grid")
 	k, err := pickK(o, n, func(k int) bool {
 		return grid.SphereGrid3{K: k, Scale: scale}.InteriorOccupied(sph[1:])
 	}, func(kMax int) int {
 		return grid.MaxFeasibleK3(sph[1:], scale, kMax)
 	})
-	spGrid.End()
+	endGrid()
 	if err != nil {
 		return nil, err
 	}
 	g := grid.SphereGrid3{K: k, Scale: scale}
 
-	spBucket := o.obs.Start("build/bucketing")
+	endBucket := in.phase("build/bucketing")
 	cellOf := make([]int32, n)
 	assignCells(workers, cellOf, func(i int) int32 { return int32(g.CellOf(sph[i+1])) })
 	groups := groupByCellParallel(cellOf, g.NumCells(), workers)
-	spBucket.End()
+	endBucket()
 	var reps []int32
 	if workers > 1 {
 		res.Tree, reps, err = wireParallel(n, k, g.NumCells(), degCap, workers, groups,
 			func(a bisect.Attacher) connector {
 				return &conn3{ctx: &bisect.Ctx3{B: a, Pts: sph}, g: g}
-			}, variant, o.obs)
+			}, variant, in)
 		if err != nil {
 			return nil, err
 		}
@@ -147,23 +149,23 @@ func Build3(source geom.Point3, receivers []geom.Point3, opts ...Option) (*Resul
 			return nil, berr
 		}
 		conn := &conn3{ctx: &bisect.Ctx3{B: b, Pts: sph}, g: g}
-		spReps := o.obs.Start("build/reps")
+		endReps := in.phase("build/reps")
 		reps = chooseReps(groups, conn, g.NumCells())
-		spReps.End()
+		endReps()
 		reps[0] = -1 // the source itself anchors ring 0; cell 0 has no separate representative
-		spWire := o.obs.Start("build/wire")
-		wireCore(b, k, groups, reps, conn, variant, o.obs)
-		spWire.End()
+		endWire := in.phase("build/wire")
+		wireCore(b, k, groups, reps, conn, variant, in)
+		endWire()
 		if res.Tree, err = b.Build(); err != nil {
 			return nil, fmt.Errorf("core: incomplete wiring (bug): %w", err)
 		}
 	}
-	spMetrics := o.obs.Start("build/metrics")
+	endMetrics := in.phase("build/metrics")
 	delays := res.Tree.Delays(dist)
 	res.K = k
 	res.Radius = maxOf(delays)
 	res.CoreDelay = coreDelay(delays, reps)
 	res.Bound = g.UpperBound(arcCoeff(variant))
-	spMetrics.End()
+	endMetrics()
 	return res, nil
 }

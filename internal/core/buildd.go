@@ -85,14 +85,16 @@ func BuildD(source geom.Vec, receivers []geom.Vec, opts ...Option) (*Result, err
 	n := len(receivers)
 	workers := o.effectiveWorkers(n)
 	o.obs.Gauge("build/workers").Set(float64(workers))
+	in := newInstr(o, d, n)
+	defer in.finish()
 
-	spConv := o.obs.Start("build/convert")
+	endConv := in.phase("build/convert")
 	hs := make([]geom.Hyperspherical, n+1)
 	hs[0] = geom.Hyperspherical{Phi: make([]float64, d-2)}
 	scale := convertCoords(workers, receivers, hs,
 		func(p geom.Vec) geom.Hyperspherical { return p.Sub(source).ToHyperspherical() },
 		func(c geom.Hyperspherical) float64 { return c.R })
-	spConv.End()
+	endConv()
 	dist := func(i, j int) float64 {
 		pi, pj := source, source
 		if i > 0 {
@@ -112,16 +114,16 @@ func BuildD(source geom.Vec, receivers []geom.Vec, opts ...Option) (*Result, err
 		return res, nil
 	}
 
-	spGrid := o.obs.Start("build/grid")
+	endGrid := in.phase("build/grid")
 	var g *grid.GridD
 	if o.forceK > 0 {
 		g, err = grid.NewGridD(d, o.forceK, scale)
 		if err != nil {
-			spGrid.End()
+			endGrid()
 			return nil, err
 		}
 		if o.forceK > 1 && !g.InteriorOccupied(hs[1:]) {
-			spGrid.End()
+			endGrid()
 			return nil, fmt.Errorf("core: forced k = %d leaves an interior grid cell empty", o.forceK)
 		}
 	} else {
@@ -131,23 +133,23 @@ func BuildD(source geom.Vec, receivers []geom.Vec, opts ...Option) (*Result, err
 		}
 		g, err = grid.MaxFeasibleKD(d, hs[1:], scale, kMax)
 		if err != nil {
-			spGrid.End()
+			endGrid()
 			return nil, err
 		}
 	}
-	spGrid.End()
+	endGrid()
 
-	spBucket := o.obs.Start("build/bucketing")
+	endBucket := in.phase("build/bucketing")
 	cellOf := make([]int32, n)
 	assignCells(workers, cellOf, func(i int) int32 { return int32(g.CellOf(hs[i+1])) })
 	groups := groupByCellParallel(cellOf, g.NumCells(), workers)
-	spBucket.End()
+	endBucket()
 	var reps []int32
 	if workers > 1 {
 		res.Tree, reps, err = wireParallel(n, g.K, g.NumCells(), degCap, workers, groups,
 			func(a bisect.Attacher) connector {
 				return &connD{ctx: &bisect.CtxD{B: a, Pts: hs}, g: g}
-			}, variant, o.obs)
+			}, variant, in)
 		if err != nil {
 			return nil, err
 		}
@@ -157,23 +159,23 @@ func BuildD(source geom.Vec, receivers []geom.Vec, opts ...Option) (*Result, err
 			return nil, berr
 		}
 		conn := &connD{ctx: &bisect.CtxD{B: b, Pts: hs}, g: g}
-		spReps := o.obs.Start("build/reps")
+		endReps := in.phase("build/reps")
 		reps = chooseReps(groups, conn, g.NumCells())
-		spReps.End()
+		endReps()
 		reps[0] = -1 // the source itself anchors ring 0; cell 0 has no separate representative
-		spWire := o.obs.Start("build/wire")
-		wireCore(b, g.K, groups, reps, conn, variant, o.obs)
-		spWire.End()
+		endWire := in.phase("build/wire")
+		wireCore(b, g.K, groups, reps, conn, variant, in)
+		endWire()
 		if res.Tree, err = b.Build(); err != nil {
 			return nil, fmt.Errorf("core: incomplete wiring (bug): %w", err)
 		}
 	}
-	spMetrics := o.obs.Start("build/metrics")
+	endMetrics := in.phase("build/metrics")
 	delays := res.Tree.Delays(dist)
 	res.K = g.K
 	res.Radius = maxOf(delays)
 	res.CoreDelay = coreDelay(delays, reps)
 	res.Bound = g.UpperBound(arcCoeff(variant))
-	spMetrics.End()
+	endMetrics()
 	return res, nil
 }

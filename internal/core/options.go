@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"omtree/internal/obs"
+	"omtree/internal/obs/trace"
 )
 
 // Variant selects the wiring style of Polar_Grid.
@@ -46,6 +47,7 @@ type options struct {
 	kMax         int // 0 = grid.DefaultKMax
 	workers      int // 0 = automatic (GOMAXPROCS above the size threshold)
 	obs          *obs.Registry
+	trace        *trace.Recorder
 }
 
 // Option configures a Build call.
@@ -91,6 +93,17 @@ func WithParallelism(n int) Option {
 // resulting tree: instrumented and uninstrumented builds are byte-identical.
 func WithObserver(r *obs.Registry) Option {
 	return func(o *options) { o.obs = r }
+}
+
+// WithTrace attaches an event recorder to the build: the run mints a trace
+// id and emits begin/end events per phase plus one instant per wired cell,
+// so a full session (build, then protocol churn, then maintenance) driven
+// through one recorder reads as one causally-ordered timeline. Like
+// WithObserver, a nil recorder is free and tracing never influences the
+// resulting tree. Parallel builds emit cell events in scheduler order;
+// serial builds are byte-deterministic.
+func WithTrace(rec *trace.Recorder) Option {
+	return func(o *options) { o.trace = rec }
 }
 
 // effectiveWorkers resolves the worker count for a build over n receivers.

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"omtree/internal/bisect"
-	"omtree/internal/obs"
 	"omtree/internal/tree"
 )
 
@@ -237,14 +236,15 @@ func chooseRepsParallel(g cellGroups, conn connector, numCells, workers int) []i
 // disjoint parent entries, so the finished array is independent of the
 // order in which workers happen to process cells.
 func wireParallel(n, k, numCells, degCap, workers int, g cellGroups,
-	mkConn func(bisect.Attacher) connector, variant Variant, reg *obs.Registry) (*tree.Tree, []int32, error) {
+	mkConn func(bisect.Attacher) connector, variant Variant, in instr) (*tree.Tree, []int32, error) {
 	sink := newParentSink(n + 1)
 	conn := mkConn(sink)
-	spReps := reg.Start("build/reps")
+	endReps := in.phase("build/reps")
 	reps := chooseRepsParallel(g, conn, numCells, workers)
-	spReps.End()
+	endReps()
 	reps[0] = -1 // the source itself anchors ring 0; cell 0 has no separate representative
-	spWire := reg.Start("build/wire")
+	endWire := in.phase("build/wire")
+	reg := in.obs
 	if reg.Enabled() {
 		// Instrumented pass: per-worker busy time and cell counts feed the
 		// utilization and skew gauges. Each worker writes only its own slot;
@@ -254,7 +254,7 @@ func wireParallel(n, k, numCells, degCap, workers int, g cellGroups,
 		cellCnt := make([]int64, workers)
 		parCells(workers, numCells, func(w, c int) {
 			t0 := time.Now()
-			wireCell(sink, k, c, g, reps, conn, variant, reg)
+			wireCell(sink, k, c, g, reps, conn, variant, in)
 			busyNs[w] += int64(time.Since(t0))
 			cellCnt[w]++
 		})
@@ -277,10 +277,10 @@ func wireParallel(n, k, numCells, degCap, workers int, g cellGroups,
 		}
 	} else {
 		parCells(workers, numCells, func(_, c int) {
-			wireCell(sink, k, c, g, reps, conn, variant, nil)
+			wireCell(sink, k, c, g, reps, conn, variant, instr{rec: in.rec, tid: in.tid})
 		})
 	}
-	spWire.End()
+	endWire()
 	t, err := sink.build(degCap)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: incomplete wiring (bug): %w", err)

@@ -3,7 +3,6 @@ package core
 import (
 	"omtree/internal/bisect"
 	"omtree/internal/grid"
-	"omtree/internal/obs"
 )
 
 // connector abstracts the dimension-specific pieces of the core wiring: the
@@ -82,9 +81,9 @@ func chooseReps(g cellGroups, conn connector, numCells int) []int32 {
 // source (node 0) acts as ring 0's representative. Interior cells (rings
 // 1..k-1) must be occupied. The ring-by-ring order matters only for sinks
 // (tree.Builder) that enforce top-down attachment.
-func wireCore(b bisect.Attacher, k int, g cellGroups, reps []int32, conn connector, variant Variant, reg *obs.Registry) {
+func wireCore(b bisect.Attacher, k int, g cellGroups, reps []int32, conn connector, variant Variant, in instr) {
 	for id := 0; id < grid.NumCells(k); id++ {
-		wireCell(b, k, id, g, reps, conn, variant, reg)
+		wireCell(b, k, id, g, reps, conn, variant, in)
 	}
 }
 
@@ -97,7 +96,7 @@ func wireCore(b bisect.Attacher, k int, g cellGroups, reps []int32, conn connect
 // (and inside the Bisection fan-outs) stay within this cell's slice of
 // g.order, so distinct cells touch disjoint memory and may run concurrently
 // against a concurrency-tolerant Attacher.
-func wireCell(b bisect.Attacher, k, id int, g cellGroups, reps []int32, conn connector, variant Variant, reg *obs.Registry) {
+func wireCell(b bisect.Attacher, k, id int, g cellGroups, reps []int32, conn connector, variant Variant, in instr) {
 	ring, idx := grid.RingIdx(id)
 	var repNode int32
 	if ring == 0 {
@@ -134,8 +133,10 @@ func wireCell(b bisect.Attacher, k, id int, g cellGroups, reps []int32, conn con
 
 	// Per-cell span: dominated by the in-cell Bisection fan-out. Span
 	// mutation is atomic, so concurrent cells share one accumulator safely;
-	// with no registry attached this costs two nil checks per cell.
-	sp := reg.Start("build/wire/bisect")
+	// with no registry attached this costs two nil checks per cell. The
+	// matching trace instant goes through the recorder's lock.
+	in.cell(id, repNode)
+	sp := in.obs.Start("build/wire/bisect")
 	switch variant {
 	case VariantNatural:
 		for _, cr := range childReps {

@@ -6,6 +6,7 @@ import (
 	"omtree/internal/faultplane"
 	"omtree/internal/geom"
 	"omtree/internal/netsim"
+	"omtree/internal/obs/trace"
 	"omtree/internal/protocol"
 	"omtree/internal/rng"
 	"omtree/internal/stats"
@@ -38,6 +39,11 @@ type FaultSweepConfig struct {
 	// Packets is the data-plane session length used to measure delivery
 	// under the same loss rate (default 20).
 	Packets int
+	// Trace, when non-nil, records every trial's control- and data-plane
+	// events (joins, retries, fault verdicts, heartbeats, repairs, packet
+	// timelines) on one recorder. Trials run sequentially, so the timeline
+	// is deterministic for a fixed config. Nil disables tracing.
+	Trace *trace.Recorder
 }
 
 // FaultRow aggregates one loss rate across trials.
@@ -119,6 +125,7 @@ func RunFaultSweep(cfg FaultSweepConfig) ([]FaultRow, error) {
 			if err != nil {
 				return nil, err
 			}
+			o.Trace(cfg.Trace)
 			live := make([]int, 0, cfg.N)
 			for i := 0; i < cfg.N; i++ {
 				id, _, err := o.Join(r.UniformDisk(1))
@@ -196,6 +203,7 @@ func RunFaultSweep(cfg FaultSweepConfig) ([]FaultRow, error) {
 			sim, err := netsim.New(t, netsim.Config{
 				Latency: func(i, j int) float64 { return pts[i].Dist(pts[j]) },
 				Drop:    faultplane.LinkDrop(seed^0xd07a, loss),
+				Trace:   cfg.Trace,
 			})
 			if err != nil {
 				return nil, err

@@ -17,8 +17,10 @@ package faultplane
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"omtree/internal/obs"
+	"omtree/internal/obs/trace"
 	"omtree/internal/rng"
 )
 
@@ -141,6 +143,35 @@ func (p *Plane) Attempt(from, to int32) Outcome {
 		out.Delay = -math.Log(1-p.r.Float64()) * p.sc.DelayMean
 		p.Stats.Delayed++
 		p.Stats.DelaySum += out.Delay
+	}
+	return out
+}
+
+// AttemptTraced is Attempt plus an event per verdict on the caller's
+// timeline: faultplane/drop when the network eats the attempt, otherwise
+// faultplane/deliver (noting any extra latency) followed by
+// faultplane/crash and faultplane/dup as drawn. The fault draws themselves
+// are exactly Attempt's — same stream, same order — so traced and untraced
+// runs of one scenario see an identical fault schedule.
+func (p *Plane) AttemptTraced(from, to int32, tc trace.Ctx) Outcome {
+	out := p.Attempt(from, to)
+	if !tc.Enabled() {
+		return out
+	}
+	if out.Lost {
+		tc.Emit("faultplane/drop", from, to, "")
+		return out
+	}
+	note := ""
+	if out.Delay > 0 {
+		note = "delay=" + strconv.FormatFloat(out.Delay, 'f', 6, 64)
+	}
+	tc.Emit("faultplane/deliver", from, to, note)
+	if out.CrashDest {
+		tc.Emit("faultplane/crash", from, to, "")
+	}
+	if out.Duplicate {
+		tc.Emit("faultplane/dup", from, to, "")
 	}
 	return out
 }

@@ -21,8 +21,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 
 	"omtree/internal/obs"
+	"omtree/internal/obs/trace"
 	"omtree/internal/tree"
 )
 
@@ -55,6 +57,13 @@ type Config struct {
 	// (packets, forwards, link drops, nodes delivered/missed). The counters
 	// are batch-added once per packet, so the hot event loop is untouched.
 	Obs *obs.Registry
+	// Trace, when non-nil and enabled, records each packet's data-plane
+	// timeline: one trace id per packet, netsim/packet.begin at emission,
+	// one netsim/drop instant per in-flight link loss, and
+	// netsim/packet.end with the delivered/missed totals. Events carry the
+	// simulation's own virtual times (EmitAt), so the timeline slots the
+	// data plane alongside the control plane's clock.
+	Trace *trace.Recorder
 }
 
 // Sim simulates multicast over one tree.
@@ -157,6 +166,14 @@ func (s *Sim) MulticastAt(start float64, packet int, failures []Failure) Deliver
 		d.Arrival[i] = math.NaN()
 	}
 
+	var tid uint32
+	traced := s.cfg.Trace.Enabled()
+	if traced {
+		tid = s.cfg.Trace.NewTrace()
+		s.cfg.Trace.EmitAt(start, tid, 0, "netsim/packet.begin", int32(s.tree.Root()), -1,
+			"packet="+strconv.Itoa(packet))
+	}
+
 	var h eventHeap
 	root := int32(s.tree.Root())
 	h.push(event{time: start, node: root})
@@ -193,6 +210,9 @@ func (s *Sim) MulticastAt(start float64, packet int, failures []Failure) Deliver
 			d.Forwards++
 			if s.cfg.Drop != nil && s.cfg.Drop(int(e.node), int(c), packet) {
 				d.LinkDrops++
+				if traced {
+					s.cfg.Trace.EmitAt(sendAt, tid, 0, "netsim/drop", e.node, c, "")
+				}
 				continue
 			}
 			h.push(event{time: sendAt + lat, node: c})
@@ -200,6 +220,20 @@ func (s *Sim) MulticastAt(start float64, packet int, failures []Failure) Deliver
 	}
 	if math.IsInf(d.MaxDelay, -1) {
 		d.MaxDelay = math.NaN()
+	}
+	if traced {
+		delivered := 0
+		for _, got := range d.Received {
+			if got {
+				delivered++
+			}
+		}
+		endT := d.MaxDelay // still absolute here; NaN when nothing was delivered
+		if math.IsNaN(endT) {
+			endT = start
+		}
+		s.cfg.Trace.EmitAt(endT, tid, 0, "netsim/packet.end", -1, -1,
+			"delivered="+strconv.Itoa(delivered)+"/"+strconv.Itoa(n))
 	}
 	// Report delays relative to emission.
 	if start != 0 {

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"strings"
+)
+
+// chromeTrace is the top-level Chrome trace-event JSON object (the format
+// Perfetto and chrome://tracing load).
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// chromeEvent is one entry of the traceEvents array. Ph "B"/"E" open and
+// close a duration slice on a track; "i" is an instant. Ts is microseconds.
+type chromeEvent struct {
+	Name  string     `json:"name"`
+	Cat   string     `json:"cat"`
+	Ph    string     `json:"ph"`
+	Ts    float64    `json:"ts"`
+	Pid   int        `json:"pid"`
+	Tid   uint32     `json:"tid"`
+	Scope string     `json:"s,omitempty"`
+	Args  chromeArgs `json:"args"`
+}
+
+// chromeArgs carries the per-event payload shown in the viewer's detail
+// panel.
+type chromeArgs struct {
+	Seq  uint64 `json:"seq"`
+	Span uint32 `json:"span"`
+	From int32  `json:"from"`
+	To   int32  `json:"to"`
+	Note string `json:"note,omitempty"`
+}
+
+// chromeTs converts a virtual-seconds timestamp to the format's
+// microseconds, flattening non-finite values (a netsim run with no
+// delivered packets reports NaN delays) to zero so the JSON stays valid.
+func chromeTs(t float64) float64 {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return 0
+	}
+	return t * 1e6
+}
+
+// toChrome maps one recorded event into the trace-event model: kinds
+// ending in ".begin"/".end" become "B"/"E" slices named by the bare kind,
+// everything else a thread-scoped instant; the category is the kind's
+// first path segment (the emitting layer) and the track (tid) is the
+// trace id, so each protocol operation or build run gets its own row.
+func toChrome(e Event) chromeEvent {
+	ce := chromeEvent{
+		Name: e.Kind,
+		Cat:  e.Kind,
+		Ph:   "i",
+		Ts:   chromeTs(e.T),
+		Pid:  1,
+		Tid:  e.TraceID,
+		Args: chromeArgs{Seq: e.Seq, Span: e.SpanID, From: e.From, To: e.To, Note: e.Note},
+	}
+	if i := strings.IndexByte(e.Kind, '/'); i >= 0 {
+		ce.Cat = e.Kind[:i]
+	}
+	switch {
+	case strings.HasSuffix(e.Kind, ".begin"):
+		ce.Ph = "B"
+		ce.Name = strings.TrimSuffix(e.Kind, ".begin")
+	case strings.HasSuffix(e.Kind, ".end"):
+		ce.Ph = "E"
+		ce.Name = strings.TrimSuffix(e.Kind, ".end")
+	default:
+		ce.Scope = "t"
+	}
+	return ce
+}
+
+// WriteChromeJSON writes the retained events as Chrome trace-event JSON.
+// Output is deterministic: struct-driven marshaling, events in ring order.
+// A nil recorder writes an empty (but valid) trace.
+func (r *Recorder) WriteChromeJSON(w io.Writer) error {
+	events := r.Events()
+	out := chromeTrace{
+		DisplayTimeUnit: "ms",
+		TraceEvents:     make([]chromeEvent, len(events)),
+	}
+	for i, e := range events {
+		out.TraceEvents[i] = toChrome(e)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

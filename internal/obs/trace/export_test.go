@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// fillSample records a miniature session: an operation slice containing an
+// exchange with a drop, a retry, and a delivery, plus an instant on a
+// second trace.
+func fillSample() *Recorder {
+	r := New(64)
+	tr := r.NewTrace()
+	r.Emit(tr, 0, "protocol/join.begin", 5, -1, "cell=3")
+	sp := r.NewSpan()
+	r.Emit(tr, sp, "protocol/exchange.begin", 5, 0, "")
+	r.Emit(tr, sp, "protocol/attempt", 5, 0, "n=1")
+	r.Emit(tr, sp, "faultplane/drop", 5, 0, "")
+	r.Advance(0.05)
+	r.Emit(tr, sp, "protocol/retry", 5, 0, "n=2")
+	r.Emit(tr, sp, "faultplane/deliver", 5, 0, "delay=0.010000")
+	r.Advance(0.01)
+	r.Emit(tr, sp, "protocol/exchange.end", 5, 0, "ok")
+	r.Emit(tr, 0, "protocol/join.end", 5, -1, "ok")
+	tr2 := r.NewTrace()
+	r.Emit(tr2, 0, "protocol/heartbeat", 0, 5, "")
+	return r
+}
+
+func TestWriteChromeJSONValid(t *testing.T) {
+	r := fillSample()
+	var buf bytes.Buffer
+	if err := r.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string  `json:"name"`
+			Cat   string  `json:"cat"`
+			Ph    string  `json:"ph"`
+			Ts    float64 `json:"ts"`
+			Pid   int     `json:"pid"`
+			Tid   uint32  `json:"tid"`
+			Scope string  `json:"s"`
+			Args  struct {
+				Seq  uint64 `json:"seq"`
+				Span uint32 `json:"span"`
+				From int32  `json:"from"`
+				To   int32  `json:"to"`
+				Note string `json:"note"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if got.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", got.DisplayTimeUnit)
+	}
+	if len(got.TraceEvents) != r.Len() {
+		t.Fatalf("exported %d events, recorder holds %d", len(got.TraceEvents), r.Len())
+	}
+
+	// B/E slices must balance per track (tid); Perfetto rejects traces
+	// where an E has no matching B on the same track.
+	depth := map[uint32]int{}
+	for _, e := range got.TraceEvents {
+		switch e.Ph {
+		case "B":
+			depth[e.Tid]++
+		case "E":
+			depth[e.Tid]--
+			if depth[e.Tid] < 0 {
+				t.Fatalf("unbalanced E for tid %d at %q", e.Tid, e.Name)
+			}
+		case "i":
+			if e.Scope != "t" {
+				t.Errorf("instant %q missing thread scope", e.Name)
+			}
+		default:
+			t.Errorf("unexpected ph %q", e.Ph)
+		}
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Errorf("tid %d left %d slices open", tid, d)
+		}
+	}
+
+	// Spot-check the mapping on the join slice and the drop instant.
+	first := got.TraceEvents[0]
+	if first.Name != "protocol/join" || first.Ph != "B" || first.Cat != "protocol" ||
+		first.Pid != 1 || first.Tid != 1 || first.Args.Note != "cell=3" {
+		t.Errorf("join.begin mapped to %+v", first)
+	}
+	drop := got.TraceEvents[3]
+	if drop.Name != "faultplane/drop" || drop.Ph != "i" || drop.Cat != "faultplane" ||
+		drop.Args.From != 5 || drop.Args.To != 0 {
+		t.Errorf("drop mapped to %+v", drop)
+	}
+	// Retry landed after the 0.05 s advance: ts is microseconds.
+	retry := got.TraceEvents[4]
+	if math.Abs(retry.Ts-50000) > 1e-9 {
+		t.Errorf("retry ts = %v µs, want 50000", retry.Ts)
+	}
+}
+
+func TestWriteChromeJSONDeterministic(t *testing.T) {
+	r := fillSample()
+	var a, b bytes.Buffer
+	if err := r.WriteChromeJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteChromeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of the same recorder differ")
+	}
+}
+
+func TestWriteChromeJSONEmptyAndNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(4).WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("empty export invalid: %v", err)
+	}
+	if evs, ok := got["traceEvents"].([]any); !ok || len(evs) != 0 {
+		t.Errorf("empty export traceEvents = %v", got["traceEvents"])
+	}
+
+	buf.Reset()
+	var nilRec *Recorder
+	if err := nilRec.WriteChromeJSON(&buf); err != nil {
+		t.Fatalf("nil recorder export: %v", err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("nil export invalid: %v", err)
+	}
+}
+
+func TestChromeTsSanitizesNonFinite(t *testing.T) {
+	r := New(8)
+	r.EmitAt(math.NaN(), 1, 0, "netsim/packet.end", -1, -1, "")
+	r.EmitAt(math.Inf(1), 1, 0, "netsim/drop", 0, 1, "")
+	var buf bytes.Buffer
+	if err := r.WriteChromeJSON(&buf); err != nil {
+		t.Fatalf("non-finite timestamps broke the export: %v", err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("export with sanitized ts invalid: %v", err)
+	}
+}

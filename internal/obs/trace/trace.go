@@ -1,0 +1,327 @@
+// Package trace is the causal-event layer of the repo's observability
+// stack: where internal/obs answers "how much" (counters, quantiles, span
+// totals), a trace.Recorder answers "what happened in what order" — which
+// join retries the fault plane dropped, which heartbeat confirmed a
+// suspect, which repair round finally adopted an orphan.
+//
+// Design constraints, in order:
+//
+//   - Zero cost when absent. Every method is nil-receiver safe and checks
+//     an enabled atomic before doing work, exactly like obs.Registry: a nil
+//     *Recorder turns every Emit into a single nil check, so instrumented
+//     code needs no "if tracing" scaffolding and untraced runs stay
+//     byte-identical.
+//   - Bounded memory. Events land in a fixed-capacity ring; when the ring
+//     is full the oldest event is evicted and a dropped counter increments.
+//     A runaway session can never grow the recorder.
+//   - Causally linked. The recorder mints trace ids (one per protocol
+//     operation or build run) and span ids (one per control exchange);
+//     events carry both, so a timeline can be filtered to one operation and
+//     a Chrome trace viewer can nest exchanges under their operation.
+//   - Deterministic. Timestamps come from a virtual clock the caller
+//     advances (the protocol feeds it simulated delivery delays and
+//     timeouts; the data-plane simulator stamps its own event times), never
+//     from the wall clock, so two seeded runs produce byte-identical
+//     exports.
+//
+// Event kinds are path-like strings ("protocol/exchange.begin",
+// "faultplane/drop", "build/wire.end"): the first path segment is the
+// emitting layer (the Chrome export's category) and a ".begin"/".end"
+// suffix marks a slice open/close — everything else renders as an instant.
+package trace
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"omtree/internal/obs"
+)
+
+// DefaultCapacity is the ring size used when New is given a non-positive
+// capacity: 64k events ≈ 4 MB, enough for several thousand traced protocol
+// operations before eviction starts.
+const DefaultCapacity = 1 << 16
+
+// Event is one timeline entry.
+type Event struct {
+	// Seq is the global append order (1-based, never reused). Eviction
+	// drops old events but never renumbers survivors, so gaps at the front
+	// reveal how much history the ring lost.
+	Seq uint64
+	// T is the virtual time of the event in simulated seconds.
+	T float64
+	// TraceID links every event of one protocol operation or build run
+	// (0 = none minted).
+	TraceID uint32
+	// SpanID links the events of one control exchange within its trace
+	// (0 = outside any exchange).
+	SpanID uint32
+	// Kind names the event ("protocol/attempt", "faultplane/drop", ...).
+	Kind string
+	// From and To are the endpoints involved (-1 when not applicable).
+	From, To int32
+	// Note carries small free-form detail ("n=2", "cell=14", "timeout").
+	Note string
+}
+
+// Recorder is a bounded, concurrency-safe event ring. The zero value is
+// not usable; call New. A nil *Recorder is valid everywhere and records
+// nothing.
+type Recorder struct {
+	enabled atomic.Bool
+
+	mu        sync.Mutex
+	buf       []Event
+	start     int // index of the oldest retained event
+	n         int // retained events
+	seq       uint64
+	clock     float64
+	nextTrace uint32
+	nextSpan  uint32
+	dropped   int64
+}
+
+// New returns an enabled recorder with the given ring capacity (events);
+// capacity <= 0 selects DefaultCapacity.
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	r := &Recorder{buf: make([]Event, capacity)}
+	r.enabled.Store(true)
+	return r
+}
+
+// SetEnabled toggles recording. A disabled recorder keeps its buffered
+// events and its clock but ignores Emit and Advance.
+func (r *Recorder) SetEnabled(on bool) {
+	if r == nil {
+		return
+	}
+	r.enabled.Store(on)
+}
+
+// Enabled reports whether the recorder currently records.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// Cap returns the ring capacity (0 on a nil recorder).
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dropped returns how many events the ring has evicted to make room.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Now returns the current virtual time.
+func (r *Recorder) Now() float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.clock
+}
+
+// Advance moves the virtual clock forward by dt (ignored when dt <= 0 or
+// the recorder is nil or disabled) and returns the new time.
+func (r *Recorder) Advance(dt float64) float64 {
+	if r == nil || !r.enabled.Load() {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if dt > 0 {
+		r.clock += dt
+	}
+	return r.clock
+}
+
+// NewTrace mints a fresh trace id (0 on a nil or disabled recorder).
+func (r *Recorder) NewTrace() uint32 {
+	if r == nil || !r.enabled.Load() {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextTrace++
+	return r.nextTrace
+}
+
+// NewSpan mints a fresh span id (0 on a nil or disabled recorder).
+func (r *Recorder) NewSpan() uint32 {
+	if r == nil || !r.enabled.Load() {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextSpan++
+	return r.nextSpan
+}
+
+// Emit records one event at the current virtual time. No-op on a nil or
+// disabled recorder; evicts the oldest event when the ring is full.
+func (r *Recorder) Emit(traceID, spanID uint32, kind string, from, to int32, note string) {
+	if r == nil || !r.enabled.Load() {
+		return
+	}
+	r.mu.Lock()
+	r.emitLocked(Event{T: r.clock, TraceID: traceID, SpanID: spanID, Kind: kind, From: from, To: to, Note: note})
+	r.mu.Unlock()
+}
+
+// EmitAt is Emit with an explicit virtual timestamp, for emitters that run
+// their own simulated clock (the data-plane simulator).
+func (r *Recorder) EmitAt(t float64, traceID, spanID uint32, kind string, from, to int32, note string) {
+	if r == nil || !r.enabled.Load() {
+		return
+	}
+	r.mu.Lock()
+	r.emitLocked(Event{T: t, TraceID: traceID, SpanID: spanID, Kind: kind, From: from, To: to, Note: note})
+	r.mu.Unlock()
+}
+
+// emitLocked appends e under r.mu, assigning the next sequence number.
+func (r *Recorder) emitLocked(e Event) {
+	r.seq++
+	e.Seq = r.seq
+	if r.n == len(r.buf) {
+		r.buf[r.start] = e
+		r.start = (r.start + 1) % len(r.buf)
+		r.dropped++
+		return
+	}
+	r.buf[(r.start+r.n)%len(r.buf)] = e
+	r.n++
+}
+
+// Events returns the retained events, oldest first. The slice is a copy.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Observe publishes the recorder's bookkeeping under "trace/..." counter
+// funcs in the registry: trace/events_recorded (total ever emitted),
+// trace/events_buffered (currently retained) and trace/dropped_events
+// (evicted by the ring). A nil registry or recorder is a no-op.
+func (r *Recorder) Observe(reg *obs.Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	reg.RegisterCounterFunc("trace/events_recorded", func() int64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return int64(r.seq)
+	})
+	reg.RegisterCounterFunc("trace/events_buffered", func() int64 { return int64(r.Len()) })
+	reg.RegisterCounterFunc("trace/dropped_events", func() int64 { return r.Dropped() })
+}
+
+// Ctx carries a recorder plus the causal ids of the operation and exchange
+// in flight. The protocol hands a Ctx to its transport so fault-plane
+// verdicts land on the same timeline, under the same ids, as the attempt
+// that triggered them. The zero Ctx is inert.
+type Ctx struct {
+	R           *Recorder
+	Trace, Span uint32
+}
+
+// Enabled reports whether events emitted through the context are recorded.
+func (c Ctx) Enabled() bool { return c.R.Enabled() }
+
+// Emit records one event at the current virtual time under the context's
+// trace and span ids.
+func (c Ctx) Emit(kind string, from, to int32, note string) {
+	c.R.Emit(c.Trace, c.Span, kind, from, to, note)
+}
+
+// endpoint renders a node id for the text timeline ("-" for none).
+func endpoint(v int32) string {
+	if v < 0 {
+		return "-"
+	}
+	return strconv.FormatInt(int64(v), 10)
+}
+
+// line renders one event in the stable text-timeline format.
+func line(b *strings.Builder, e Event) {
+	b.WriteByte('#')
+	s := strconv.FormatUint(e.Seq, 10)
+	for pad := 6 - len(s); pad > 0; pad-- {
+		b.WriteByte('0')
+	}
+	b.WriteString(s)
+	b.WriteString(" t=")
+	b.WriteString(strconv.FormatFloat(e.T, 'f', 6, 64))
+	b.WriteString(" tr=")
+	b.WriteString(strconv.FormatUint(uint64(e.TraceID), 10))
+	b.WriteString(" sp=")
+	b.WriteString(strconv.FormatUint(uint64(e.SpanID), 10))
+	b.WriteByte(' ')
+	b.WriteString(e.Kind)
+	b.WriteByte(' ')
+	b.WriteString(endpoint(e.From))
+	b.WriteString("->")
+	b.WriteString(endpoint(e.To))
+	if e.Note != "" {
+		b.WriteByte(' ')
+		b.WriteString(e.Note)
+	}
+	b.WriteByte('\n')
+}
+
+// Text renders the retained timeline, oldest first, one event per line:
+//
+//	#000017 t=0.050000 tr=3 sp=2 protocol/retry 5->0 n=2
+//
+// The format is stable and wall-clock free, so seeded runs golden-test
+// byte-for-byte.
+func (r *Recorder) Text() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		line(&b, e)
+	}
+	return b.String()
+}
+
+// TextTrace is Text filtered to one trace id — the timeline of a single
+// protocol operation or build run.
+func (r *Recorder) TextTrace(traceID uint32) string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		if e.TraceID == traceID {
+			line(&b, e)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,265 @@
+package trace
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"omtree/internal/obs"
+)
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.SetEnabled(true)
+	r.Emit(1, 1, "x", 0, 1, "")
+	r.EmitAt(1.0, 1, 1, "x", 0, 1, "")
+	if r.Enabled() {
+		t.Error("nil recorder reports enabled")
+	}
+	if r.Advance(1.0) != 0 || r.Now() != 0 {
+		t.Error("nil recorder advanced its clock")
+	}
+	if r.NewTrace() != 0 || r.NewSpan() != 0 {
+		t.Error("nil recorder minted ids")
+	}
+	if r.Len() != 0 || r.Cap() != 0 || r.Dropped() != 0 {
+		t.Error("nil recorder reports state")
+	}
+	if r.Events() != nil || r.Text() != "" || r.TextTrace(1) != "" {
+		t.Error("nil recorder produced events")
+	}
+	r.Observe(obs.New()) // must not panic
+	var c Ctx
+	c.Emit("x", 0, 1, "") // zero Ctx carries a nil recorder
+	if c.Enabled() {
+		t.Error("zero Ctx reports enabled")
+	}
+}
+
+func TestDisabledRecorderRecordsNothing(t *testing.T) {
+	r := New(8)
+	r.SetEnabled(false)
+	if r.Enabled() {
+		t.Fatal("SetEnabled(false) did not stick")
+	}
+	r.Emit(1, 1, "x", 0, 1, "")
+	r.Advance(5)
+	if r.NewTrace() != 0 || r.NewSpan() != 0 {
+		t.Error("disabled recorder minted ids")
+	}
+	if r.Len() != 0 || r.Now() != 0 {
+		t.Errorf("disabled recorder recorded: len=%d now=%v", r.Len(), r.Now())
+	}
+	r.SetEnabled(true)
+	r.Emit(1, 1, "x", 0, 1, "")
+	if r.Len() != 1 {
+		t.Error("re-enabled recorder did not record")
+	}
+}
+
+func TestClockAndIDs(t *testing.T) {
+	r := New(16)
+	if got := r.Advance(0.25); got != 0.25 {
+		t.Errorf("Advance = %v, want 0.25", got)
+	}
+	r.Advance(-1) // negative deltas are ignored
+	r.Advance(0)
+	if got := r.Now(); got != 0.25 {
+		t.Errorf("Now = %v, want 0.25", got)
+	}
+	if a, b := r.NewTrace(), r.NewTrace(); a != 1 || b != 2 {
+		t.Errorf("NewTrace sequence = %d,%d, want 1,2", a, b)
+	}
+	if a, b := r.NewSpan(), r.NewSpan(); a != 1 || b != 2 {
+		t.Errorf("NewSpan sequence = %d,%d, want 1,2", a, b)
+	}
+	r.Emit(1, 2, "k", 3, 4, "note")
+	e := r.Events()[0]
+	if e.T != 0.25 || e.TraceID != 1 || e.SpanID != 2 || e.Kind != "k" ||
+		e.From != 3 || e.To != 4 || e.Note != "note" || e.Seq != 1 {
+		t.Errorf("recorded event = %+v", e)
+	}
+	r.EmitAt(9.5, 1, 2, "k2", -1, -1, "")
+	if e := r.Events()[1]; e.T != 9.5 || e.Seq != 2 {
+		t.Errorf("EmitAt event = %+v", e)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	if got := New(0).Cap(); got != DefaultCapacity {
+		t.Errorf("New(0).Cap() = %d, want %d", got, DefaultCapacity)
+	}
+	if got := New(-3).Cap(); got != DefaultCapacity {
+		t.Errorf("New(-3).Cap() = %d, want %d", got, DefaultCapacity)
+	}
+	if got := New(5).Cap(); got != 5 {
+		t.Errorf("New(5).Cap() = %d, want 5", got)
+	}
+}
+
+// TestRingOverflow proves the satellite requirement: when the ring fills,
+// the oldest events are evicted, survivors keep their sequence numbers,
+// and the dropped counter (mirrored as trace/dropped_events) increments.
+func TestRingOverflow(t *testing.T) {
+	const capacity = 4
+	r := New(capacity)
+	reg := obs.New()
+	r.Observe(reg)
+
+	for i := 0; i < 10; i++ {
+		r.Emit(1, 0, fmt.Sprintf("e%d", i), int32(i), -1, "")
+	}
+	if got := r.Len(); got != capacity {
+		t.Fatalf("Len = %d, want %d", got, capacity)
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	events := r.Events()
+	// Oldest-first, and the six oldest (e0..e5, seq 1..6) are gone.
+	for i, e := range events {
+		wantSeq := uint64(7 + i)
+		wantKind := fmt.Sprintf("e%d", 6+i)
+		if e.Seq != wantSeq || e.Kind != wantKind {
+			t.Errorf("events[%d] = seq %d kind %q, want seq %d kind %q",
+				i, e.Seq, e.Kind, wantSeq, wantKind)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("trace/dropped_events"); got != 6 {
+		t.Errorf("trace/dropped_events = %d, want 6", got)
+	}
+	if got := snap.Counter("trace/events_recorded"); got != 10 {
+		t.Errorf("trace/events_recorded = %d, want 10", got)
+	}
+	if got := snap.Counter("trace/events_buffered"); got != capacity {
+		t.Errorf("trace/events_buffered = %d, want %d", got, capacity)
+	}
+}
+
+func TestTextFormat(t *testing.T) {
+	r := New(8)
+	r.Advance(0.05)
+	r.Emit(3, 2, "protocol/retry", 5, 0, "n=2")
+	r.Emit(0, 0, "build/grid.begin", -1, -1, "")
+	want := "#000001 t=0.050000 tr=3 sp=2 protocol/retry 5->0 n=2\n" +
+		"#000002 t=0.050000 tr=0 sp=0 build/grid.begin -->-\n"
+	if got := r.Text(); got != want {
+		t.Errorf("Text:\n got %q\nwant %q", got, want)
+	}
+	if got := r.TextTrace(3); got != strings.SplitAfter(want, "\n")[0] {
+		t.Errorf("TextTrace(3) = %q", got)
+	}
+	if got := r.TextTrace(99); got != "" {
+		t.Errorf("TextTrace(99) = %q, want empty", got)
+	}
+}
+
+func TestTextWideSeq(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 1234567; i++ {
+		r.seq++ // fast-forward the sequence counter directly
+	}
+	r.Emit(1, 1, "k", 0, 1, "")
+	if got := r.Text(); !strings.HasPrefix(got, "#1234568 ") {
+		t.Errorf("wide seq rendered as %q", got)
+	}
+}
+
+func TestCtxEmit(t *testing.T) {
+	r := New(8)
+	c := Ctx{R: r, Trace: 7, Span: 9}
+	if !c.Enabled() {
+		t.Fatal("Ctx over enabled recorder reports disabled")
+	}
+	c.Emit("faultplane/drop", 1, 2, "")
+	e := r.Events()[0]
+	if e.TraceID != 7 || e.SpanID != 9 || e.Kind != "faultplane/drop" {
+		t.Errorf("Ctx.Emit recorded %+v", e)
+	}
+}
+
+// TestRecorderHammer drives concurrent appends, clock advances, and id
+// minting from GOMAXPROCS goroutines — the same shape as the parallel
+// wiring workers — and checks the ring's accounting stays exact. Run under
+// -race this is the trace half of the obs hammer.
+func TestRecorderHammer(t *testing.T) {
+	const perG = 2000
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	r := New(256) // far smaller than the event volume: forces constant eviction
+	reg := obs.New()
+	r.Observe(reg)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := r.NewTrace()
+			for i := 0; i < perG; i++ {
+				sp := r.NewSpan()
+				r.Emit(tid, sp, "build/wire/cell", int32(w), int32(i), "")
+				r.Advance(1e-6)
+				if i%64 == 0 {
+					_ = r.Events()
+					_ = r.Len()
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG/10; i++ {
+				_ = r.Text()
+				_ = reg.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := int64(workers * perG)
+	if got := reg.Snapshot().Counter("trace/events_recorded"); got != total {
+		t.Errorf("events_recorded = %d, want %d", got, total)
+	}
+	if got := r.Dropped(); got != total-int64(r.Len()) {
+		t.Errorf("dropped %d + retained %d != emitted %d", r.Dropped(), r.Len(), total)
+	}
+	// Sequence numbers in the retained window must be strictly increasing.
+	events := r.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("seq not increasing at %d: %d then %d", i, events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+func BenchmarkEmit(b *testing.B) {
+	r := New(1 << 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(1, 1, "protocol/attempt", 0, 1, "n=1")
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	r := New(1 << 12)
+	r.SetEnabled(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(1, 1, "protocol/attempt", 0, 1, "n=1")
+	}
+}
+
+func BenchmarkEmitNil(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(1, 1, "protocol/attempt", 0, 1, "n=1")
+	}
+}

@@ -39,11 +39,13 @@ package protocol
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"omtree/internal/core"
 	"omtree/internal/geom"
 	"omtree/internal/grid"
 	"omtree/internal/obs"
+	"omtree/internal/obs/trace"
 	"omtree/internal/tree"
 )
 
@@ -117,6 +119,16 @@ type Overlay struct {
 
 	// reg is the attached metrics registry (see Observe); nil by default.
 	reg *obs.Registry
+
+	// rec is the attached event recorder (see Trace); nil by default.
+	rec *trace.Recorder
+	// ttrans is the transport's traced view, cached by SetTransport so
+	// exchangeN pays one nil check instead of a type assertion per attempt
+	// (nil when the transport cannot emit verdict events).
+	ttrans TracedTransport
+	// curTrace is the trace id of the operation in flight (operations are
+	// strictly sequential; 0 outside any operation).
+	curTrace uint32
 
 	// Stats accumulates control-message totals for the session.
 	Stats SessionStats
@@ -290,6 +302,15 @@ func (o *Overlay) Join(p geom.Point2) (int, OpStats, error) {
 	cell := int32(o.g.CellOf(polar))
 
 	id := int32(len(o.nodes))
+	endOp := o.beginOp("protocol/join", id, "cell="+strconv.Itoa(int(cell)))
+	joined := false
+	defer func() {
+		if joined {
+			endOp("ok")
+		} else {
+			endOp("refused")
+		}
+	}()
 	o.nodes = append(o.nodes, node{pos: p, polar: polar, cell: cell, parent: parentDead})
 
 	// Route along the representative core: JOIN to the source, then one
@@ -381,6 +402,7 @@ func (o *Overlay) Join(p geom.Point2) (int, OpStats, error) {
 	o.alive++
 	o.Stats.Joins++
 	o.Stats.JoinMessages += st.Messages
+	joined = true
 	return int(id), st, nil
 }
 
@@ -562,6 +584,10 @@ func (o *Overlay) Leave(id int) (OpStats, error) {
 		return st, fmt.Errorf("protocol: node %d already left", id)
 	}
 
+	endOp := o.beginOp("protocol/leave", int32(id), "")
+	outcome := "ok"
+	defer func() { endOp(outcome) }()
+
 	// The leaver stops forwarding now, whatever the network does to its
 	// goodbye.
 	n.alive = false
@@ -571,6 +597,7 @@ func (o *Overlay) Leave(id int) (OpStats, error) {
 	parent := n.parent
 	if !o.exchange(int32(id), parent, &st) { // goodbye to parent
 		o.Stats.LeaveMessages += st.Messages
+		outcome = "ghost"
 		return st, nil // nobody heard; the detector will clean the ghost
 	}
 	o.detachChild(parent, int32(id))
@@ -680,6 +707,8 @@ func (o *Overlay) MaxOutDegreeUsed() int {
 // rounds suffice in practice).
 func (o *Overlay) Optimize() (OptimizeStats, error) {
 	var st OptimizeStats
+	endOp := o.beginOp("protocol/optimize", -1, "")
+	defer func() { endOp("moves=" + strconv.Itoa(st.Moves)) }()
 
 	// Pass 1: representative re-anchoring, inner rings first so parents
 	// settle before children measure against them.
@@ -861,6 +890,9 @@ func (o *Overlay) moveSubtree(node, target int32) {
 // continue to work against the rebuilt state.
 func (o *Overlay) Rebuild() (OpStats, error) {
 	var st OpStats
+	endOp := o.beginOp("protocol/rebuild", -1, "")
+	outcome := "ok"
+	defer func() { endOp(outcome) }()
 
 	// Flush unrepaired ghosts first: the wholesale rewire below would
 	// otherwise leave dead nodes holding stale child lists into the new
@@ -898,8 +930,10 @@ func (o *Overlay) Rebuild() (OpStats, error) {
 	}
 
 	res, err := core.Build2(o.cfg.Source, receivers,
-		core.WithMaxOutDegree(o.cfg.MaxOutDegree), core.WithObserver(o.reg))
+		core.WithMaxOutDegree(o.cfg.MaxOutDegree), core.WithObserver(o.reg),
+		core.WithTrace(o.rec))
 	if err != nil {
+		outcome = "failed"
 		return st, fmt.Errorf("protocol: rebuild: %w", err)
 	}
 
@@ -963,6 +997,7 @@ func (o *Overlay) FailAbrupt(id int) error {
 	n.alive = false
 	o.alive--
 	o.Stats.AbruptFailures++
+	o.emit("protocol/fail_abrupt", int32(id), -1, "")
 	return nil
 }
 
@@ -976,6 +1011,8 @@ func (o *Overlay) FailAbrupt(id int) error {
 // repaired (a second sweep costs nothing).
 func (o *Overlay) DetectAndRepair() (OpStats, error) {
 	var st OpStats
+	endOp := o.beginOp("protocol/detect_repair", -1, "")
+	defer func() { endOp("") }()
 	for id := 1; id < len(o.nodes); id++ {
 		n := &o.nodes[id]
 		if n.alive || n.parent == parentDead && len(n.children) == 0 {

@@ -3,11 +3,13 @@ package protocol
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"omtree/internal/faultplane"
 	"omtree/internal/geom"
 	"omtree/internal/grid"
 	"omtree/internal/invariant"
+	"omtree/internal/obs/trace"
 )
 
 // Transport decides the fate of each control-message attempt. The default
@@ -19,6 +21,16 @@ type Transport interface {
 	Attempt(from, to int32) faultplane.Outcome
 	// Jitter returns a uniform [0, 1) draw for retry-backoff jitter.
 	Jitter() float64
+}
+
+// TracedTransport is a Transport that can additionally land its per-attempt
+// verdicts (deliver/drop/dup/delay/crash) on the caller's event timeline.
+// AttemptTraced must draw exactly as Attempt would — same stream, same
+// order — so attaching a recorder never changes the fault schedule.
+// faultplane.Plane implements this.
+type TracedTransport interface {
+	Transport
+	AttemptTraced(from, to int32, tc trace.Ctx) faultplane.Outcome
 }
 
 // RetryPolicy bounds how hard a sender pushes one control exchange through
@@ -92,6 +104,10 @@ func (o *Overlay) SetTransport(t Transport, cfg FaultConfig) error {
 	}
 	o.transport = t
 	o.fcfg = cfg
+	o.ttrans = nil
+	if tt, ok := t.(TracedTransport); ok {
+		o.ttrans = tt
+	}
 	return nil
 }
 
@@ -111,15 +127,27 @@ func (o *Overlay) exchange(from, to int32, st *OpStats) bool {
 // delivery delayed past the timeout is modeled as a loss precisely because
 // the retry's effect subsumes the late one.
 func (o *Overlay) exchangeN(from, to int32, maxAttempts int, st *OpStats) bool {
+	traced := o.rec.Enabled()
 	if o.transport == nil {
 		st.Messages++
 		o.Stats.Attempts++
 		o.Stats.AttemptsDelivered++
+		if traced {
+			o.rec.Emit(o.curTrace, 0, "protocol/attempt", from, to, "n=1")
+		}
 		return true
 	}
 	pol := o.fcfg.Retry
 	if maxAttempts <= 0 {
 		maxAttempts = pol.MaxAttempts
+	}
+	// One timeline span per exchange; the attempt/retry instants and the
+	// fault plane's verdicts all carry it, and the recorder's virtual clock
+	// advances by the same delivery delays and timeouts SimTime accumulates.
+	var tc trace.Ctx
+	if traced {
+		tc = trace.Ctx{R: o.rec, Trace: o.curTrace, Span: o.rec.NewSpan()}
+		tc.Emit("protocol/exchange.begin", from, to, "")
 	}
 	timeout := pol.BaseTimeout
 	for attempt := 1; ; attempt++ {
@@ -128,8 +156,18 @@ func (o *Overlay) exchangeN(from, to int32, maxAttempts int, st *OpStats) bool {
 		if attempt > 1 {
 			st.Retries++
 			o.Stats.Retries++
+			if traced {
+				tc.Emit("protocol/retry", from, to, "n="+strconv.Itoa(attempt))
+			}
+		} else if traced {
+			tc.Emit("protocol/attempt", from, to, "n=1")
 		}
-		out := o.transport.Attempt(from, to)
+		var out faultplane.Outcome
+		if traced && o.ttrans != nil {
+			out = o.ttrans.AttemptTraced(from, to, tc)
+		} else {
+			out = o.transport.Attempt(from, to)
+		}
 		if out.CrashDest {
 			o.crash(to)
 		}
@@ -140,14 +178,27 @@ func (o *Overlay) exchangeN(from, to int32, maxAttempts int, st *OpStats) bool {
 				st.Duplicates++
 				o.Stats.DuplicatesDelivered++
 			}
+			if traced {
+				o.rec.Advance(out.Delay)
+				tc.Emit("protocol/exchange.end", from, to, "ok")
+			}
 			return true
 		}
 		st.Lost++
 		o.Stats.MessagesLost++
 		st.SimTime += timeout
+		if traced {
+			if !out.Lost && timeout > 0 && out.Delay > timeout && o.nodeAlive(to) {
+				tc.Emit("protocol/late", from, to, "")
+			}
+			o.rec.Advance(timeout)
+		}
 		if attempt >= maxAttempts {
 			st.Timeouts++
 			o.Stats.Timeouts++
+			if traced {
+				tc.Emit("protocol/exchange.end", from, to, "timeout")
+			}
 			return false
 		}
 		timeout *= pol.Backoff
@@ -210,6 +261,8 @@ func (o *Overlay) MaintenanceRound() (MaintenanceStats, error) {
 	var ms MaintenanceStats
 	st := &ms.Op
 	o.Stats.MaintenanceRounds++
+	endOp := o.beginOp("protocol/maintenance", -1, "")
+	defer func() { endOp("confirmed=" + strconv.Itoa(ms.NewlyConfirmed)) }()
 
 	// Phase 1: heartbeats. heard/missed aggregate what each node's
 	// monitors observed this round: one successful exchange anywhere
@@ -226,6 +279,7 @@ func (o *Overlay) MaintenanceRound() (MaintenanceStats, error) {
 		}
 		ms.Probes++
 		o.Stats.Heartbeats++
+		o.emit("protocol/heartbeat", a, b, "")
 		if an && bn {
 			if o.exchangeN(a, b, 1, st) {
 				heard[a], heard[b] = true, true
@@ -268,12 +322,14 @@ func (o *Overlay) MaintenanceRound() (MaintenanceStats, error) {
 			n.susp++
 			if n.susp == o.fcfg.SuspectAfter {
 				ms.NewlySuspected++
+				o.emit("protocol/suspect", int32(id), -1, "")
 				if n.alive {
 					o.Stats.FalseSuspects++
 				}
 			}
 			if n.susp == o.fcfg.ConfirmAfter {
 				ms.NewlyConfirmed++
+				o.emit("protocol/confirm", int32(id), -1, "")
 			}
 		}
 	}
@@ -289,6 +345,7 @@ func (o *Overlay) MaintenanceRound() (MaintenanceStats, error) {
 		if n.alive {
 			ms.FalseConfirms++
 			o.Stats.FalseConfirms++
+			o.emit("protocol/false_confirm", int32(id), -1, "")
 			o.rejoinEvicted(int32(id), st)
 			n.susp = 0
 			continue
@@ -344,6 +401,7 @@ func (o *Overlay) Converge(maxRounds int) (int, error) {
 func (o *Overlay) repairDead(id int32, st *OpStats) bool {
 	n := &o.nodes[id]
 	anchor := n.parent
+	o.emit("protocol/repair", id, -1, "")
 
 	// Unlink from the parent. Dropping a dead child is local bookkeeping
 	// at the parent — it noticed the silence itself; no message needed. A
@@ -413,6 +471,7 @@ func (o *Overlay) adoptOrphan(c, anchor int32, st *OpStats) bool {
 	}
 	o.attach(c, target)
 	o.refreshDelays(c)
+	o.emit("protocol/adopt", c, target, "")
 	return true
 }
 
@@ -434,6 +493,7 @@ func (o *Overlay) rejoinEvicted(id int32, st *OpStats) {
 		return
 	}
 	o.moveSubtree(id, cand)
+	o.emit("protocol/rejoin", id, cand, "")
 }
 
 // electRep runs a representative election in a cell: the lowest-id live
@@ -467,6 +527,7 @@ func (o *Overlay) electRep(cell int32, st *OpStats) bool {
 	o.reps[cell] = best
 	o.nodes[best].isRep = true
 	o.Stats.RepElections++
+	o.emit("protocol/elect", best, -1, "cell="+strconv.Itoa(int(cell)))
 	return true
 }
 

@@ -29,6 +29,7 @@ import (
 	"omtree/internal/geom"
 	"omtree/internal/netsim"
 	"omtree/internal/obs"
+	"omtree/internal/obs/trace"
 	"omtree/internal/protocol"
 	"omtree/internal/rng"
 	"omtree/internal/tree"
@@ -86,6 +87,10 @@ var (
 	// WithObserver attaches a metrics registry to the build; phase timings
 	// land under "build/..." without changing the resulting tree.
 	WithObserver = core.WithObserver
+	// WithTrace attaches an event recorder to the build; phase begin/end
+	// events and per-cell wiring instants land on one trace id without
+	// changing the resulting tree.
+	WithTrace = core.WithTrace
 )
 
 // Observability types (see internal/obs): a dependency-free registry of
@@ -104,6 +109,24 @@ type (
 
 // NewObserver returns an enabled metrics registry.
 func NewObserver() *Observer { return obs.New() }
+
+// Causal-event tracing (see internal/obs/trace): a bounded ring of
+// timeline events with trace/span ids minted per protocol operation,
+// exported as a deterministic text timeline or Chrome trace-event JSON
+// (loadable in Perfetto). A TraceRecorder threads through builds
+// (WithTrace), sessions (Overlay.Trace), simulations (SimConfig.Trace),
+// and fault planes (via the session's transport); nil is accepted
+// everywhere and free.
+type (
+	// TraceRecorder is the bounded causal-event ring.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one recorded timeline entry.
+	TraceEvent = trace.Event
+)
+
+// NewTraceRecorder returns an enabled event recorder with the given ring
+// capacity (<= 0 selects the 64k-event default).
+func NewTraceRecorder(capacity int) *TraceRecorder { return trace.New(capacity) }
 
 // RegisterSessionMetrics publishes a session's stats under "protocol/..."
 // in the registry (counter funcs; the struct stays the source of truth).
