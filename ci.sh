@@ -1,10 +1,21 @@
 #!/bin/sh
 # ci.sh — the repo's full gate: formatting, vet, the regular test suite,
 # the race-detector run that guards the parallel build pipeline, and
-# short fuzz smokes over the codec and fault-schedule fuzzers.
+# short fuzz smokes over the codec, fault-schedule, and partition-schedule
+# fuzzers. `ci.sh bench` runs the benchmark regression gate instead.
 set -eu
 
 cd "$(dirname "$0")"
+
+# `ci.sh bench` runs only the benchmark regression gate: a fresh snapshot
+# (scripts/bench.sh) diffed against BENCH_baseline.json, failing on >2%
+# ns/op regressions (override with BENCH_TOLERANCE). It is not part of the
+# default gate because ns/op is too noisy on shared runners to block every
+# PR on it.
+if [ "${1:-}" = "bench" ]; then
+    echo "== bench compare =="
+    exec scripts/bench_compare.sh
+fi
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
@@ -59,5 +70,6 @@ echo "== fuzz smoke =="
 go test -run='^$' -fuzz='^FuzzWireRoundTrip$' -fuzztime=10s ./internal/core
 go test -run='^$' -fuzz='^FuzzCodecRoundTrip$' -fuzztime=10s ./internal/tree
 go test -run='^$' -fuzz='^FuzzFaultSchedule$' -fuzztime=10s ./internal/protocol
+go test -run='^$' -fuzz='^FuzzPartitionSchedule$' -fuzztime=10s ./internal/protocol
 
 echo "ci: all green"

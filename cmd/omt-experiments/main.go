@@ -90,6 +90,7 @@ func run(args []string, out io.Writer) error {
 	churn := fs.Bool("churn", false, "decentralized protocol vs centralized build")
 	repairs := fs.Bool("repairs", false, "failure/repair robustness sweep")
 	faults := fs.Bool("faults", false, "unreliable control plane: loss sweep with self-healing")
+	partition := fs.Bool("partition", false, "partition tolerance: degraded islands, admission control, reconciliation (requires -faults)")
 	scale := fs.Bool("scale", false, "large-n comparison vs the k-d-tree greedy")
 	dims := fs.Bool("dims", false, "delay convergence across dimensions 2..5")
 	all := fs.Bool("all", false, "run everything")
@@ -123,6 +124,12 @@ func run(args []string, out io.Writer) error {
 	if *all {
 		*table1, *fig4, *fig5, *fig6, *fig7, *fig8 = true, true, true, true, true, true
 		*baselines, *churn, *dims, *repairs, *scale, *faults = true, true, true, true, true, true
+		*partition = true
+	}
+	// The partition sweep extends the fault sweep's scenario; alone it would
+	// skip the context that makes its columns comparable.
+	if *partition && !*faults {
+		return fmt.Errorf("-partition requires -faults (it extends the unreliable-control-plane sweep)")
 	}
 	if !*table1 && !*fig4 && !*fig5 && !*fig6 && !*fig7 && !*fig8 && !*baselines && !*churn && !*dims && !*repairs && !*scale && !*faults {
 		fs.Usage()
@@ -161,17 +168,18 @@ func run(args []string, out io.Writer) error {
 	}
 
 	manifest := struct {
-		Seed      uint64                   `json:"seed"`
-		Trials    int                      `json:"trials"`
-		Disk      []experiment.Row         `json:"disk,omitempty"`
-		Ball      []experiment.Row         `json:"ball,omitempty"`
-		Baselines []experiment.BaselineRow `json:"baselines,omitempty"`
-		Scalable  []experiment.ScalableRow `json:"scalable,omitempty"`
-		Churn     []experiment.ChurnRow    `json:"churn,omitempty"`
-		Dims      []experiment.DimRow      `json:"dims,omitempty"`
-		Repairs   []experiment.RepairRow   `json:"repairs,omitempty"`
-		Faults    []experiment.FaultRow    `json:"faults,omitempty"`
-		Metrics   *obs.Snapshot            `json:"metrics,omitempty"`
+		Seed      uint64                    `json:"seed"`
+		Trials    int                       `json:"trials"`
+		Disk      []experiment.Row          `json:"disk,omitempty"`
+		Ball      []experiment.Row          `json:"ball,omitempty"`
+		Baselines []experiment.BaselineRow  `json:"baselines,omitempty"`
+		Scalable  []experiment.ScalableRow  `json:"scalable,omitempty"`
+		Churn     []experiment.ChurnRow     `json:"churn,omitempty"`
+		Dims      []experiment.DimRow       `json:"dims,omitempty"`
+		Repairs   []experiment.RepairRow    `json:"repairs,omitempty"`
+		Faults    []experiment.FaultRow     `json:"faults,omitempty"`
+		Partition []experiment.PartitionRow `json:"partition,omitempty"`
+		Metrics   *obs.Snapshot             `json:"metrics,omitempty"`
 	}{Seed: *seed}
 
 	need2D := *table1 || *fig4 || *fig5 || *fig6 || *fig7
@@ -343,6 +351,24 @@ func run(args []string, out io.Writer) error {
 		}
 		manifest.Faults = rows
 		if err := experiment.FaultTable(rows, 500).Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *partition {
+		fmt.Fprintln(out, "Partition tolerance (n = 300, degree 6, 5% loss, split rounds 2-8):")
+		fmt.Fprintln(out)
+		rows, err := experiment.RunPartitionSweep(experiment.PartitionSweepConfig{
+			N: 300, Sides: []int{2, 3, 4},
+			Trials: trialsForExtensions(nTrials), Seed: *seed, MaxOutDegree: 6,
+			Trace: rec,
+		})
+		if err != nil {
+			return err
+		}
+		manifest.Partition = rows
+		if err := experiment.PartitionTable(rows, 300).Render(out); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

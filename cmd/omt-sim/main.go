@@ -17,6 +17,15 @@
 //
 //	omt-sim -n 1000 -degree 6 -seed 1 -loss 0.2 -crash-rate 0.01 -fail 5
 //
+// -partition sides:start:heal splits the control plane into sides at the
+// given maintenance round and heals it later: orphaned subtrees elect
+// interim coordinators and keep serving joins in degraded mode, then a
+// reconciliation pass re-grafts the islands after the heal. -join-rate
+// throttles the mid-partition join storm with token-bucket admission
+// control (excess joins queue, then shed with a retry-after hint).
+//
+//	omt-sim -n 300 -seed 3 -loss 0.05 -partition 2:2:8 -join-rate 2
+//
 // -metrics FILE writes a JSON metrics snapshot (build-phase spans, protocol
 // and data-plane counters) on exit; -trace FILE writes a Chrome trace-event
 // JSON timeline (load it in Perfetto or chrome://tracing) and -trace-text
@@ -122,6 +131,8 @@ func run(args []string, out io.Writer) error {
 	procDelay := fs.Float64("proc", 0, "per-hop forwarding delay")
 	loss := fs.Float64("loss", 0, "control/data message loss probability in [0, 1)")
 	crashRate := fs.Float64("crash-rate", 0, "per-message chance the destination crashes, in [0, 1)")
+	partitionSpec := fs.String("partition", "", "schedule a network split as sides:start:heal (maintenance-round numbers), e.g. 2:2:8")
+	joinRate := fs.Float64("join-rate", 0, "admit at most this many joins per maintenance round during the partition join storm (0 = unthrottled; requires -partition)")
 	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) to this file on exit")
 	traceTextPath := fs.String("trace-text", "", "write a plain-text event timeline to this file on exit")
@@ -161,8 +172,16 @@ func run(args []string, out io.Writer) error {
 		return writeTraces(rec, traceF, traceTextF)
 	}
 
-	if *loss > 0 || *crashRate > 0 {
-		if err := runFaulty(out, reg, rec, *n, *degree, *packets, *failCount, *seed, *loss, *crashRate); err != nil {
+	pe, err := parsePartition(*partitionSpec)
+	if err != nil {
+		return err
+	}
+	if *joinRate > 0 && pe == nil {
+		return fmt.Errorf("-join-rate requires -partition")
+	}
+
+	if *loss > 0 || *crashRate > 0 || pe != nil {
+		if err := runFaulty(out, reg, rec, *n, *degree, *packets, *failCount, *seed, *loss, *crashRate, pe, *joinRate); err != nil {
 			return err
 		}
 		return finish()
@@ -260,9 +279,24 @@ func run(args []string, out io.Writer) error {
 	return finish()
 }
 
+// parsePartition decodes a sides:start:heal schedule spec; an empty spec
+// yields nil (no partition). Range validation happens in SetSchedule.
+func parsePartition(s string) (*omtree.PartitionEvent, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var pe omtree.PartitionEvent
+	if _, err := fmt.Sscanf(s, "%d:%d:%d", &pe.Sides, &pe.Start, &pe.Heal); err != nil {
+		return nil, fmt.Errorf("-partition: want sides:start:heal, got %q", s)
+	}
+	return &pe, nil
+}
+
 // runFaulty exercises the decentralized protocol over a fault-injected
-// control plane and reports degradation and recovery.
-func runFaulty(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, n, degree, packets, failCount int, seed uint64, loss, crashRate float64) error {
+// control plane and reports degradation and recovery. With a partition
+// schedule it additionally splits the network mid-run, storms joins at the
+// degraded overlay, and reports island formation and reconciliation.
+func runFaulty(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, n, degree, packets, failCount int, seed uint64, loss, crashRate float64, pe *omtree.PartitionEvent, joinRate float64) error {
 	fmt.Fprintf(out, "unreliable control plane: loss %.0f%%, duplication %.0f%%, crash rate %.2f%%\n",
 		100*loss, 100*loss/2, 100*crashRate)
 
@@ -315,10 +349,42 @@ func runFaulty(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, n
 			crashed++
 		}
 	}
-	for i := 0; i < 2; i++ {
-		if _, err := o.MaintenanceRound(); err != nil {
+	if pe == nil {
+		for i := 0; i < 2; i++ {
+			if _, err := o.MaintenanceRound(); err != nil {
+				return err
+			}
+		}
+	} else {
+		if err := plane.SetSchedule([]omtree.PartitionEvent{*pe}); err != nil {
 			return err
 		}
+		if joinRate > 0 {
+			if err := o.SetAdmission(omtree.OverlayAdmission{RatePerRound: joinRate}); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "partition: %d-way split at round %d, healing at round %d\n",
+			pe.Sides, pe.Start, pe.Heal)
+		// Run the schedule through its heal, storming joins while split.
+		peak := 0
+		for plane.Ticks() <= pe.Heal {
+			ms, err := o.MaintenanceRound()
+			if err != nil {
+				return err
+			}
+			if ms.Islands > peak {
+				peak = ms.Islands
+			}
+			if t := plane.Ticks(); t >= pe.Start && t < pe.Heal {
+				for i := 0; i < 3; i++ {
+					o.Join(r.UniformDisk(1)) // degraded, queued, shed, or refused
+				}
+			}
+		}
+		fmt.Fprintf(out, "partition: peak %d islands; joins %d degraded, %d queued (%d admitted), %d shed; %d merges, %d reconciliations\n",
+			peak, o.Stats.DegradedJoins, o.Stats.JoinsQueued, o.Stats.QueuedAdmitted,
+			o.Stats.JoinsShed, o.Stats.IslandMerges, o.Stats.Reconciliations)
 	}
 
 	st := &o.Stats

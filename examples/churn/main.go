@@ -5,6 +5,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -131,6 +132,56 @@ func main() {
 	}
 	fmt.Printf("%-28s audit clean after %d heartbeat rounds\n", "self-healed:", rounds)
 	report("after self-healing:")
+
+	// A backbone failure splits the network in two. Subtrees cut off from
+	// the source elect interim coordinators and keep serving joins in
+	// degraded mode; token-bucket admission control sheds the worst of the
+	// join storm with retry-after hints instead of timing everyone out.
+	plane2, err := omtree.NewFaultPlane(omtree.FaultScenario{Seed: 779, LossRate: 0.02})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := overlay.SetTransport(plane2, fcfg); err != nil {
+		log.Fatal(err)
+	}
+	if err := overlay.SetAdmission(omtree.OverlayAdmission{RatePerRound: 2, QueueLimit: 6}); err != nil {
+		log.Fatal(err)
+	}
+	if err := plane2.Partition(2); err != nil {
+		log.Fatal(err)
+	}
+	queued, shed := 0, 0
+	for round := 0; round < fcfg.ConfirmAfter+4; round++ {
+		if _, err := overlay.MaintenanceRound(); err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			_, _, err := overlay.Join(r.UniformDisk(1))
+			switch {
+			case errors.Is(err, omtree.ErrJoinQueued):
+				queued++
+			case err != nil:
+				var ra *omtree.RetryAfter
+				if errors.As(err, &ra) {
+					shed++
+				}
+			}
+		}
+	}
+	fmt.Printf("%-28s %d islands serving %d degraded joins; %d queued, %d shed\n",
+		"during the partition:", overlay.Islands(), overlay.Stats.DegradedJoins, queued, shed)
+
+	// The backbone comes back: reconciliation re-grafts each island under
+	// its proper grid anchor and the audit goes clean again.
+	plane2.Heal()
+	plane2.SetActive(false)
+	rounds, err = overlay.Converge(fcfg.ConfirmAfter + 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s %d reconciliations, %d island merges, audit clean after %d rounds\n",
+		"after the heal:", overlay.Stats.Reconciliations, overlay.Stats.IslandMerges, rounds)
+	report("after reconciliation:")
 
 	tr, _, _, err := overlay.Snapshot()
 	if err != nil {

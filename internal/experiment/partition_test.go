@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunPartitionSweep(t *testing.T) {
+	cfg := PartitionSweepConfig{
+		N: 60, Sides: []int{2, 3},
+		Trials: 2, Seed: 77, MaxOutDegree: 5,
+	}
+	rows, err := RunPartitionSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The split must actually bite (islands form and reconcile) and the
+		// heal must leave no trace: zero ghosts, radius back under the
+		// centralized eq. 7 bound.
+		if r.PeakIslands <= 0 {
+			t.Errorf("sides %d: no islands formed", r.Sides)
+		}
+		if r.Reconciliations <= 0 {
+			t.Errorf("sides %d: nothing reconciled", r.Sides)
+		}
+		if r.Ghosts != 0 {
+			t.Errorf("sides %d: %v ghosts survived", r.Sides, r.Ghosts)
+		}
+		if r.RadiusRatio <= 0 || r.RadiusRatio > 1+1e-9 {
+			t.Errorf("sides %d: radius/bound = %v", r.Sides, r.RadiusRatio)
+		}
+		// Admission throttled the storm: something queued and later drained.
+		if r.Queued <= 0 || r.Admitted <= 0 {
+			t.Errorf("sides %d: admission never engaged: %+v", r.Sides, r)
+		}
+	}
+	// A wider split strands at least as many islands.
+	if rows[1].PeakIslands < rows[0].PeakIslands {
+		t.Errorf("3-way split made fewer islands than 2-way: %+v vs %+v", rows[1], rows[0])
+	}
+
+	// Determinism: the whole sweep replays identically.
+	again, err := RunPartitionSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Errorf("row %d differs on replay:\n%+v\n%+v", i, rows[i], again[i])
+		}
+	}
+
+	var buf strings.Builder
+	if err := PartitionTable(rows, cfg.N).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Radius/Bound") {
+		t.Errorf("table missing radius column:\n%s", buf.String())
+	}
+}
+
+func TestRunPartitionSweepValidation(t *testing.T) {
+	if _, err := RunPartitionSweep(PartitionSweepConfig{}); err == nil {
+		t.Error("accepted empty config")
+	}
+	if _, err := RunPartitionSweep(PartitionSweepConfig{
+		N: 50, Sides: []int{1}, Trials: 1, MaxOutDegree: 4,
+	}); err == nil {
+		t.Error("accepted a 1-way split")
+	}
+	if _, err := RunPartitionSweep(PartitionSweepConfig{
+		N: 50, Sides: []int{2}, Trials: 1, MaxOutDegree: 2,
+	}); err == nil {
+		t.Error("accepted degree 2")
+	}
+}

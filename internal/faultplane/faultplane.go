@@ -64,6 +64,44 @@ func (s Scenario) Validate() error {
 	return nil
 }
 
+// PartitionEvent schedules one split/heal cycle on the plane's virtual
+// round clock (see Tick): at round Start the membership splits into Sides
+// groups and every cross-side message attempt is dropped; at round Heal the
+// sides rejoin. Side assignment is drawn from the plane's RNG stream at the
+// moment of the split and then hashed per node, so an identical scenario
+// replays an identical partition bit-for-bit while staying independent of
+// the order endpoints are queried.
+type PartitionEvent struct {
+	// Sides is the number of groups the membership splits into (>= 2).
+	Sides int
+	// Start is the Tick count at which the split takes effect (>= 1).
+	Start int
+	// Heal is the Tick count at which the sides rejoin (> Start).
+	Heal int
+}
+
+// ValidateSchedule rejects malformed or overlapping partition events.
+func ValidateSchedule(sched []PartitionEvent) error {
+	prevHeal := 0
+	for i, ev := range sched {
+		if ev.Sides < 2 {
+			return fmt.Errorf("faultplane: partition %d: Sides %d < 2", i, ev.Sides)
+		}
+		if ev.Start < 1 {
+			return fmt.Errorf("faultplane: partition %d: Start %d < 1", i, ev.Start)
+		}
+		if ev.Heal <= ev.Start {
+			return fmt.Errorf("faultplane: partition %d: Heal %d <= Start %d", i, ev.Heal, ev.Start)
+		}
+		if ev.Start < prevHeal {
+			return fmt.Errorf("faultplane: partition %d starts at %d before the previous heal at %d",
+				i, ev.Start, prevHeal)
+		}
+		prevHeal = ev.Heal
+	}
+	return nil
+}
+
 // Outcome is the fate the plane assigns one message attempt.
 type Outcome struct {
 	// Lost: the network consumed the message; the receiver never sees it.
@@ -84,6 +122,13 @@ type Stats struct {
 	Crashes    int
 	Delayed    int // attempts given nonzero extra latency
 	DelaySum   float64
+
+	// PartitionDrops counts the subset of Lost that were cross-side
+	// attempts during a partition.
+	PartitionDrops int
+	// Partitions and Heals count split and rejoin transitions.
+	Partitions int
+	Heals      int
 }
 
 // Plane is a seeded fault injector implementing the overlay protocol's
@@ -92,6 +137,11 @@ type Plane struct {
 	sc     Scenario
 	r      *rng.Rand
 	active bool
+
+	sched []PartitionEvent
+	tick  int
+	sides int    // 0 while whole, >= 2 while split
+	epoch uint64 // side-assignment key for the current split
 
 	// Stats accumulates the injected faults.
 	Stats Stats
@@ -115,14 +165,94 @@ func (p *Plane) Active() bool { return p.active }
 // Scenario returns the plane's configuration.
 func (p *Plane) Scenario() Scenario { return p.sc }
 
+// SetSchedule installs a partition schedule driven by the plane's Tick
+// clock. Events must be sorted and non-overlapping; an empty schedule
+// clears any previous one (but not a split already in effect).
+func (p *Plane) SetSchedule(sched []PartitionEvent) error {
+	if err := ValidateSchedule(sched); err != nil {
+		return err
+	}
+	p.sched = append([]PartitionEvent(nil), sched...)
+	return nil
+}
+
+// Tick advances the plane's virtual round clock by one maintenance round
+// and applies any scheduled partition events that fire at the new time.
+// The protocol session calls this once per MaintenanceRound; without a
+// schedule it only advances the clock.
+func (p *Plane) Tick() {
+	p.tick++
+	for _, ev := range p.sched {
+		if ev.Heal == p.tick && p.sides > 1 {
+			p.Heal()
+		}
+		if ev.Start == p.tick {
+			p.Partition(ev.Sides)
+		}
+	}
+}
+
+// Ticks returns the current value of the virtual round clock.
+func (p *Plane) Ticks() int { return p.tick }
+
+// Partition splits the membership into sides groups immediately. The
+// side-assignment key is drawn from the plane's RNG stream, so which nodes
+// land together is a deterministic function of the scenario seed and the
+// message history so far — and, once drawn, each node's side is a pure
+// hash, independent of query order.
+func (p *Plane) Partition(sides int) error {
+	if sides < 2 {
+		return fmt.Errorf("faultplane: Partition sides %d < 2", sides)
+	}
+	p.sides = sides
+	p.epoch = p.r.Uint64()
+	p.Stats.Partitions++
+	return nil
+}
+
+// Heal rejoins all sides immediately. A no-op when the plane is whole.
+func (p *Plane) Heal() {
+	if p.sides < 2 {
+		return
+	}
+	p.sides = 0
+	p.Stats.Heals++
+}
+
+// Partitioned reports the current number of sides: 0 while whole.
+func (p *Plane) Partitioned() int {
+	if p.sides < 2 {
+		return 0
+	}
+	return p.sides
+}
+
+// Side reports which group a node belongs to under the current split
+// (0 <= side < sides), or 0 when the plane is whole.
+func (p *Plane) Side(id int32) int {
+	if p.sides < 2 {
+		return 0
+	}
+	return int(mix64(p.epoch^(uint64(uint32(id))+0x9e3779b97f4a7c15)) % uint64(p.sides))
+}
+
 // Attempt decides the fate of one control-message attempt from -> to. The
-// endpoints do not influence the draw (faults are link-agnostic), but are
-// part of the contract so planes that model per-link conditions can slot in.
+// endpoints do not influence the fault draws (loss/dup/delay/crash are
+// link-agnostic), but they do decide partition drops: while a split is in
+// effect, an attempt whose endpoints hash to different sides is lost.
 func (p *Plane) Attempt(from, to int32) Outcome {
-	_, _ = from, to
 	p.Stats.Attempts++
 	var out Outcome
 	if !p.active {
+		return out
+	}
+	// A cross-side attempt during a partition is dropped before any fault
+	// draw: the verdict is a pure hash of the side key, so partitioned and
+	// whole runs consume the RNG stream identically per delivered message.
+	if p.sides > 1 && p.Side(from) != p.Side(to) {
+		out.Lost = true
+		p.Stats.Lost++
+		p.Stats.PartitionDrops++
 		return out
 	}
 	if p.sc.LossRate > 0 && p.r.Float64() < p.sc.LossRate {
@@ -159,7 +289,11 @@ func (p *Plane) AttemptTraced(from, to int32, tc trace.Ctx) Outcome {
 		return out
 	}
 	if out.Lost {
-		tc.Emit("faultplane/drop", from, to, "")
+		kind := "faultplane/drop"
+		if p.sides > 1 && p.Side(from) != p.Side(to) {
+			kind = "faultplane/partition_drop"
+		}
+		tc.Emit(kind, from, to, "")
 		return out
 	}
 	note := ""
@@ -192,6 +326,9 @@ func (p *Plane) Observe(r *obs.Registry) {
 		{"faultplane/duplicated", &p.Stats.Duplicated},
 		{"faultplane/crashes", &p.Stats.Crashes},
 		{"faultplane/delayed", &p.Stats.Delayed},
+		{"faultplane/partition_drops", &p.Stats.PartitionDrops},
+		{"faultplane/partitions", &p.Stats.Partitions},
+		{"faultplane/heals", &p.Stats.Heals},
 	}
 	for _, f := range fields {
 		v := f.v

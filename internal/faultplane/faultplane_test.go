@@ -126,3 +126,164 @@ func TestLinkDrop(t *testing.T) {
 		t.Error("two seeds produced identical schedules")
 	}
 }
+
+func TestValidateSchedule(t *testing.T) {
+	bad := [][]PartitionEvent{
+		{{Sides: 1, Start: 1, Heal: 2}},
+		{{Sides: 2, Start: 0, Heal: 2}},
+		{{Sides: 2, Start: 3, Heal: 3}},
+		{{Sides: 2, Start: 3, Heal: 2}},
+		{{Sides: 2, Start: 1, Heal: 5}, {Sides: 3, Start: 4, Heal: 8}}, // overlap
+	}
+	for _, sched := range bad {
+		if err := ValidateSchedule(sched); err == nil {
+			t.Errorf("accepted invalid schedule %+v", sched)
+		}
+	}
+	good := []PartitionEvent{{Sides: 2, Start: 1, Heal: 5}, {Sides: 3, Start: 5, Heal: 8}}
+	if err := ValidateSchedule(good); err != nil {
+		t.Fatalf("rejected valid schedule: %v", err)
+	}
+	p, _ := New(Scenario{Seed: 1})
+	if err := p.SetSchedule(good); err != nil {
+		t.Fatalf("SetSchedule: %v", err)
+	}
+	if err := p.SetSchedule(bad[0]); err == nil {
+		t.Fatal("SetSchedule accepted an invalid schedule")
+	}
+}
+
+func TestPartitionDropsCrossSideOnly(t *testing.T) {
+	p, _ := New(Scenario{Seed: 9})
+	if err := p.Partition(2); err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	if err := p.Partition(1); err == nil {
+		t.Fatal("Partition accepted sides=1")
+	}
+	if got := p.Partitioned(); got != 2 {
+		t.Fatalf("Partitioned = %d, want 2", got)
+	}
+	sameSeen, crossSeen := false, false
+	for a := int32(0); a < 40; a++ {
+		for b := a + 1; b < 40; b++ {
+			out := p.Attempt(a, b)
+			if p.Side(a) == p.Side(b) {
+				sameSeen = true
+				if out.Lost {
+					t.Fatalf("same-side attempt %d->%d lost under a lossless scenario", a, b)
+				}
+			} else {
+				crossSeen = true
+				if !out.Lost {
+					t.Fatalf("cross-side attempt %d->%d delivered during partition", a, b)
+				}
+			}
+		}
+	}
+	if !sameSeen || !crossSeen {
+		t.Fatalf("degenerate split: sameSeen=%v crossSeen=%v", sameSeen, crossSeen)
+	}
+	if p.Stats.PartitionDrops == 0 || p.Stats.PartitionDrops != p.Stats.Lost {
+		t.Fatalf("PartitionDrops=%d Lost=%d, want equal and nonzero", p.Stats.PartitionDrops, p.Stats.Lost)
+	}
+	p.Heal()
+	if p.Partitioned() != 0 {
+		t.Fatal("still partitioned after Heal")
+	}
+	if out := p.Attempt(0, 1); out.Lost {
+		t.Fatal("attempt lost after heal under a lossless scenario")
+	}
+	if p.Stats.Partitions != 1 || p.Stats.Heals != 1 {
+		t.Fatalf("Partitions=%d Heals=%d, want 1/1", p.Stats.Partitions, p.Stats.Heals)
+	}
+}
+
+func TestPartitionSideOrderIndependent(t *testing.T) {
+	sc := Scenario{Seed: 33}
+	a, _ := New(sc)
+	b, _ := New(sc)
+	a.Partition(3)
+	b.Partition(3)
+	// Query b in reverse order; sides must agree with a's forward order.
+	for id := int32(0); id < 100; id++ {
+		rev := int32(99) - id
+		if a.Side(id) != b.Side(id) || a.Side(rev) != b.Side(rev) {
+			t.Fatalf("side assignment depends on query order at id %d", id)
+		}
+	}
+}
+
+func TestScheduleTickDeterministic(t *testing.T) {
+	sched := []PartitionEvent{{Sides: 2, Start: 2, Heal: 4}}
+	run := func() ([]int, Stats) {
+		p, _ := New(Scenario{Seed: 5, LossRate: 0.1})
+		if err := p.SetSchedule(sched); err != nil {
+			t.Fatalf("SetSchedule: %v", err)
+		}
+		var sides []int
+		for tick := 1; tick <= 6; tick++ {
+			p.Tick()
+			sides = append(sides, p.Partitioned())
+			for i := int32(0); i < 50; i++ {
+				p.Attempt(i, i+1)
+			}
+		}
+		if p.Ticks() != 6 {
+			t.Fatalf("Ticks = %d, want 6", p.Ticks())
+		}
+		return sides, p.Stats
+	}
+	s1, st1 := run()
+	s2, st2 := run()
+	want := []int{0, 2, 2, 0, 0, 0}
+	for i := range want {
+		if s1[i] != want[i] || s2[i] != want[i] {
+			t.Fatalf("tick %d: sides = %v / %v, want %v", i+1, s1, s2, want)
+		}
+	}
+	if st1 != st2 {
+		t.Fatalf("two runs diverged: %+v vs %+v", st1, st2)
+	}
+	if st1.PartitionDrops == 0 {
+		t.Fatal("schedule injected no partition drops")
+	}
+}
+
+func TestPartitionDropsConsumeNoRNG(t *testing.T) {
+	// Cross-side drops are pure hash verdicts: interleaving them must not
+	// shift the fault draws of the delivered (same-side) messages.
+	sc := Scenario{Seed: 77, LossRate: 0.2, DupRate: 0.1, DelayMean: 0.1}
+	clean, _ := New(sc)
+	noisy, _ := New(sc)
+	clean.Partition(2)
+	noisy.Partition(2)
+	// Pick a same-side pair and a cross-side pair under the split.
+	var sa, sb, xa, xb int32 = -1, -1, -1, -1
+	for i := int32(0); i < 100; i++ {
+		for j := i + 1; j < 100; j++ {
+			if clean.Side(i) == clean.Side(j) && sa < 0 {
+				sa, sb = i, j
+			}
+			if clean.Side(i) != clean.Side(j) && xa < 0 {
+				xa, xb = i, j
+			}
+		}
+	}
+	if sa < 0 || xa < 0 {
+		t.Fatal("degenerate split")
+	}
+	for i := 0; i < 2000; i++ {
+		// The noisy plane sees three cross-side drops before each delivery.
+		for k := 0; k < 3; k++ {
+			if out := noisy.Attempt(xa, xb); !out.Lost {
+				t.Fatal("cross-side attempt delivered")
+			}
+		}
+		oc := clean.Attempt(sa, sb)
+		on := noisy.Attempt(sa, sb)
+		if oc != on {
+			t.Fatalf("attempt %d diverged: %+v vs %+v", i, oc, on)
+		}
+	}
+}

@@ -193,6 +193,106 @@ func CheckParents(parents []int32, n, root, maxOutDegree int, dist tree.DistFunc
 	return list
 }
 
+// CheckForest audits a multi-rooted parent array — the shape a partitioned
+// overlay degrades into, one tree per island — for the invariants that
+// must hold even while disconnected: every listed root has no parent and
+// appears once, every non-root parent pointer is in range, every node
+// reaches some root (no cycles, no stranded components), and no node
+// exceeds the out-degree bound (0 disables the degree check). With exactly
+// one root this is CheckParents minus the metric checks.
+func CheckForest(parents []int32, roots []int32, maxOutDegree int) List {
+	var list List
+	n := len(parents)
+	if len(roots) == 0 {
+		list = append(list, Violation{CodeRoot, "forest has no roots"})
+		return list
+	}
+	isRoot := make([]bool, n)
+	for _, r := range roots {
+		if r < 0 || int(r) >= n {
+			list = append(list, Violation{CodeRoot,
+				fmt.Sprintf("root %d out of range [0, %d)", r, n)})
+			return list
+		}
+		if isRoot[r] {
+			list = append(list, Violation{CodeRoot,
+				fmt.Sprintf("root %d listed twice", r)})
+			continue
+		}
+		isRoot[r] = true
+		if parents[r] != tree.NoParent {
+			list = append(list, Violation{CodeRoot,
+				fmt.Sprintf("root %d has parent %d, want none", r, parents[r])})
+		}
+	}
+
+	sound := true // parent pointers all in range
+	for i, p := range parents {
+		if isRoot[i] {
+			continue
+		}
+		if p < 0 || int(p) >= n {
+			list = append(list, Violation{CodeParentRange,
+				fmt.Sprintf("node %d has parent %d outside [0, %d) and is not a root", i, p, n)})
+			sound = false
+		}
+	}
+	if !sound {
+		return list
+	}
+
+	// Every node must reach some root; with in-range parents, failing to
+	// is only possible through a cycle. Same state machine as CheckParents,
+	// with every root pre-marked as reaching.
+	state := make([]int8, n)
+	for _, r := range roots {
+		state[r] = 1
+	}
+	var stack []int32
+	firstBad, badCount := -1, 0
+	for i := range parents {
+		v := int32(i)
+		stack = stack[:0]
+		for state[v] == 0 {
+			state[v] = 2
+			stack = append(stack, v)
+			v = parents[v]
+		}
+		mark := int8(1)
+		if state[v] != 1 {
+			mark = 3
+			badCount++
+			if firstBad < 0 {
+				firstBad = i
+			}
+		}
+		for _, u := range stack {
+			state[u] = mark
+		}
+	}
+	if badCount > 0 {
+		list = append(list, Violation{CodeCycle,
+			fmt.Sprintf("%d nodes cannot reach any of the %d roots (parent cycle; e.g. node %d)",
+				badCount, len(roots), firstBad)})
+	}
+
+	if maxOutDegree > 0 {
+		counts := make([]int32, n)
+		for i, p := range parents {
+			if !isRoot[i] {
+				counts[p]++
+			}
+		}
+		for i, c := range counts {
+			if int(c) > maxOutDegree {
+				list = append(list, Violation{CodeDegree,
+					fmt.Sprintf("node %d has out-degree %d > %d", i, c, maxOutDegree)})
+			}
+		}
+	}
+	return list
+}
+
 // CheckSymmetry audits a doubly-linked tree representation — a parent
 // pointer and a child list per node, as the live overlay protocol keeps —
 // for internal consistency: every child-list entry must be in range, must

@@ -183,3 +183,50 @@ func TestCheckSymmetry(t *testing.T) {
 		t.Error("length mismatch not flagged")
 	}
 }
+
+func TestCheckForest(t *testing.T) {
+	np := tree.NoParent
+	cases := []struct {
+		name    string
+		parents []int32
+		roots   []int32
+		degree  int
+		want    Code // "" = clean
+	}{
+		{"two clean trees", []int32{np, 0, 0, np, 3}, []int32{0, 3}, 0, ""},
+		{"single tree", []int32{np, 0, 1}, []int32{0}, 0, ""},
+		{"no roots", []int32{np}, nil, 0, CodeRoot},
+		{"root out of range", []int32{np}, []int32{4}, 0, CodeRoot},
+		{"root listed twice", []int32{np, np}, []int32{0, 0, 1}, 0, CodeRoot},
+		{"root with a parent", []int32{np, 0}, []int32{0, 1}, 0, CodeRoot},
+		{"non-root detached", []int32{np, np}, []int32{0}, 0, CodeParentRange},
+		{"parent out of range", []int32{np, 7}, []int32{0}, 0, CodeParentRange},
+		{"cycle", []int32{np, 2, 1}, []int32{0}, 0, CodeCycle},
+		{"stranded pair", []int32{np, 2, 1, np}, []int32{0, 3}, 0, CodeCycle},
+		{"degree blown", []int32{np, 0, 0, 0}, []int32{0}, 2, CodeDegree},
+		{"degree ok per root", []int32{np, 0, 0, np, 3, 3}, []int32{0, 3}, 2, ""},
+	}
+	for _, tc := range cases {
+		l := CheckForest(tc.parents, tc.roots, tc.degree)
+		if tc.want == "" {
+			if err := l.Err(); err != nil {
+				t.Errorf("%s: unexpected violations: %v", tc.name, err)
+			}
+			continue
+		}
+		if !hasCode(l, tc.want) {
+			t.Errorf("%s: missing %s violation: %v", tc.name, tc.want, l)
+		}
+	}
+}
+
+func TestCheckForestMatchesCheckParents(t *testing.T) {
+	// With one root and no metric checks, forest and tree audits agree.
+	parents := []int32{tree.NoParent, 0, 1, 1, 0}
+	if err := CheckForest(parents, []int32{0}, 2).Err(); err != nil {
+		t.Fatalf("forest audit rejected a valid tree: %v", err)
+	}
+	if err := CheckParents(parents, 5, 0, 2, nil, 0).Err(); err != nil {
+		t.Fatalf("tree audit rejected the same tree: %v", err)
+	}
+}

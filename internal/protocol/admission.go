@@ -1,0 +1,132 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Admission throttles join admissions with a token bucket refilled once
+// per maintenance round — the overload valve that keeps a join storm (or a
+// degraded-mode island with little spare degree) from queueing unboundedly.
+// The zero value disables admission control entirely.
+//
+// A join that finds no token is parked on a bounded pending queue and
+// admitted by an upcoming MaintenanceRound in arrival order; once the
+// queue is full, further joins are shed deterministically with a
+// *RetryAfter hint telling the caller how many rounds until capacity
+// plausibly frees up.
+type Admission struct {
+	// RatePerRound is the number of tokens refilled per MaintenanceRound;
+	// > 0 enables admission control.
+	RatePerRound float64
+	// Burst is the bucket capacity (defaults to ceil(RatePerRound)).
+	Burst int
+	// QueueLimit bounds the pending queue (defaults to 4*Burst).
+	QueueLimit int
+}
+
+// Enabled reports whether this configuration throttles joins.
+func (a Admission) Enabled() bool { return a.RatePerRound > 0 }
+
+// validate rejects malformed configurations; the zero value is valid.
+func (a Admission) validate() error {
+	if a == (Admission{}) {
+		return nil
+	}
+	if math.IsNaN(a.RatePerRound) || math.IsInf(a.RatePerRound, 0) || a.RatePerRound <= 0 {
+		return fmt.Errorf("protocol: admission RatePerRound %v must be positive and finite", a.RatePerRound)
+	}
+	if a.Burst < 0 {
+		return fmt.Errorf("protocol: admission Burst %d negative", a.Burst)
+	}
+	if a.QueueLimit < 0 {
+		return fmt.Errorf("protocol: admission QueueLimit %d negative", a.QueueLimit)
+	}
+	return nil
+}
+
+// normalized fills the documented defaults for unset fields.
+func (a Admission) normalized() Admission {
+	if !a.Enabled() {
+		return Admission{}
+	}
+	if a.Burst == 0 {
+		a.Burst = int(math.Ceil(a.RatePerRound))
+		if a.Burst < 1 {
+			a.Burst = 1
+		}
+	}
+	if a.QueueLimit == 0 {
+		a.QueueLimit = 4 * a.Burst
+	}
+	return a
+}
+
+// ErrJoinQueued reports that admission control parked the join on the
+// pending queue; an upcoming MaintenanceRound will admit it in arrival
+// order (the session owns the queued position — the caller does not retry).
+var ErrJoinQueued = errors.New("protocol: join queued by admission control")
+
+// RetryAfter is the deterministic load-shedding rejection: the pending
+// queue is full, and the caller should retry after the hinted number of
+// maintenance rounds (when the token refills will have drained the queue).
+type RetryAfter struct {
+	Rounds int
+}
+
+func (e *RetryAfter) Error() string {
+	return fmt.Sprintf("protocol: join shed by admission control; retry after %d maintenance rounds", e.Rounds)
+}
+
+// SetAdmission installs (or, with the zero value, removes) join admission
+// control. The bucket starts full and any previously queued joins are
+// dropped.
+func (o *Overlay) SetAdmission(a Admission) error {
+	if err := a.validate(); err != nil {
+		return err
+	}
+	o.adm = a.normalized()
+	o.admTokens = float64(o.adm.Burst)
+	o.pending = nil
+	return nil
+}
+
+// PendingJoins reports the number of joins parked on the admission queue.
+func (o *Overlay) PendingJoins() int { return len(o.pending) }
+
+// retryAfterRounds computes the shed hint: rounds of refill needed before
+// the queue backlog plus one more join fit through the bucket.
+func (o *Overlay) retryAfterRounds() int {
+	need := float64(len(o.pending)+1) - o.admTokens
+	r := int(math.Ceil(need / o.adm.RatePerRound))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// admitPending refills the token bucket and drains the pending queue, one
+// token per join, in arrival order. Called once per MaintenanceRound. A
+// queued join that fails outright (the overlay is unreachable even in
+// degraded mode) is dropped — the joiner observes the timeout and retries
+// like any refused join.
+func (o *Overlay) admitPending(ms *MaintenanceStats) {
+	if !o.adm.Enabled() {
+		return
+	}
+	o.admTokens += o.adm.RatePerRound
+	if limit := float64(o.adm.Burst); o.admTokens > limit {
+		o.admTokens = limit
+	}
+	for len(o.pending) > 0 && o.admTokens >= 1 {
+		o.admTokens--
+		p := o.pending[0]
+		o.pending = o.pending[1:]
+		if _, _, err := o.join(p); err == nil {
+			ms.AdmittedJoins++
+			o.Stats.QueuedAdmitted++
+		}
+	}
+	ms.PendingJoins = len(o.pending)
+}

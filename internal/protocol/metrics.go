@@ -45,6 +45,14 @@ func RegisterSessionMetrics(r *obs.Registry, st *SessionStats) {
 		{"protocol/false_suspects", &st.FalseSuspects},
 		{"protocol/false_confirms", &st.FalseConfirms},
 		{"protocol/orphan_node_rounds", &st.OrphanNodeRounds},
+		{"protocol/degraded_subtrees", &st.DegradedSubtrees},
+		{"protocol/coord_elections", &st.CoordElections},
+		{"protocol/island_merges", &st.IslandMerges},
+		{"protocol/reconciliations", &st.Reconciliations},
+		{"protocol/degraded_joins", &st.DegradedJoins},
+		{"protocol/joins_queued", &st.JoinsQueued},
+		{"protocol/queued_admitted", &st.QueuedAdmitted},
+		{"protocol/joins_shed", &st.JoinsShed},
 	}
 	for _, f := range fields {
 		v := f.v

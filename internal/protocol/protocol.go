@@ -62,6 +62,54 @@ type Config struct {
 	// reserve two slots for core links, and at least one slot must remain
 	// for local attachment).
 	MaxOutDegree int
+
+	// Transport, when non-nil, carries every control message from the
+	// first join on (equivalent to calling SetTransport right after New).
+	Transport Transport
+	// Faults tunes retries and failure detection for Transport. The zero
+	// value selects DefaultFaultConfig(); setting it without a Transport
+	// is a configuration error (there is no network to be unreliable).
+	Faults FaultConfig
+	// Admission throttles joins per maintenance round; the zero value
+	// admits everything (see SetAdmission).
+	Admission Admission
+}
+
+// maxK caps the published grid depth: the session allocates O(2^K) cell
+// slots, and SuggestK stays far below this for any plausible membership.
+const maxK = 30
+
+// Validate rejects configurations New would misbehave on, with one
+// descriptive error per field.
+func (c Config) Validate() error {
+	if math.IsNaN(c.Source.X) || math.IsInf(c.Source.X, 0) ||
+		math.IsNaN(c.Source.Y) || math.IsInf(c.Source.Y, 0) {
+		return fmt.Errorf("protocol: source position (%v, %v) must be finite", c.Source.X, c.Source.Y)
+	}
+	if math.IsNaN(c.Scale) || math.IsInf(c.Scale, 0) || c.Scale <= 0 {
+		return fmt.Errorf("protocol: scale %v must be positive and finite", c.Scale)
+	}
+	if c.K <= 0 {
+		return fmt.Errorf("protocol: grid depth K = %d must be positive (see SuggestK)", c.K)
+	}
+	if c.K > maxK {
+		return fmt.Errorf("protocol: grid depth K = %d > %d would allocate 2^%d cells", c.K, maxK, c.K+1)
+	}
+	if c.MaxOutDegree < 3 {
+		return fmt.Errorf("protocol: max out-degree %d < 3 (2 core slots + 1 local)", c.MaxOutDegree)
+	}
+	if c.Faults != (FaultConfig{}) {
+		if c.Transport == nil {
+			return fmt.Errorf("protocol: fault tuning configured with a nil transport (nothing to be unreliable; set Config.Transport)")
+		}
+		if err := c.Faults.validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.Admission.validate(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // SuggestK returns a grid depth for an expected membership, mirroring the
@@ -92,6 +140,14 @@ type node struct {
 	// this node observed silence (the failure detector's state: 0 alive,
 	// >= FaultConfig.SuspectAfter suspected, >= ConfirmAfter confirmed).
 	susp int
+	// pmiss counts consecutive rounds in which this node's own probe of
+	// its parent link went unanswered — the per-link view that lets a cut
+	// subtree notice it lost the root side even while its island-internal
+	// links stay healthy (susp only tracks whether ANY monitor heard us).
+	pmiss int
+	// isCoord marks the interim coordinator of a degraded-mode island: a
+	// subtree root serving joins locally until reconciliation re-grafts it.
+	isCoord bool
 }
 
 const (
@@ -116,6 +172,16 @@ type Overlay struct {
 	// default (every message delivered, exactly once, instantly).
 	transport Transport
 	fcfg      FaultConfig
+
+	// lastSides tracks the transport's partition state across maintenance
+	// rounds so split/heal transitions land once on the timeline.
+	lastSides int
+
+	// Join admission control (see SetAdmission); adm.Enabled() == false
+	// means every join is admitted immediately.
+	adm       Admission
+	admTokens float64
+	pending   []geom.Point2
 
 	// reg is the attached metrics registry (see Observe); nil by default.
 	reg *obs.Registry
@@ -166,6 +232,18 @@ type SessionStats struct {
 	FalseSuspects       int // live nodes that reached the suspected state
 	FalseConfirms       int // live nodes wrongly confirmed dead
 	OrphanNodeRounds    int // sum over rounds of live members still dark
+
+	// Partition-tolerance accounting.
+	DegradedSubtrees int // subtrees that cut over to degraded mode
+	CoordElections   int // interim coordinators elected for islands
+	IslandMerges     int // island pairs merged while degraded
+	Reconciliations  int // islands re-grafted after a heal
+	DegradedJoins    int // joins served by an island while degraded
+
+	// Join-admission accounting.
+	JoinsQueued    int // joins parked in the pending queue
+	QueuedAdmitted int // queued joins later admitted by a round
+	JoinsShed      int // joins rejected with a retry-after hint
 }
 
 // OpStats describes one operation's cost.
@@ -186,12 +264,16 @@ type OpStats struct {
 	// SimTime is the simulated wall time the operation spent waiting on
 	// deliveries and timeouts.
 	SimTime float64
+	// Degraded marks an operation served by a degraded-mode island rather
+	// than the root side (a bounded-radius local attach under an interim
+	// coordinator; see DESIGN.md §2f).
+	Degraded bool
 }
 
 // New starts a session containing only the source (node 0).
 func New(cfg Config) (*Overlay, error) {
-	if cfg.MaxOutDegree < 3 {
-		return nil, fmt.Errorf("protocol: max out-degree %d < 3 (2 core slots + 1 local)", cfg.MaxOutDegree)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	g, err := grid.NewPolarGrid(cfg.K, cfg.Scale)
 	if err != nil {
@@ -203,6 +285,18 @@ func New(cfg Config) (*Overlay, error) {
 		members: make([][]int32, g.NumCells()),
 		reps:    make([]int32, g.NumCells()),
 		fcfg:    DefaultFaultConfig(),
+	}
+	if cfg.Transport != nil {
+		fc := cfg.Faults
+		if fc == (FaultConfig{}) {
+			fc = DefaultFaultConfig()
+		}
+		if err := o.SetTransport(cfg.Transport, fc); err != nil {
+			return nil, err
+		}
+	}
+	if err := o.SetAdmission(cfg.Admission); err != nil {
+		return nil, err
 	}
 	for i := range o.reps {
 		o.reps[i] = -1
@@ -257,8 +351,10 @@ func (o *Overlay) coreChildren(id int32) int {
 }
 
 // attach wires child under parent and sets the child's measured delay.
+// A fresh link starts with a clean per-link silence counter.
 func (o *Overlay) attach(child, parent int32) {
 	o.nodes[child].parent = parent
+	o.nodes[child].pmiss = 0
 	o.nodes[parent].children = append(o.nodes[parent].children, child)
 	o.nodes[child].delay = o.nodes[parent].delay +
 		o.nodes[parent].pos.Dist(o.nodes[child].pos)
@@ -291,7 +387,34 @@ func (o *Overlay) detachChild(parent, child int32) {
 }
 
 // Join adds a member at position p and returns its node id.
+//
+// With admission control enabled (SetAdmission), a join arriving when the
+// token bucket is empty is parked on the pending queue (ErrJoinQueued; a
+// coming MaintenanceRound admits it) or, when the queue is full, shed with
+// a deterministic *RetryAfter hint. During a partition a join that cannot
+// reach the source may still be served by a degraded-mode island — the
+// returned OpStats then has Degraded set.
 func (o *Overlay) Join(p geom.Point2) (int, OpStats, error) {
+	if o.adm.Enabled() {
+		if o.admTokens >= 1 {
+			o.admTokens--
+		} else if len(o.pending) < o.adm.QueueLimit {
+			o.pending = append(o.pending, p)
+			o.Stats.JoinsQueued++
+			o.emit("protocol/join_queued", -1, -1, "pending="+strconv.Itoa(len(o.pending)))
+			return 0, OpStats{}, ErrJoinQueued
+		} else {
+			o.Stats.JoinsShed++
+			hint := o.retryAfterRounds()
+			o.emit("protocol/shed", -1, -1, "retry_after="+strconv.Itoa(hint))
+			return 0, OpStats{}, &RetryAfter{Rounds: hint}
+		}
+	}
+	return o.join(p)
+}
+
+// join runs the admission-free join protocol (see Join).
+func (o *Overlay) join(p geom.Point2) (int, OpStats, error) {
 	var st OpStats
 	polar := p.PolarAround(o.cfg.Source)
 	if polar.R > o.cfg.Scale {
@@ -305,9 +428,12 @@ func (o *Overlay) Join(p geom.Point2) (int, OpStats, error) {
 	endOp := o.beginOp("protocol/join", id, "cell="+strconv.Itoa(int(cell)))
 	joined := false
 	defer func() {
-		if joined {
+		switch {
+		case joined && st.Degraded:
+			endOp("degraded")
+		case joined:
 			endOp("ok")
-		} else {
+		default:
 			endOp("refused")
 		}
 	}()
@@ -316,6 +442,19 @@ func (o *Overlay) Join(p geom.Point2) (int, OpStats, error) {
 	// Route along the representative core: JOIN to the source, then one
 	// hop per ring toward the target cell.
 	if !o.exchange(id, 0, &st) {
+		// The root side is unreachable — possibly a partition rather than
+		// plain loss. A degraded-mode island may still be able to serve
+		// this join locally.
+		if parent := o.degradedAttach(id, &st); parent >= 0 {
+			o.nodes[id].alive = true
+			o.members[cell] = append(o.members[cell], id)
+			o.alive++
+			o.Stats.Joins++
+			o.Stats.DegradedJoins++
+			o.Stats.JoinMessages += st.Messages
+			joined = true
+			return int(id), st, nil
+		}
 		o.nodes = o.nodes[:id] // roll back
 		o.Stats.JoinMessages += st.Messages
 		return 0, st, fmt.Errorf("protocol: join could not reach the source")
@@ -906,7 +1045,9 @@ func (o *Overlay) Rebuild() (OpStats, error) {
 		n.parent = parentDead
 		n.children = nil
 		n.isRep = false
+		n.isCoord = false
 		n.susp = 0
+		n.pmiss = 0
 	}
 	for cell := range o.members {
 		ms := o.members[cell][:0]
@@ -949,6 +1090,8 @@ func (o *Overlay) Rebuild() (OpStats, error) {
 		n := &o.nodes[id]
 		n.children = n.children[:0]
 		n.isRep = false
+		n.isCoord = false // the rebuild re-wires every island under the source
+		n.pmiss = 0
 	}
 	for j := 1; j < res.Tree.N(); j++ {
 		child := toOverlay(int32(j))
@@ -1029,4 +1172,31 @@ func (o *Overlay) DetectAndRepair() (OpStats, error) {
 		o.Stats.LeaveMessages += st.Messages - before
 	}
 	return st, nil
+}
+
+// Ghosts counts dead members whose state is still wired into the overlay:
+// a dead node holding children, still linked under a parent, or still
+// listed in its cell's membership. Zero once every failure and lost
+// goodbye has been fully repaired — the reconciliation acceptance tests
+// assert this post-heal.
+func (o *Overlay) Ghosts() int {
+	inMembers := make(map[int32]bool)
+	for cell := range o.members {
+		for _, m := range o.members[cell] {
+			if !o.nodes[m].alive {
+				inMembers[m] = true
+			}
+		}
+	}
+	ghosts := 0
+	for id := 1; id < len(o.nodes); id++ {
+		n := &o.nodes[id]
+		if n.alive {
+			continue
+		}
+		if n.parent != parentDead || len(n.children) > 0 || inMembers[int32(id)] {
+			ghosts++
+		}
+	}
+	return ghosts
 }

@@ -58,8 +58,14 @@ type FaultConfig struct {
 	// ConfirmAfter is the number of consecutive missed rounds after which
 	// a suspected node is confirmed dead and repaired around
 	// (>= SuspectAfter). Larger values tolerate more message loss before a
-	// false positive; smaller values shorten orphaned time.
+	// false positive; smaller values shorten orphaned time. It also sets
+	// how many consecutive silent parent-link rounds a node tolerates
+	// before checking for a partition (see DESIGN.md §2f).
 	ConfirmAfter int
+	// DegradedRadius bounds the island-relative delay of degraded-mode
+	// attachments during a partition; 0 selects the default of twice the
+	// published grid scale.
+	DegradedRadius float64
 }
 
 // DefaultFaultConfig returns the tuning used by the experiments: four
@@ -90,6 +96,9 @@ func (c FaultConfig) validate() error {
 	}
 	if c.ConfirmAfter < c.SuspectAfter {
 		return fmt.Errorf("protocol: ConfirmAfter %d < SuspectAfter %d", c.ConfirmAfter, c.SuspectAfter)
+	}
+	if math.IsNaN(c.DegradedRadius) || math.IsInf(c.DegradedRadius, 0) || c.DegradedRadius < 0 {
+		return fmt.Errorf("protocol: DegradedRadius %v must be finite and non-negative", c.DegradedRadius)
 	}
 	return nil
 }
@@ -245,6 +254,16 @@ type MaintenanceStats struct {
 	// Orphaned is the number of live members unreachable from the source
 	// at the end of the round — still waiting for repair.
 	Orphaned int
+
+	// Partition-tolerance accounting (see DESIGN.md §2f).
+	Degraded   int // subtrees that cut over to degraded mode this round
+	Merged     int // island pairs merged this round
+	Reconciled int // islands re-grafted under the root side this round
+	Islands    int // degraded-mode islands still serving at round end
+
+	// Join-admission accounting.
+	AdmittedJoins int // queued joins admitted this round
+	PendingJoins  int // joins still parked at round end
 }
 
 // MaintenanceRound runs one periodic round of the deployed control loop:
@@ -264,18 +283,36 @@ func (o *Overlay) MaintenanceRound() (MaintenanceStats, error) {
 	endOp := o.beginOp("protocol/maintenance", -1, "")
 	defer func() { endOp("confirmed=" + strconv.Itoa(ms.NewlyConfirmed)) }()
 
+	// Phase 0: advance the transport's virtual round clock (scheduled
+	// partition events fire here), note split/heal transitions on the
+	// timeline, then refill the admission bucket and admit queued joins.
+	if rt, ok := o.transport.(RoundTicker); ok {
+		rt.Tick()
+	}
+	if pt, ok := o.transport.(PartitionedTransport); ok {
+		if sides := pt.Partitioned(); sides != o.lastSides {
+			if sides > 1 {
+				o.emit("protocol/partition", -1, -1, "sides="+strconv.Itoa(sides))
+			} else {
+				o.emit("protocol/heal", -1, -1, "")
+			}
+			o.lastSides = sides
+		}
+	}
+	o.admitPending(&ms)
+
 	// Phase 1: heartbeats. heard/missed aggregate what each node's
 	// monitors observed this round: one successful exchange anywhere
 	// clears suspicion, silence on every monitored link raises it.
 	heard := make([]bool, len(o.nodes))
 	missed := make([]bool, len(o.nodes))
-	probe := func(a, b int32) {
+	probe := func(a, b int32) bool {
 		if a == b || a < 0 || b < 0 {
-			return
+			return false
 		}
 		an, bn := o.nodes[a].alive, o.nodes[b].alive
 		if !an && !bn {
-			return // no live endpoint left to observe this link
+			return false // no live endpoint left to observe this link
 		}
 		ms.Probes++
 		o.Stats.Heartbeats++
@@ -283,7 +320,7 @@ func (o *Overlay) MaintenanceRound() (MaintenanceStats, error) {
 		if an && bn {
 			if o.exchangeN(a, b, 1, st) {
 				heard[a], heard[b] = true, true
-				return
+				return true
 			}
 		} else {
 			st.Messages++ // the live side probes into silence
@@ -294,10 +331,17 @@ func (o *Overlay) MaintenanceRound() (MaintenanceStats, error) {
 		if bn {
 			missed[a] = true
 		}
+		return false
 	}
 	for id := 1; id < len(o.nodes); id++ {
 		if p := o.nodes[id].parent; p >= 0 {
-			probe(int32(id), p)
+			// The child's own view of its parent link feeds the per-link
+			// silence counter that drives partition detection.
+			if probe(int32(id), p) {
+				o.nodes[id].pmiss = 0
+			} else if o.nodes[id].alive {
+				o.nodes[id].pmiss++
+			}
 		}
 	}
 	for cell := 1; cell < len(o.members); cell++ {
@@ -343,6 +387,9 @@ func (o *Overlay) MaintenanceRound() (MaintenanceStats, error) {
 			continue
 		}
 		if n.alive {
+			if n.isCoord {
+				continue // a known island root; the partition phase owns it
+			}
 			ms.FalseConfirms++
 			o.Stats.FalseConfirms++
 			o.emit("protocol/false_confirm", int32(id), -1, "")
@@ -357,6 +404,11 @@ func (o *Overlay) MaintenanceRound() (MaintenanceStats, error) {
 			ms.Cleaned++
 		}
 	}
+
+	// Phase 3b: partition handling — heal detection and reconciliation
+	// for existing islands, degraded-mode cutover for subtrees that lost
+	// the root side, island merging.
+	o.partitionPhase(&ms, st)
 
 	// Phase 4: elect representatives for cells that lost theirs (a failed
 	// election, or a joiner that could not reach its anchor).
@@ -373,6 +425,10 @@ func (o *Overlay) MaintenanceRound() (MaintenanceStats, error) {
 	ms.Orphaned = o.alive - o.reachableAlive()
 	o.Stats.OrphanNodeRounds += ms.Orphaned
 	o.Stats.MaintenanceMessages += st.Messages
+	if o.reg != nil {
+		o.reg.Gauge("protocol/islands").Set(float64(ms.Islands))
+		o.reg.Gauge("protocol/pending_joins").Set(float64(len(o.pending)))
+	}
 	return ms, nil
 }
 
@@ -439,6 +495,7 @@ func (o *Overlay) repairDead(id int32, st *OpStats) bool {
 		kept = append(kept, c)
 	}
 	n.children = kept
+	n.isCoord = false // a dead coordinator's island re-degrades on its own
 	if len(kept) == 0 {
 		n.parent = parentDead
 		n.susp = 0
@@ -476,24 +533,27 @@ func (o *Overlay) adoptOrphan(c, anchor int32, st *OpStats) bool {
 }
 
 // rejoinEvicted recovers a live node the failure detector wrongly
-// confirmed dead. It first re-handshakes with its current parent — under
-// plain message loss that succeeds and nothing moves. Only if the parent
-// is truly unreachable does it re-join by descending from the source,
-// bringing its subtree along; if even that fails it stays put and the next
-// round retries. The tree is never corrupted either way.
-func (o *Overlay) rejoinEvicted(id int32, st *OpStats) {
+// confirmed dead (also reused to re-home a node whose parent link went
+// dark while the root side stayed reachable). It first re-handshakes with
+// its current parent — under plain message loss that succeeds and nothing
+// moves. Only if the parent is truly unreachable does it re-join by
+// descending from the source, bringing its subtree along; if even that
+// fails it stays put, returns false, and the next round retries. The tree
+// is never corrupted either way.
+func (o *Overlay) rejoinEvicted(id int32, st *OpStats) bool {
 	if p := o.nodes[id].parent; p >= 0 && o.nodes[p].alive && o.exchange(id, p, st) {
-		return // re-admitted in place
+		return true // re-admitted in place
 	}
 	cand := o.descendParent(o.nodes[id].pos, o.residual, st)
 	if cand < 0 || cand == id || cand == o.nodes[id].parent || o.isDescendant(cand, id) {
-		return
+		return false
 	}
 	if !o.exchange(id, cand, st) {
-		return
+		return false
 	}
 	o.moveSubtree(id, cand)
 	o.emit("protocol/rejoin", id, cand, "")
+	return true
 }
 
 // electRep runs a representative election in a cell: the lowest-id live

@@ -309,6 +309,10 @@ type (
 	OverlayFaultConfig = protocol.FaultConfig
 	// MaintenanceStats reports one heartbeat/repair round.
 	MaintenanceStats = protocol.MaintenanceStats
+	// OverlayAdmission is the token-bucket join admission control.
+	OverlayAdmission = protocol.Admission
+	// RetryAfter is the load-shedding error carrying a retry hint.
+	RetryAfter = protocol.RetryAfter
 )
 
 // Decentralized-session constructors.
@@ -320,6 +324,9 @@ var (
 	// DefaultOverlayFaultConfig is the retry/detector tuning used when none
 	// is supplied.
 	DefaultOverlayFaultConfig = protocol.DefaultFaultConfig
+	// ErrJoinQueued reports a join parked on the admission queue (it will
+	// be admitted by an upcoming maintenance round).
+	ErrJoinQueued = protocol.ErrJoinQueued
 )
 
 // Fault-injection types (see internal/faultplane): a deterministic
@@ -331,6 +338,9 @@ type (
 	FaultPlane = faultplane.Plane
 	// FaultOutcome is the fate of a single message attempt.
 	FaultOutcome = faultplane.Outcome
+	// PartitionEvent schedules a network split and its heal on the
+	// plane's virtual round clock.
+	PartitionEvent = faultplane.PartitionEvent
 )
 
 // NewFaultPlane validates a scenario and returns an active fault plane.

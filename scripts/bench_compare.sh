@@ -1,0 +1,85 @@
+#!/bin/sh
+# scripts/bench_compare.sh — diff a benchmark snapshot against the
+# committed baseline and fail on regressions.
+#
+# Usage:
+#   scripts/bench_compare.sh [SNAPSHOT.json] [BASELINE.json]
+#     SNAPSHOT defaults to a fresh run via scripts/bench.sh (written to a
+#     temp file); BASELINE defaults to BENCH_baseline.json.
+#
+# Environment overrides:
+#   BENCH_TOLERANCE  allowed ns/op regression as a fraction (default 0.02,
+#                    i.e. the 2% budget from EXPERIMENTS.md)
+#
+# Benchmarks are matched by name. A benchmark present only on one side is
+# reported but does not fail the comparison (new benchmarks have no
+# baseline yet; retired ones no longer matter). Exit status is non-zero
+# when any shared benchmark's ns/op exceeds baseline * (1 + tolerance).
+#
+# ns/op on a shared CI box is noisy; re-run with BENCH_COUNT=5 (see
+# scripts/bench.sh) before treating a small overshoot as real.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TOL=${BENCH_TOLERANCE:-0.02}
+SNAP=${1:-}
+BASE=${2:-BENCH_baseline.json}
+
+if [ ! -f "$BASE" ]; then
+    echo "bench_compare: baseline $BASE not found" >&2
+    exit 2
+fi
+
+cleanup=""
+if [ -z "$SNAP" ]; then
+    SNAP=$(mktemp "${TMPDIR:-/tmp}/bench_snap.XXXXXX")
+    cleanup=$SNAP
+    trap 'rm -f "$cleanup"' EXIT INT TERM
+    scripts/bench.sh "$SNAP" >&2
+fi
+if [ ! -f "$SNAP" ]; then
+    echo "bench_compare: snapshot $SNAP not found" >&2
+    exit 2
+fi
+
+# The snapshots are one {...} object per line (scripts/bench.sh writes
+# them that way), so awk can pull name and ns_per_op without jq.
+awk -v tol="$TOL" -v basefile="$BASE" -v snapfile="$SNAP" '
+    function parse(line,   name, ns) {
+        if (match(line, /"name": *"[^"]*"/) == 0) return 0
+        name = substr(line, RSTART, RLENGTH)
+        sub(/^"name": *"/, "", name); sub(/"$/, "", name)
+        if (match(line, /"ns_per_op": *[0-9.eE+-]+/) == 0) return 0
+        ns = substr(line, RSTART, RLENGTH)
+        sub(/^"ns_per_op": */, "", ns)
+        pname = name; pns = ns + 0
+        return 1
+    }
+    BEGIN {
+        while ((getline line < basefile) > 0)
+            if (parse(line)) base[pname] = pns
+        close(basefile)
+        while ((getline line < snapfile) > 0)
+            if (parse(line)) snap[pname] = pns
+        close(snapfile)
+        if (length(base) == 0) { print "bench_compare: no benchmarks in " basefile > "/dev/stderr"; exit 2 }
+        if (length(snap) == 0) { print "bench_compare: no benchmarks in " snapfile > "/dev/stderr"; exit 2 }
+        fail = 0
+        for (name in base) {
+            if (!(name in snap)) { printf "  %-16s baseline only (retired?)\n", name; continue }
+            delta = (snap[name] - base[name]) / base[name]
+            verdict = "ok"
+            if (delta > tol) { verdict = "REGRESSION"; fail = 1 }
+            printf "  %-16s %12.2f -> %12.2f ns/op  %+7.2f%%  %s\n", \
+                name, base[name], snap[name], 100 * delta, verdict
+        }
+        for (name in snap)
+            if (!(name in base)) printf "  %-16s snapshot only (no baseline yet)\n", name
+        if (fail) {
+            printf "bench_compare: ns/op regression beyond %.0f%% tolerance\n", 100 * tol > "/dev/stderr"
+            exit 1
+        }
+        print "bench_compare: within tolerance"
+    }
+'
