@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"omtree/internal/geom"
+	"omtree/internal/rng"
+)
+
+// assertSameBuild runs one build twice — analytic k search vs the legacy
+// trial loop — and requires the same k and a byte-identical tree.
+func assertSameBuild(t *testing.T, name string, build func(extra ...Option) (*Result, error)) {
+	t.Helper()
+	analytic, err := build()
+	if err != nil {
+		t.Fatalf("%s analytic: %v", name, err)
+	}
+	trial, err := build(withTrialK())
+	if err != nil {
+		t.Fatalf("%s trial: %v", name, err)
+	}
+	if analytic.K != trial.K {
+		t.Fatalf("%s: analytic k=%d, trial k=%d", name, analytic.K, trial.K)
+	}
+	if !bytes.Equal(treeBytes(t, analytic.Tree), treeBytes(t, trial.Tree)) {
+		t.Fatalf("%s: trees differ at k=%d", name, analytic.K)
+	}
+	if analytic.Radius != trial.Radius || analytic.Bound != trial.Bound {
+		t.Fatalf("%s: metrics differ: radius %v vs %v, bound %v vs %v",
+			name, analytic.Radius, trial.Radius, analytic.Bound, trial.Bound)
+	}
+}
+
+func TestAnalyticKMatchesTrial2D(t *testing.T) {
+	sizes := []int{0, 1, 2, 5, 50, 500, 5000}
+	if !testing.Short() {
+		sizes = append(sizes, 100000)
+	}
+	for _, n := range sizes {
+		for _, seed := range []uint64{1, 2} {
+			r := rng.New(seed*1000 + uint64(n))
+			for _, scale := range []float64{1, 250} {
+				pts := r.UniformDiskN(n, scale)
+				for _, deg := range []int{2, 4, 6} {
+					build := func(extra ...Option) (*Result, error) {
+						return Build2(geom.Point2{}, pts, append([]Option{WithMaxOutDegree(deg)}, extra...)...)
+					}
+					assertSameBuild(t, "2d", build)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyticKMatchesTrial3D(t *testing.T) {
+	sizes := []int{1, 10, 200, 3000}
+	if !testing.Short() {
+		sizes = append(sizes, 30000)
+	}
+	for _, n := range sizes {
+		r := rng.New(uint64(77 + n))
+		pts := r.UniformBall3N(n, 1)
+		build := func(extra ...Option) (*Result, error) {
+			return Build3(geom.Point3{}, pts, extra...)
+		}
+		assertSameBuild(t, "3d", build)
+	}
+}
+
+func TestAnalyticKMatchesTrialD(t *testing.T) {
+	for _, d := range []int{2, 4, 6} {
+		for _, n := range []int{1, 30, 800} {
+			r := rng.New(uint64(10*d + n))
+			pts := r.UniformBallDN(n, d, 3)
+			build := func(extra ...Option) (*Result, error) {
+				return BuildD(geom.NewVec(d), pts, extra...)
+			}
+			assertSameBuild(t, "dD", build)
+		}
+	}
+}
+
+// Clustered layouts stress the estimate: the analytic cap undershoots or
+// overshoots the verified k, exercising the escalation path end to end.
+func TestAnalyticKMatchesTrialClustered(t *testing.T) {
+	r := rng.New(31)
+	pts := r.ClusteredDiskN(2000, 1, []rng.Cluster{
+		{Center: geom.Point2{X: 0.1, Y: 0}, Sigma: 0.01, Weight: 0.8},
+		{Center: geom.Point2{X: -0.5, Y: 0.5}, Sigma: 0.3, Weight: 0.2},
+	})
+	build := func(extra ...Option) (*Result, error) {
+		return Build2(geom.Point2{}, pts, extra...)
+	}
+	assertSameBuild(t, "clustered", build)
+}
+
+// The kMax cap and forced-k paths must behave identically too, including the
+// forced-k occupancy error.
+func TestAnalyticKOptionParity(t *testing.T) {
+	r := rng.New(8)
+	pts := r.UniformDiskN(1000, 1)
+	for _, kMax := range []int{1, 3, 20} {
+		build := func(extra ...Option) (*Result, error) {
+			return Build2(geom.Point2{}, pts, append([]Option{WithKMax(kMax)}, extra...)...)
+		}
+		assertSameBuild(t, "kmax", build)
+	}
+	// forceK does not consult the k search at all; both paths must reject an
+	// infeasible forced depth with the same error.
+	_, errA := Build2(geom.Point2{}, pts, WithForceK(15))
+	_, errT := Build2(geom.Point2{}, pts, WithForceK(15), withTrialK())
+	if errA == nil || errT == nil || errA.Error() != errT.Error() {
+		t.Fatalf("forceK errors differ: %v vs %v", errA, errT)
+	}
+}

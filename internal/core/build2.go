@@ -108,7 +108,10 @@ func Build2(source geom.Point2, receivers []geom.Point2, opts ...Option) (*Resul
 	k, err := pickK(o, n, func(k int) bool {
 		return grid.PolarGrid{K: k, Scale: scale}.InteriorOccupied(polars[1:])
 	}, func(kMax int) int {
-		return grid.MaxFeasibleK(polars[1:], scale, kMax)
+		if o.trialK {
+			return grid.MaxFeasibleK(polars[1:], scale, kMax)
+		}
+		return grid.MaxFeasibleKAnalytic(polars[1:], scale, kMax)
 	})
 	endGrid()
 	if err != nil {

@@ -121,7 +121,10 @@ func Build3(source geom.Point3, receivers []geom.Point3, opts ...Option) (*Resul
 	k, err := pickK(o, n, func(k int) bool {
 		return grid.SphereGrid3{K: k, Scale: scale}.InteriorOccupied(sph[1:])
 	}, func(kMax int) int {
-		return grid.MaxFeasibleK3(sph[1:], scale, kMax)
+		if o.trialK {
+			return grid.MaxFeasibleK3(sph[1:], scale, kMax)
+		}
+		return grid.MaxFeasibleK3Analytic(sph[1:], scale, kMax)
 	})
 	endGrid()
 	if err != nil {

@@ -131,7 +131,11 @@ func BuildD(source geom.Vec, receivers []geom.Vec, opts ...Option) (*Result, err
 		if kMax <= 0 {
 			kMax = grid.DefaultKMax(n)
 		}
-		g, err = grid.MaxFeasibleKD(d, hs[1:], scale, kMax)
+		if o.trialK {
+			g, err = grid.MaxFeasibleKD(d, hs[1:], scale, kMax)
+		} else {
+			g, err = grid.MaxFeasibleKDAnalytic(d, hs[1:], scale, kMax)
+		}
 		if err != nil {
 			endGrid()
 			return nil, err

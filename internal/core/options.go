@@ -46,6 +46,7 @@ type options struct {
 	forceK       int // 0 = automatic (largest feasible)
 	kMax         int // 0 = grid.DefaultKMax
 	workers      int // 0 = automatic (GOMAXPROCS above the size threshold)
+	trialK       bool
 	obs          *obs.Registry
 	trace        *trace.Recorder
 }
@@ -104,6 +105,14 @@ func WithObserver(r *obs.Registry) Option {
 // serial builds are byte-deterministic.
 func WithTrace(rec *trace.Recorder) Option {
 	return func(o *options) { o.trace = rec }
+}
+
+// withTrialK selects the legacy downward trial-loop k search (one bucketing
+// pass per candidate depth) instead of the analytic estimate-plus-verify
+// search. Test-only hook: the differential suite uses it to prove the two
+// searches pick the same k and therefore the same tree.
+func withTrialK() Option {
+	return func(o *options) { o.trialK = true }
 }
 
 // effectiveWorkers resolves the worker count for a build over n receivers.

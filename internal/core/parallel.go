@@ -19,12 +19,13 @@ const parallelBuildThreshold = 2048
 // into a parallel build's shared parent array.
 const unattachedNode int32 = -2
 
-// parentSink is the attachment sink of the parallel pipeline: a bare parent
-// array shared by every worker. It is lock-free by construction — the wiring
-// attaches each node exactly once, from the one cell responsible for it, so
-// concurrent MustAttach calls always target distinct entries. Structural
-// validation (spanning, acyclicity, degree caps) that tree.Builder performs
-// edge-by-edge is instead run once over the finished array in build.
+// parentSink is the attachment sink of the parallel pipeline and of the
+// incremental BuildState path: a bare parent array shared by every worker. It
+// is lock-free by construction — the wiring attaches each node exactly once,
+// from the one cell responsible for it, so concurrent MustAttach calls always
+// target distinct entries. Structural validation (spanning, acyclicity,
+// degree caps) that tree.Builder performs edge-by-edge is instead run once
+// over the finished array in build (or, for BuildState, at export).
 type parentSink struct {
 	parents []int32
 }
@@ -46,7 +47,7 @@ func newParentSink(n int) *parentSink {
 // writes (or reads) that child's entry after initialization.
 func (s *parentSink) MustAttach(child, parent int) {
 	if s.parents[child] != unattachedNode {
-		panic(fmt.Sprintf("core: node %d attached twice (parallel wiring bug)", child))
+		panic(fmt.Sprintf("core: node %d attached twice (wiring bug)", child))
 	}
 	s.parents[child] = int32(parent)
 }

@@ -97,6 +97,16 @@ func wireCore(b bisect.Attacher, k int, g cellGroups, reps []int32, conn connect
 // g.order, so distinct cells touch disjoint memory and may run concurrently
 // against a concurrency-tolerant Attacher.
 func wireCell(b bisect.Attacher, k, id int, g cellGroups, reps []int32, conn connector, variant Variant, in instr) {
+	wireCellMembers(b, k, id, g.order[g.start[id]:g.start[id+1]], reps, conn, variant, in)
+}
+
+// wireCellMembers is wireCell over an explicit member slice: the shared entry
+// point of the one-shot builds (handing out slices of the CSR order array)
+// and the incremental BuildState path (handing out scratch copies of its
+// persistent per-cell member lists, which wiring must not permute). members
+// is the cell's full membership including its representative; it is shuffled
+// in place.
+func wireCellMembers(b bisect.Attacher, k, id int, members []int32, reps []int32, conn connector, variant Variant, in instr) {
 	ring, idx := grid.RingIdx(id)
 	var repNode int32
 	if ring == 0 {
@@ -108,7 +118,6 @@ func wireCell(b bisect.Attacher, k, id int, g cellGroups, reps []int32, conn con
 		}
 	}
 
-	members := g.order[g.start[id]:g.start[id+1]]
 	if ring > 0 {
 		// Exclude the representative (attached while processing its parent
 		// ring's cell).

@@ -1,0 +1,295 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"omtree/internal/geom"
+	"omtree/internal/rng"
+)
+
+// naiveFoldFull is the reference for the bit-fold machinery: fullness of a
+// bitmap at every fold level, computed bit by bit.
+func naiveFoldFull(bits []bool) int {
+	res := 0
+	for 1<<uint(res) < len(bits) {
+		res++
+	}
+	for j := res; ; j-- {
+		full := true
+		for _, b := range bits {
+			if !b {
+				full = false
+				break
+			}
+		}
+		if full {
+			return j
+		}
+		if j == 0 {
+			return -1
+		}
+		half := make([]bool, len(bits)/2)
+		for t := range half {
+			half[t] = bits[2*t] || bits[2*t+1]
+		}
+		bits = half
+	}
+}
+
+func TestMaxFullResMatchesNaive(t *testing.T) {
+	r := rng.New(42)
+	for res := 0; res <= 10; res++ {
+		n := 1 << uint(res)
+		for trial := 0; trial < 50; trial++ {
+			// Mix densities so some trials are full at high resolutions and
+			// others empty everywhere.
+			p := float64(trial%10+1) / 10 * 1.3
+			bits := make([]bool, n)
+			words := make([]uint64, (n+63)/64)
+			for i := range bits {
+				if r.Float64() < p {
+					bits[i] = true
+					words[i>>6] |= 1 << uint(i&63)
+				}
+			}
+			want := naiveFoldFull(bits)
+			if got := maxFullRes(words, res); got != want {
+				t.Fatalf("res=%d trial=%d: maxFullRes=%d want %d", res, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestCompactPairsOr(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		x := uint64(r.Intn(1<<31))<<33 | uint64(r.Intn(1<<31))<<2 | uint64(trial&3)
+		got := compactPairsOr(x)
+		var want uint64
+		for tt := 0; tt < 32; tt++ {
+			if x&(3<<uint(2*tt)) != 0 {
+				want |= 1 << uint(tt)
+			}
+		}
+		if got != want {
+			t.Fatalf("compactPairsOr(%#x) = %#x, want %#x", x, got, want)
+		}
+	}
+}
+
+func TestEstimateK(t *testing.T) {
+	if got := EstimateK(0, 10); got != 1 {
+		t.Errorf("EstimateK(0) = %d", got)
+	}
+	prev := 1
+	for _, n := range []int{10, 100, 1000, 10000, 100000} {
+		k := EstimateK(n, 30)
+		if k < prev {
+			t.Errorf("EstimateK not monotone: n=%d k=%d prev=%d", n, k, prev)
+		}
+		prev = k
+	}
+	// The estimate should sit near the empirical ~0.86*log2(n) of Figure 6.
+	if k := EstimateK(100000, 30); k < 10 || k > 15 {
+		t.Errorf("EstimateK(1e5) = %d, want ~12", k)
+	}
+	// The ceiling binds.
+	if k := EstimateK(1<<20, 5); k != 5 {
+		t.Errorf("EstimateK capped = %d, want 5", k)
+	}
+}
+
+// polarSets enumerates adversarial and typical 2-D point sets, as polar
+// coordinates with the scale the core build would derive (max radius).
+func polarSets() map[string]struct {
+	pts   []geom.Polar
+	scale float64
+} {
+	sets := make(map[string]struct {
+		pts   []geom.Polar
+		scale float64
+	})
+	add := func(name string, pts []geom.Polar) {
+		var scale float64
+		for _, p := range pts {
+			if p.R > scale {
+				scale = p.R
+			}
+		}
+		sets[name] = struct {
+			pts   []geom.Polar
+			scale float64
+		}{pts, scale}
+	}
+
+	for _, n := range []int{1, 2, 3, 10, 100, 2000, 20000} {
+		r := rng.New(uint64(n))
+		pts := make([]geom.Polar, n)
+		for i := range pts {
+			pts[i] = r.UniformDisk(1).ToPolar()
+		}
+		add(fmt.Sprintf("uniform-%d", n), pts)
+	}
+
+	// Exact circle radii: boundary guard paths of RingOf.
+	g := PolarGrid{K: 8, Scale: 1}
+	var boundary []geom.Polar
+	for i := 0; i <= 8; i++ {
+		for j := 0; j < 32; j++ {
+			boundary = append(boundary, geom.Polar{R: g.CircleRadius(i), Theta: geom.TwoPi * float64(j) / 32})
+		}
+	}
+	add("circle-boundaries", boundary)
+
+	// One angular half empty: forces shallow k via angular occupancy.
+	r := rng.New(99)
+	half := make([]geom.Polar, 500)
+	for i := range half {
+		p := r.UniformDisk(1).ToPolar()
+		p.Theta = math.Mod(p.Theta, math.Pi)
+		half[i] = p
+	}
+	add("half-plane", half)
+
+	// Clustered at the center: deep radial depths, sparse outer rings.
+	center := make([]geom.Polar, 300)
+	rc := rng.New(5)
+	for i := range center {
+		center[i] = geom.Polar{R: 0.01 * rc.Float64(), Theta: geom.TwoPi * rc.Float64()}
+	}
+	center = append(center, geom.Polar{R: 1, Theta: 0})
+	add("center-cluster", center)
+
+	// Duplicates and zeros.
+	add("duplicates", []geom.Polar{{R: 0.5, Theta: 1}, {R: 0.5, Theta: 1}, {R: 0, Theta: 0}, {R: 1, Theta: 5}})
+
+	// Points beyond the scale parameter are exercised separately below.
+	return sets
+}
+
+// designedOccupancy places exactly one point per interior cell of a depth-k
+// grid — feasibility far above the uniform estimate, forcing the analytic
+// search's escalation pass.
+func designedOccupancy(k int) []geom.Polar {
+	g := PolarGrid{K: k, Scale: 1}
+	var pts []geom.Polar
+	for ring := 1; ring < k; ring++ {
+		for j := 0; j < CellsInRing(ring); j++ {
+			rMid := (g.CircleRadius(ring-1) + g.CircleRadius(ring)) / 2
+			theta := geom.TwoPi * (float64(j) + 0.5) / float64(CellsInRing(ring))
+			pts = append(pts, geom.Polar{R: rMid, Theta: theta})
+		}
+	}
+	pts = append(pts, geom.Polar{R: 1, Theta: 0}) // pin the scale
+	return pts
+}
+
+func TestMaxFeasibleKAnalyticMatchesTrial2D(t *testing.T) {
+	for name, s := range polarSets() {
+		for _, kMax := range []int{1, 2, 5, 9, 14} {
+			want := MaxFeasibleK(s.pts, s.scale, kMax)
+			got := MaxFeasibleKAnalytic(s.pts, s.scale, kMax)
+			if got != want {
+				t.Errorf("%s kMax=%d: analytic %d, trial %d", name, kMax, got, want)
+			}
+		}
+		// The production ceiling.
+		kMax := DefaultKMax(len(s.pts))
+		if got, want := MaxFeasibleKAnalytic(s.pts, s.scale, kMax), MaxFeasibleK(s.pts, s.scale, kMax); got != want {
+			t.Errorf("%s kMax=default(%d): analytic %d, trial %d", name, kMax, got, want)
+		}
+	}
+}
+
+func TestMaxFeasibleKAnalyticEscalates(t *testing.T) {
+	pts := designedOccupancy(10)
+	if est := analyticCap(len(pts), 12); est >= 10 {
+		t.Fatalf("cap %d does not force escalation; tighten the construction", est)
+	}
+	want := MaxFeasibleK(pts, 1, 12)
+	got := MaxFeasibleKAnalytic(pts, 1, 12)
+	if got != want {
+		t.Fatalf("escalation: analytic %d, trial %d", got, want)
+	}
+	if want < 10 {
+		t.Fatalf("designed set only reached k=%d; escalation untested", want)
+	}
+}
+
+func TestMaxFeasibleK3AnalyticMatchesTrial(t *testing.T) {
+	for _, n := range []int{1, 5, 50, 1000, 10000} {
+		r := rng.New(uint64(300 + n))
+		pts := make([]geom.Spherical, n)
+		var scale float64
+		for i := range pts {
+			pts[i] = r.UniformBall3(1).SphericalAround(geom.Point3{})
+			if pts[i].R > scale {
+				scale = pts[i].R
+			}
+		}
+		for _, kMax := range []int{1, 4, 8, DefaultKMax(n)} {
+			want := MaxFeasibleK3(pts, scale, kMax)
+			got := MaxFeasibleK3Analytic(pts, scale, kMax)
+			if got != want {
+				t.Errorf("n=%d kMax=%d: analytic %d, trial %d", n, kMax, got, want)
+			}
+		}
+	}
+}
+
+func TestMaxFeasibleKDAnalyticMatchesTrial(t *testing.T) {
+	for _, d := range []int{2, 3, 4, 5} {
+		for _, n := range []int{1, 20, 500, 5000} {
+			r := rng.New(uint64(100*d + n))
+			pts := make([]geom.Hyperspherical, n)
+			var scale float64
+			for i := range pts {
+				pts[i] = r.UniformBallD(d, 1).ToHyperspherical()
+				if pts[i].R > scale {
+					scale = pts[i].R
+				}
+			}
+			for _, kMax := range []int{1, 4, DefaultKMax(n)} {
+				want, errW := MaxFeasibleKD(d, pts, scale, kMax)
+				got, errG := MaxFeasibleKDAnalytic(d, pts, scale, kMax)
+				if (errW == nil) != (errG == nil) {
+					t.Fatalf("d=%d n=%d kMax=%d: error mismatch %v vs %v", d, n, kMax, errW, errG)
+				}
+				if errW != nil {
+					continue
+				}
+				if got.K != want.K {
+					t.Errorf("d=%d n=%d kMax=%d: analytic K=%d, trial K=%d", d, n, kMax, got.K, want.K)
+				}
+				// The shared-levels grid must classify points identically.
+				for _, h := range pts {
+					if got.CellOf(h) != want.CellOf(h) {
+						t.Fatalf("d=%d n=%d: CellOf mismatch on shared-levels grid", d, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMaxFeasibleKDAnalyticErrors(t *testing.T) {
+	if _, err := MaxFeasibleKDAnalytic(1, nil, 1, 5); err == nil {
+		t.Error("dimension 1 accepted")
+	}
+	if _, err := MaxFeasibleKDAnalytic(3, nil, 1, 40); err == nil {
+		t.Error("kMax 40 accepted (trial loop would fail to materialize)")
+	}
+}
+
+func TestAnalyticOutOfDiskPoints(t *testing.T) {
+	// Points beyond the scale parameter clamp into the outer ring in both
+	// searches.
+	pts := []geom.Polar{{R: 2, Theta: 0}, {R: 3, Theta: 3}, {R: 0.1, Theta: 1}}
+	for _, kMax := range []int{1, 3, 6} {
+		if got, want := MaxFeasibleKAnalytic(pts, 1, kMax), MaxFeasibleK(pts, 1, kMax); got != want {
+			t.Errorf("kMax=%d: analytic %d, trial %d", kMax, got, want)
+		}
+	}
+}

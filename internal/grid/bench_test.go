@@ -38,6 +38,17 @@ func BenchmarkMaxFeasibleK(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildGridAnalytic is the analytic counterpart of
+// BenchmarkMaxFeasibleK: occupancy-lemma estimate plus one verification
+// pass, replacing the per-k bucketing trials.
+func BenchmarkBuildGridAnalytic(b *testing.B) {
+	polars := benchPolars(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MaxFeasibleKAnalytic(polars, 1, DefaultKMax(len(polars)))
+	}
+}
+
 func BenchmarkCellOf3D(b *testing.B) {
 	r := rng.New(3)
 	sph := make([]geom.Spherical, 100000)

@@ -94,3 +94,49 @@ func BenchmarkRebuild(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRebuildIncremental measures the steady-state rebuild under light
+// churn: each iteration joins and removes a few members and rebuilds, so
+// the retained build state rewires only the dirty cells instead of
+// rebucketing all 5000 nodes.
+func BenchmarkRebuildIncremental(b *testing.B) {
+	r := rng.New(5)
+	o, err := New(Config{Source: geom.Point2{}, Scale: 1, K: 6, MaxOutDegree: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var live []int
+	for i := 0; i < 5000; i++ {
+		id, _, err := o.Join(r.UniformDisk(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		live = append(live, id)
+	}
+	if _, err := o.Rebuild(); err != nil { // seed the retained build state
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 4; j++ {
+			if j%2 == 0 && len(live) > 100 {
+				pick := r.Intn(len(live))
+				id := live[pick]
+				live[pick] = live[len(live)-1]
+				live = live[:len(live)-1]
+				if _, err := o.Leave(id); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				id, _, err := o.Join(r.UniformDisk(1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				live = append(live, id)
+			}
+		}
+		if _, err := o.Rebuild(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -196,6 +196,12 @@ type Overlay struct {
 	// strictly sequential; 0 outside any operation).
 	curTrace uint32
 
+	// bs is the retained centralized build state behind Rebuild: it keeps
+	// the bucketing arrays and grid geometry of the previous rebuild so
+	// that a rebuild after light churn only rewires the dirty cells. Node
+	// ids double as build-state slots.
+	bs *core.BuildState
+
 	// Stats accumulates control-message totals for the session.
 	Stats SessionStats
 }
@@ -209,8 +215,12 @@ type SessionStats struct {
 	FallbackScans    int // joins/reattaches that needed the global scan
 	OptimizeMessages int
 	Rebuilds         int
-	RebuildMessages  int
-	AbruptFailures   int
+	// IncrementalRebuilds counts the Rebuilds served from the retained
+	// build state (dirty cells rewired, clean cells untouched) rather than
+	// from scratch; those skip the per-member coordinate reports.
+	IncrementalRebuilds int
+	RebuildMessages     int
+	AbruptFailures      int
 
 	// Message-attempt accounting at the transport choke point. Every
 	// attempt a control exchange pushes through exchangeN is counted here
@@ -298,6 +308,13 @@ func New(cfg Config) (*Overlay, error) {
 	if err := o.SetAdmission(cfg.Admission); err != nil {
 		return nil, err
 	}
+	// Validate guarantees MaxOutDegree >= 3, so the build state cannot
+	// reject the degree here.
+	bs, err := core.NewBuildState(cfg.Source, core.WithMaxOutDegree(cfg.MaxOutDegree))
+	if err != nil {
+		return nil, err
+	}
+	o.bs = bs
 	for i := range o.reps {
 		o.reps[i] = -1
 	}
@@ -1023,10 +1040,14 @@ func (o *Overlay) moveSubtree(node, target int32) {
 // Rebuild replaces the overlay's tree wholesale with a fresh centralized
 // Polar_Grid build over the current membership — the periodic
 // source-coordinated refresh a deployed session can afford every few
-// minutes. It costs O(n) control messages (every member reports its
-// coordinates and receives its new parent) but resets the delay to the
-// centralized optimum, forgetting all join-order damage. Joins and leaves
-// continue to work against the rebuilt state.
+// minutes. It resets the delay to the centralized optimum, forgetting all
+// join-order damage; joins and leaves continue to work against the rebuilt
+// state. The first rebuild (and any after the verified grid depth changes)
+// runs from scratch and costs O(n) control messages — every member reports
+// its coordinates and receives its new parent. Subsequent rebuilds reuse
+// the retained build state: only the grid cells touched by churn are
+// rewired, and only members whose parent actually changed are messaged,
+// while the resulting tree stays byte-identical to a from-scratch build.
 func (o *Overlay) Rebuild() (OpStats, error) {
 	var st OpStats
 	endOp := o.beginOp("protocol/rebuild", -1, "")
@@ -1059,31 +1080,53 @@ func (o *Overlay) Rebuild() (OpStats, error) {
 		o.members[cell] = ms
 	}
 
-	// Collect alive members (excluding the source) in id order.
+	// Collect alive members (excluding the source) in id order, and bring
+	// the retained build state in sync. Diffing membership here — rather
+	// than hooking every join/leave/crash site — keeps the churn paths
+	// oblivious to the build state and is naturally correct across join
+	// rollbacks and abrupt deaths: whatever alive says now is the truth.
+	// Each transition dirties only the grid cell it touches.
+	o.bs.SetInstruments(o.reg, o.rec)
 	memberIDs := make([]int32, 0, o.alive-1)
-	receivers := make([]geom.Point2, 0, o.alive-1)
 	for i := 1; i < len(o.nodes); i++ {
-		if o.nodes[i].alive {
+		alive := o.nodes[i].alive
+		if alive {
 			memberIDs = append(memberIDs, int32(i))
-			receivers = append(receivers, o.nodes[i].pos)
-			st.Messages++ // coordinate report
+		}
+		switch {
+		case alive && !o.bs.Present(i):
+			o.bs.Add(i, o.nodes[i].pos)
+		case !alive && o.bs.Present(i):
+			o.bs.Remove(i)
 		}
 	}
 
-	res, err := core.Build2(o.cfg.Source, receivers,
-		core.WithMaxOutDegree(o.cfg.MaxOutDegree), core.WithObserver(o.reg),
-		core.WithTrace(o.rec))
+	res, full, err := o.bs.Rebuild()
 	if err != nil {
 		outcome = "failed"
 		return st, fmt.Errorf("protocol: rebuild: %w", err)
 	}
+	if full {
+		// From-scratch refresh: every member reports its coordinates.
+		st.Messages += len(memberIDs)
+	}
 
-	// Rewire: tree node 0 is the source, tree node j >= 1 is memberIDs[j-1].
+	// Rewire: tree node 0 is the source, tree node j >= 1 is memberIDs[j-1]
+	// (the build state exports live slots in ascending order, matching the
+	// id-order collection above).
 	toOverlay := func(treeNode int32) int32 {
 		if treeNode == 0 {
 			return 0
 		}
 		return memberIDs[treeNode-1]
+	}
+	// Message accounting before the state is clobbered: a full rebuild
+	// assigns every member its parent; an incremental one only messages
+	// members whose parent actually moved.
+	for j := 1; j < res.Tree.N(); j++ {
+		if full || o.nodes[toOverlay(int32(j))].parent != toOverlay(int32(res.Tree.Parent(j))) {
+			st.Messages++ // parent assignment
+		}
 	}
 	o.nodes[0].children = o.nodes[0].children[:0]
 	for _, id := range memberIDs {
@@ -1094,10 +1137,7 @@ func (o *Overlay) Rebuild() (OpStats, error) {
 		n.pmiss = 0
 	}
 	for j := 1; j < res.Tree.N(); j++ {
-		child := toOverlay(int32(j))
-		parent := toOverlay(int32(res.Tree.Parent(j)))
-		o.attach(child, parent)
-		st.Messages++ // parent assignment
+		o.attach(toOverlay(int32(j)), toOverlay(int32(res.Tree.Parent(j))))
 	}
 
 	// Refresh the per-cell representative bookkeeping for future joins:
@@ -1121,6 +1161,9 @@ func (o *Overlay) Rebuild() (OpStats, error) {
 		o.nodes[best].isRep = true
 	}
 	o.Stats.Rebuilds++
+	if !full {
+		o.Stats.IncrementalRebuilds++
+	}
 	o.Stats.RebuildMessages += st.Messages
 	return st, nil
 }

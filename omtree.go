@@ -150,6 +150,18 @@ func BuildND(source Vec, receivers []Vec, opts ...Option) (*Result, error) {
 	return core.BuildD(source, receivers, opts...)
 }
 
+// BuildState is a retained planar Polar_Grid build (see internal/core):
+// Add/Remove record membership churn under caller-chosen slot ids >= 1,
+// and Rebuild rewires only the grid cells the churn touched — falling back
+// to a full rebuild when the verified ring count changes — while always
+// returning a tree byte-identical to a from-scratch Build over the same
+// membership. Rebuild's boolean reports whether the full path ran.
+type BuildState = core.BuildState
+
+// NewBuildState returns an empty retained build rooted at source, ready
+// for Add/Remove/Rebuild cycles.
+var NewBuildState = core.NewBuildState
+
 // BuildBisection runs the stand-alone constant-factor Bisection over an
 // arbitrary planar point set. Unlike Build, the source indexes into points
 // and node ids equal point indices.

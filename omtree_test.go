@@ -274,3 +274,40 @@ func TestFacadeNewSurface(t *testing.T) {
 		t.Error("no radius")
 	}
 }
+
+func TestFacadeBuildState(t *testing.T) {
+	r := omtree.NewRand(9)
+	source := omtree.Point2{}
+	bs, err := omtree.NewBuildState(source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	receivers := r.UniformDiskN(500, 1)
+	for i, p := range receivers {
+		bs.Add(i+1, p)
+	}
+	res, full, err := bs.Rebuild()
+	if err != nil || !full {
+		t.Fatalf("first rebuild: full=%v err=%v", full, err)
+	}
+	want, err := omtree.Build(source, receivers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Radius != want.Radius || res.K != want.K {
+		t.Fatalf("retained build differs: %+v vs %+v", res, want)
+	}
+	// Churn a little and rebuild incrementally: still equal to a fresh build.
+	bs.Remove(3)
+	bs.Add(len(receivers)+1, r.UniformDisk(1))
+	res, full, err = bs.Rebuild()
+	if err != nil || full {
+		t.Fatalf("churn rebuild: full=%v err=%v", full, err)
+	}
+	if want := len(receivers) + 1; res.Tree.N() != want { // -1 removed, +1 added, +source
+		t.Fatalf("tree has %d nodes, want %d", res.Tree.N(), want)
+	}
+	if err := res.Tree.Validate(res.MaxOutDegree); err != nil {
+		t.Fatal(err)
+	}
+}

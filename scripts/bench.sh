@@ -6,9 +6,10 @@
 #   scripts/bench.sh [OUTPUT.json]       # default: BENCH_<yyyymmdd>.json
 #
 # Environment overrides:
-#   BENCH_PKGS     packages to benchmark (default: the protocol hot path
-#                  and the trace recorder, the two surfaces the tracing
-#                  layer must not slow down)
+#   BENCH_PKGS     packages to benchmark (default: the protocol hot path,
+#                  the trace recorder, and the grid k-search — the surfaces
+#                  the tracing layer and the analytic rebuild path must not
+#                  slow down)
 #   BENCH_PATTERN  -bench regexp (default: all benchmarks in BENCH_PKGS)
 #   BENCH_COUNT    -count repetitions (default 1; use 5+ for a decision)
 #
@@ -20,7 +21,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PKGS=${BENCH_PKGS:-"./internal/protocol ./internal/obs/trace"}
+PKGS=${BENCH_PKGS:-"./internal/protocol ./internal/obs/trace ./internal/grid"}
 PATTERN=${BENCH_PATTERN:-.}
 COUNT=${BENCH_COUNT:-1}
 OUT=${1:-BENCH_$(date +%Y%m%d).json}
