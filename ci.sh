@@ -1,9 +1,9 @@
 #!/bin/sh
 # ci.sh — the repo's full gate: formatting, vet, the regular test suite,
 # the race-detector run that guards the parallel build pipeline, and
-# short fuzz smokes over the codec, fault-schedule, partition-schedule, and
-# incremental-rebuild fuzzers. `ci.sh bench` runs the benchmark regression
-# gate instead.
+# short fuzz smokes over the codec, fault-schedule, partition-schedule,
+# drift-schedule, and incremental-rebuild fuzzers. `ci.sh bench` runs the
+# benchmark regression gate instead.
 set -eu
 
 cd "$(dirname "$0")"
@@ -56,6 +56,7 @@ check_cover() {
 check_cover ./internal/obs 92
 check_cover ./internal/obs/trace 90
 check_cover ./internal/core 89
+check_cover ./internal/coords 92
 check_cover ./internal/grid 90
 check_cover ./internal/protocol 92
 
@@ -74,6 +75,7 @@ go test -run='^$' -fuzz='^FuzzWireRoundTrip$' -fuzztime=10s ./internal/core
 go test -run='^$' -fuzz='^FuzzCodecRoundTrip$' -fuzztime=10s ./internal/tree
 go test -run='^$' -fuzz='^FuzzFaultSchedule$' -fuzztime=10s ./internal/protocol
 go test -run='^$' -fuzz='^FuzzPartitionSchedule$' -fuzztime=10s ./internal/protocol
+go test -run='^$' -fuzz='^FuzzDriftSchedule$' -fuzztime=10s ./internal/protocol
 go test -run='^$' -fuzz='^FuzzIncrementalRebuild$' -fuzztime=10s ./internal/protocol
 
 echo "ci: all green"

@@ -48,6 +48,8 @@ func TestGoldenOutput(t *testing.T) {
 			"-sizes", "100,300", "-trials", "2", "-seed", "7"}},
 		{"partition", []string{"-faults", "-partition", "-workers", "1",
 			"-sizes", "100", "-trials", "2", "-seed", "7"}},
+		{"drift", []string{"-drift", "-workers", "1",
+			"-sizes", "100", "-trials", "2", "-seed", "7"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -5,6 +5,7 @@
 //	omt-experiments -fig4 -fig5 -fig6 -fig7 # the 2-D figures
 //	omt-experiments -fig8                   # 3-D unit ball, degrees 10 and 2
 //	omt-experiments -baselines              # Polar_Grid vs prior heuristics
+//	omt-experiments -drift                  # kinetic repair-policy frontier
 //	omt-experiments -all                    # everything
 //
 // By default the sweep runs sizes 100 .. 100,000 with 20 trials each, which
@@ -91,6 +92,7 @@ func run(args []string, out io.Writer) error {
 	repairs := fs.Bool("repairs", false, "failure/repair robustness sweep")
 	faults := fs.Bool("faults", false, "unreliable control plane: loss sweep with self-healing")
 	partition := fs.Bool("partition", false, "partition tolerance: degraded islands, admission control, reconciliation (requires -faults)")
+	drift := fs.Bool("drift", false, "kinetic drift: certificate monitoring and repair-policy frontier")
 	scale := fs.Bool("scale", false, "large-n comparison vs the k-d-tree greedy")
 	dims := fs.Bool("dims", false, "delay convergence across dimensions 2..5")
 	all := fs.Bool("all", false, "run everything")
@@ -124,14 +126,14 @@ func run(args []string, out io.Writer) error {
 	if *all {
 		*table1, *fig4, *fig5, *fig6, *fig7, *fig8 = true, true, true, true, true, true
 		*baselines, *churn, *dims, *repairs, *scale, *faults = true, true, true, true, true, true
-		*partition = true
+		*partition, *drift = true, true
 	}
 	// The partition sweep extends the fault sweep's scenario; alone it would
 	// skip the context that makes its columns comparable.
 	if *partition && !*faults {
 		return fmt.Errorf("-partition requires -faults (it extends the unreliable-control-plane sweep)")
 	}
-	if !*table1 && !*fig4 && !*fig5 && !*fig6 && !*fig7 && !*fig8 && !*baselines && !*churn && !*dims && !*repairs && !*scale && !*faults {
+	if !*table1 && !*fig4 && !*fig5 && !*fig6 && !*fig7 && !*fig8 && !*baselines && !*churn && !*dims && !*repairs && !*scale && !*faults && !*drift {
 		fs.Usage()
 		return fmt.Errorf("nothing selected (try -all)")
 	}
@@ -179,6 +181,7 @@ func run(args []string, out io.Writer) error {
 		Repairs   []experiment.RepairRow    `json:"repairs,omitempty"`
 		Faults    []experiment.FaultRow     `json:"faults,omitempty"`
 		Partition []experiment.PartitionRow `json:"partition,omitempty"`
+		Drift     []experiment.DriftRow     `json:"drift,omitempty"`
 		Metrics   *obs.Snapshot             `json:"metrics,omitempty"`
 	}{Seed: *seed}
 
@@ -369,6 +372,24 @@ func run(args []string, out io.Writer) error {
 		}
 		manifest.Partition = rows
 		if err := experiment.PartitionTable(rows, 300).Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *drift {
+		fmt.Fprintln(out, "Kinetic drift (n = 800, degree 6, jump model, re-estimation every 3 rounds):")
+		fmt.Fprintln(out)
+		rows, err := experiment.RunDriftSweep(experiment.DriftSweepConfig{
+			N: 800, Rates: []float64{0.003, 0.01},
+			Trials: trialsForExtensions(nTrials), Seed: *seed, MaxOutDegree: 6,
+			Trace: rec,
+		})
+		if err != nil {
+			return err
+		}
+		manifest.Drift = rows
+		if err := experiment.DriftTable(rows, 800).Render(out); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

@@ -49,6 +49,8 @@ func TestGoldenOutput(t *testing.T) {
 			"-packets", "4", "-fail", "3", "-loss", "0.2", "-crash-rate", "0.01"}},
 		{"partition", []string{"-n", "200", "-degree", "6", "-seed", "7",
 			"-packets", "4", "-loss", "0.05", "-partition", "2:2:8", "-join-rate", "2"}},
+		{"drift", []string{"-n", "800", "-degree", "6", "-seed", "9",
+			"-drift", "0.003", "-repair-policy", "local"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -26,6 +26,14 @@
 //
 //	omt-sim -n 300 -seed 3 -loss 0.05 -partition 2:2:8 -join-rate 2
 //
+// -drift RATE runs the kinetic-drift loop instead: members join reliably,
+// coordinates then jump with the given per-epoch probability, periodic
+// re-estimation sweeps refresh them, and the eq. 7 certificate monitor
+// repairs the tree per -repair-policy (none, local, or full). It prints the
+// sweep accounting, repair split, and the final certificate state.
+//
+//	omt-sim -n 1000 -degree 6 -seed 1 -drift 0.01 -repair-policy local
+//
 // -metrics FILE writes a JSON metrics snapshot (build-phase spans, protocol
 // and data-plane counters) on exit; -trace FILE writes a Chrome trace-event
 // JSON timeline (load it in Perfetto or chrome://tracing) and -trace-text
@@ -133,6 +141,8 @@ func run(args []string, out io.Writer) error {
 	crashRate := fs.Float64("crash-rate", 0, "per-message chance the destination crashes, in [0, 1)")
 	partitionSpec := fs.String("partition", "", "schedule a network split as sides:start:heal (maintenance-round numbers), e.g. 2:2:8")
 	joinRate := fs.Float64("join-rate", 0, "admit at most this many joins per maintenance round during the partition join storm (0 = unthrottled; requires -partition)")
+	driftRate := fs.Float64("drift", 0, "per-epoch coordinate jump probability; runs the kinetic-drift loop")
+	repairPolicy := fs.String("repair-policy", "local", "kinetic repair policy: none, local, or full (requires -drift)")
 	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) to this file on exit")
 	traceTextPath := fs.String("trace-text", "", "write a plain-text event timeline to this file on exit")
@@ -178,6 +188,29 @@ func run(args []string, out io.Writer) error {
 	}
 	if *joinRate > 0 && pe == nil {
 		return fmt.Errorf("-join-rate requires -partition")
+	}
+
+	if *driftRate > 0 {
+		if *loss > 0 || *crashRate > 0 || pe != nil {
+			return fmt.Errorf("-drift does not combine with -loss, -crash-rate, or -partition")
+		}
+		policy, err := omtree.ParseOverlayRepairPolicy(*repairPolicy)
+		if err != nil {
+			return err
+		}
+		if err := runDrift(out, reg, rec, *n, *degree, *seed, *driftRate, policy); err != nil {
+			return err
+		}
+		return finish()
+	}
+	policySet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "repair-policy" {
+			policySet = true
+		}
+	})
+	if policySet {
+		return fmt.Errorf("-repair-policy requires -drift")
 	}
 
 	if *loss > 0 || *crashRate > 0 || pe != nil {
@@ -277,6 +310,86 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "post-repair delivery: max delay %.4f, %d survivors missing\n", d2.MaxDelay, missing)
 	return finish()
+}
+
+// runDrift exercises the kinetic control loop: a reliably built overlay's
+// coordinates jump under a seeded drift model while periodic re-estimation
+// sweeps refresh them and the certificate monitor repairs per policy.
+func runDrift(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, n, degree int, seed uint64, rate float64, policy omtree.OverlayRepairPolicy) error {
+	const (
+		period    = 3
+		threshold = 1.05
+		rounds    = 24
+	)
+	o, err := omtree.NewOverlay(omtree.OverlayConfig{
+		Source: omtree.Point2{}, Scale: 1,
+		K: omtree.SuggestOverlayK(n), MaxOutDegree: degree,
+		Drift: omtree.OverlayDriftConfig{
+			ReestimatePeriod:     period,
+			DegradationThreshold: threshold,
+			Policy:               policy,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	o.Observe(reg)
+	o.Trace(rec)
+	r := omtree.NewRand(seed)
+	for i := 0; i < n; i++ {
+		if _, _, err := o.Join(r.UniformDisk(1)); err != nil {
+			return err
+		}
+	}
+	if _, err := o.Rebuild(); err != nil {
+		return err
+	}
+	cert := o.Certificate()
+	fmt.Fprintf(out, "kinetic drift: %d members, jump rate %.3f/epoch, policy %v, re-estimation every %d rounds\n",
+		n, rate, policy, period)
+	fmt.Fprintf(out, "certified at build: radius %.4f, eq. 7 bound %.4f\n", cert.Radius, cert.Bound)
+
+	// Bound 0.99 keeps drifted positions strictly inside the membership's
+	// outermost radius, so jumps relocate members between grid cells instead
+	// of forcing grid-scale growth.
+	m, err := omtree.NewDriftModel(omtree.DriftModelConfig{
+		Seed: seed, JumpRate: rate, JumpMean: 0.15,
+		InflationPerEpoch: 0.05, Bound: 0.99,
+	})
+	if err != nil {
+		return err
+	}
+	if err := o.SetDrift(m); err != nil {
+		return err
+	}
+	worst := 0.0
+	for i := 0; i < rounds; i++ {
+		ms, err := o.MaintenanceRound()
+		if err != nil {
+			return err
+		}
+		if ms.CertRatio > worst {
+			worst = ms.CertRatio
+		}
+	}
+
+	st := &o.Stats
+	fmt.Fprintf(out, "drift: %d re-estimation sweeps over %d rounds applied %d node moves\n",
+		st.DriftReestimates, rounds, st.DriftedNodes)
+	fmt.Fprintf(out, "repairs: %d local, %d full-rebuild fallbacks, %d rebuild messages + %d drift messages\n",
+		st.LocalRepairs, st.FullRebuildFallbacks, st.RebuildMessages, st.DriftMessages)
+	cert = o.Certificate()
+	ratio, armed := o.CertificateRatio()
+	if !armed {
+		return fmt.Errorf("certificate unarmed after %d rounds", rounds)
+	}
+	fmt.Fprintf(out, "certificate: realized radius %.4f vs certified %.4f (ratio %.3f, worst %.3f), eq. 7 bound %.4f\n",
+		o.RealizedRadius(), cert.Radius, ratio, worst, cert.Bound)
+	if err := o.Audit(); err != nil {
+		return fmt.Errorf("audit after drift run: %w", err)
+	}
+	fmt.Fprintln(out, "audit: clean")
+	return nil
 }
 
 // parsePartition decodes a sides:start:heal schedule spec; an empty spec

@@ -20,6 +20,14 @@ func main() {
 		Scale:        1,
 		K:            omtree.SuggestOverlayK(expected),
 		MaxOutDegree: 6,
+		// Tuning for the kinetic epilogue below: re-estimate coordinates
+		// every 3 maintenance rounds and repair locally once drift degrades
+		// the certified radius by 5%. Inert until SetDrift attaches a model.
+		Drift: omtree.OverlayDriftConfig{
+			ReestimatePeriod:     3,
+			DegradationThreshold: 1.05,
+			Policy:               omtree.OverlayRepairLocal,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -182,6 +190,35 @@ func main() {
 	fmt.Printf("%-28s %d reconciliations, %d island merges, audit clean after %d rounds\n",
 		"after the heal:", overlay.Stats.Reconciliations, overlay.Stats.IslandMerges, rounds)
 	report("after reconciliation:")
+
+	// Kinetic epilogue: the members stop churning but their coordinates
+	// don't — route changes keep re-mapping hosts to new vantage points.
+	// Periodic re-estimation sweeps refresh the coordinates, and the eq. 7
+	// certificate monitor repairs the tree through dirty cells only,
+	// falling back to a full rebuild when too much of the grid moved.
+	if _, err := overlay.Rebuild(); err != nil { // freeze a fresh certificate
+		log.Fatal(err)
+	}
+	drift, err := omtree.NewDriftModel(omtree.DriftModelConfig{
+		Seed: 780, JumpRate: 0.004, JumpMean: 0.15,
+		InflationPerEpoch: 0.05, Bound: 0.99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := overlay.SetDrift(drift); err != nil {
+		log.Fatal(err)
+	}
+	for round := 0; round < 12; round++ {
+		if _, err := overlay.MaintenanceRound(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ratio, _ := overlay.CertificateRatio()
+	fmt.Printf("%-28s %d node moves applied, %d local repairs, %d full fallbacks, certificate ratio %.3f\n",
+		"under coordinate drift:", overlay.Stats.DriftedNodes,
+		overlay.Stats.LocalRepairs, overlay.Stats.FullRebuildFallbacks, ratio)
+	report("after kinetic repairs:")
 
 	tr, _, _, err := overlay.Snapshot()
 	if err != nil {

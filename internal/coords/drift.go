@@ -1,0 +1,282 @@
+package coords
+
+import (
+	"fmt"
+	"math"
+
+	"omtree/internal/geom"
+)
+
+// DriftConfig parameterizes the seeded coordinate-drift model: every
+// tracked node moves with a constant per-epoch velocity (mobile clients),
+// and occasionally teleports by a larger step (route changes re-mapping a
+// host to a different vantage). All draws are hash-based functions of
+// (seed, node, epoch), never of call order, so two sessions replaying the
+// same schedule observe identical motion regardless of when each node's
+// coordinates are inspected — the same order-independence contract
+// internal/faultplane uses for its fault schedules.
+type DriftConfig struct {
+	// Seed drives every velocity and jump draw.
+	Seed uint64
+	// VelocityMean is the mean per-epoch displacement of a node's steady
+	// motion (exponentially distributed magnitude, uniform direction).
+	// Zero disables steady motion.
+	VelocityMean float64
+	// JumpRate is the per-node per-epoch probability of a route-change
+	// jump, in [0, 1]. Zero disables jumps.
+	JumpRate float64
+	// JumpMean is the mean jump displacement; zero defaults to ten times
+	// VelocityMean (a route change dwarfs one epoch of steady drift).
+	JumpMean float64
+	// InflationPerEpoch is the staleness penalty: a distance involving a
+	// node whose estimate is s epochs old is inflated by (1 + s *
+	// InflationPerEpoch), so stale nodes conservatively degrade rather
+	// than falsely satisfy the radius certificate. Zero disables
+	// inflation.
+	InflationPerEpoch float64
+	// Bound, when positive, reflects drifted positions back off the circle
+	// of this radius around the origin — coordinates model a bounded delay
+	// space, and without a bound a long jump can escape the region the
+	// overlay's grid was scaled for. Zero leaves motion unbounded.
+	Bound float64
+}
+
+// Validate rejects configurations NewDriftModel would misbehave on.
+func (c DriftConfig) Validate() error {
+	bad := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) || v < 0 }
+	if bad(c.VelocityMean) {
+		return fmt.Errorf("coords: drift VelocityMean %v must be finite and non-negative", c.VelocityMean)
+	}
+	if math.IsNaN(c.JumpRate) || c.JumpRate < 0 || c.JumpRate > 1 {
+		return fmt.Errorf("coords: drift JumpRate %v outside [0, 1]", c.JumpRate)
+	}
+	if bad(c.JumpMean) {
+		return fmt.Errorf("coords: drift JumpMean %v must be finite and non-negative", c.JumpMean)
+	}
+	if bad(c.InflationPerEpoch) {
+		return fmt.Errorf("coords: drift InflationPerEpoch %v must be finite and non-negative", c.InflationPerEpoch)
+	}
+	if bad(c.Bound) {
+		return fmt.Errorf("coords: drift Bound %v must be finite and non-negative", c.Bound)
+	}
+	return nil
+}
+
+// clamp reflects an escaped position back inside the bounding disk; a
+// no-op when the bound is off or the position is inside it. Reflection
+// (rather than projecting onto the boundary circle) matters: projection
+// would pile every escaping node onto one exact radius, and consumers that
+// treat the outermost radius as a grid scale are pathologically sensitive
+// to ties there.
+func (c DriftConfig) clamp(p geom.Point2) geom.Point2 {
+	if c.Bound <= 0 {
+		return p
+	}
+	d := math.Hypot(p.X, p.Y)
+	if d <= c.Bound {
+		return p
+	}
+	t := math.Mod(d, 2*c.Bound)
+	if t > c.Bound {
+		t = 2*c.Bound - t
+	}
+	return p.Scale(t / d)
+}
+
+// jumpMean resolves the JumpMean default.
+func (c DriftConfig) jumpMean() float64 {
+	if c.JumpMean > 0 {
+		return c.JumpMean
+	}
+	return 10 * c.VelocityMean
+}
+
+// driftNode is the per-node kinetic state.
+type driftNode struct {
+	tracked  bool
+	truePos  geom.Point2 // where the node actually is this epoch
+	est      geom.Point2 // where the overlay believes it is
+	vel      geom.Point2 // constant per-epoch displacement
+	estEpoch int         // epoch of the last re-estimation
+}
+
+// DriftModel tracks the true and estimated coordinates of a set of nodes
+// under seeded drift. Epochs advance with Tick; estimates only move when
+// the owner re-measures via Refresh, and the gap between the two is the
+// staleness that Weight turns into a conservative distance inflation.
+//
+// DriftModel is not safe for concurrent use.
+type DriftModel struct {
+	cfg   DriftConfig
+	epoch int
+	nodes []driftNode // indexed by caller-chosen non-negative ids
+}
+
+// NewDriftModel returns an empty model at epoch 0.
+func NewDriftModel(cfg DriftConfig) (*DriftModel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &DriftModel{cfg: cfg}, nil
+}
+
+// Epoch returns the current epoch (Tick count).
+func (m *DriftModel) Epoch() int { return m.epoch }
+
+// Track registers node id at position p with a fresh estimate and a
+// velocity drawn from (seed, id) — re-tracking an id resets its state but
+// redraws the identical velocity. Ids must be non-negative.
+func (m *DriftModel) Track(id int, p geom.Point2) {
+	if id < 0 {
+		panic(fmt.Sprintf("coords: DriftModel.Track id %d negative", id))
+	}
+	for len(m.nodes) <= id {
+		m.nodes = append(m.nodes, driftNode{})
+	}
+	angle := geom.TwoPi * m.uniform(uint64(id), 1)
+	mag := m.cfg.VelocityMean * expDraw(m.uniform(uint64(id), 2))
+	m.nodes[id] = driftNode{
+		tracked:  true,
+		truePos:  p,
+		est:      p,
+		vel:      geom.Point2{X: mag * math.Cos(angle), Y: mag * math.Sin(angle)},
+		estEpoch: m.epoch,
+	}
+}
+
+// Forget stops tracking id (a leave or death); no-op if untracked.
+func (m *DriftModel) Forget(id int) {
+	if id >= 0 && id < len(m.nodes) {
+		m.nodes[id] = driftNode{}
+	}
+}
+
+// Tracked reports whether id is currently tracked.
+func (m *DriftModel) Tracked(id int) bool {
+	return id >= 0 && id < len(m.nodes) && m.nodes[id].tracked
+}
+
+// Tick advances one epoch: every tracked node moves by its velocity, and
+// each draws an independent (seed, id, epoch)-hashed chance of a route
+// change jump.
+func (m *DriftModel) Tick() {
+	m.epoch++
+	for id := range m.nodes {
+		n := &m.nodes[id]
+		if !n.tracked {
+			continue
+		}
+		n.truePos = n.truePos.Add(n.vel)
+		if m.cfg.JumpRate > 0 && m.uniform3(uint64(id), uint64(m.epoch), 3) < m.cfg.JumpRate {
+			angle := geom.TwoPi * m.uniform3(uint64(id), uint64(m.epoch), 4)
+			mag := m.cfg.jumpMean() * expDraw(m.uniform3(uint64(id), uint64(m.epoch), 5))
+			n.truePos = n.truePos.Add(geom.Point2{X: mag * math.Cos(angle), Y: mag * math.Sin(angle)})
+		}
+		n.truePos = m.cfg.clamp(n.truePos)
+	}
+}
+
+// True returns the node's actual position this epoch.
+func (m *DriftModel) True(id int) geom.Point2 {
+	if !m.Tracked(id) {
+		return geom.Point2{}
+	}
+	return m.nodes[id].truePos
+}
+
+// Estimate returns the overlay's current belief of the node's position
+// (the last refreshed coordinates).
+func (m *DriftModel) Estimate(id int) geom.Point2 {
+	if !m.Tracked(id) {
+		return geom.Point2{}
+	}
+	return m.nodes[id].est
+}
+
+// Staleness returns how many epochs old the node's estimate is (0 for
+// untracked ids — an untracked node never penalizes a distance).
+func (m *DriftModel) Staleness(id int) int {
+	if !m.Tracked(id) {
+		return 0
+	}
+	return m.epoch - m.nodes[id].estEpoch
+}
+
+// Refresh re-measures the node's coordinates: the estimate snaps to the
+// true position and the staleness clock resets. It returns the fresh
+// estimate and whether it differs from the previous one.
+func (m *DriftModel) Refresh(id int) (geom.Point2, bool) {
+	if !m.Tracked(id) {
+		return geom.Point2{}, false
+	}
+	n := &m.nodes[id]
+	moved := n.est != n.truePos
+	n.est = n.truePos
+	n.estEpoch = m.epoch
+	return n.est, moved
+}
+
+// Weight converts a staleness (in epochs) into the conservative distance
+// inflation factor 1 + staleness * InflationPerEpoch.
+func (m *DriftModel) Weight(staleness int) float64 {
+	if staleness <= 0 {
+		return 1
+	}
+	return 1 + float64(staleness)*m.cfg.InflationPerEpoch
+}
+
+// WeightedDist is the staleness-weighted distance between the estimates of
+// two nodes: the Euclidean estimate distance inflated by the staler
+// endpoint's weight. Consumers ranking attachment candidates through this
+// metric prefer freshly measured nodes when estimates are otherwise tied.
+func (m *DriftModel) WeightedDist(a, b int) float64 {
+	s := m.Staleness(a)
+	if sb := m.Staleness(b); sb > s {
+		s = sb
+	}
+	return m.Estimate(a).Dist(m.Estimate(b)) * m.Weight(s)
+}
+
+// EstimateError returns the distance between the node's true position and
+// its current estimate — the ground-truth error a re-estimation would
+// correct.
+func (m *DriftModel) EstimateError(id int) float64 {
+	if !m.Tracked(id) {
+		return 0
+	}
+	return m.nodes[id].truePos.Dist(m.nodes[id].est)
+}
+
+// uniform returns a [0, 1) draw hashed from (seed, a, b).
+func (m *DriftModel) uniform(a, b uint64) float64 {
+	return toUnit(driftMix(m.cfg.Seed ^ driftMix(a*0x9e3779b97f4a7c15+b)))
+}
+
+// uniform3 returns a [0, 1) draw hashed from (seed, a, b, c).
+func (m *DriftModel) uniform3(a, b, c uint64) float64 {
+	return toUnit(driftMix(m.cfg.Seed ^ driftMix(a*0x9e3779b97f4a7c15+driftMix(b*0xbf58476d1ce4e5b9+c))))
+}
+
+// expDraw maps a uniform [0, 1) draw to a unit-mean exponential variate.
+func expDraw(u float64) float64 {
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1 - u)
+}
+
+// driftMix is the splitmix64 finalizer — the same avalanche mix the fault
+// plane uses for its order-independent schedule draws.
+func driftMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// toUnit maps a hash to [0, 1) using the top 53 bits.
+func toUnit(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}

@@ -1,0 +1,215 @@
+package coords
+
+import (
+	"math"
+	"testing"
+
+	"omtree/internal/geom"
+	"omtree/internal/rng"
+)
+
+func mustDrift(t *testing.T, cfg DriftConfig) *DriftModel {
+	t.Helper()
+	m, err := NewDriftModel(cfg)
+	if err != nil {
+		t.Fatalf("NewDriftModel(%+v): %v", cfg, err)
+	}
+	return m
+}
+
+func TestDriftConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  DriftConfig
+		ok   bool
+	}{
+		{"zero", DriftConfig{}, true},
+		{"typical", DriftConfig{Seed: 1, VelocityMean: 0.01, JumpRate: 0.05, JumpMean: 0.2, InflationPerEpoch: 0.1}, true},
+		{"negative velocity", DriftConfig{VelocityMean: -1}, false},
+		{"nan velocity", DriftConfig{VelocityMean: math.NaN()}, false},
+		{"jump rate above one", DriftConfig{JumpRate: 1.5}, false},
+		{"negative jump rate", DriftConfig{JumpRate: -0.1}, false},
+		{"negative jump mean", DriftConfig{JumpMean: -1}, false},
+		{"inf inflation", DriftConfig{InflationPerEpoch: math.Inf(1)}, false},
+		{"bounded", DriftConfig{VelocityMean: 0.01, Bound: 1}, true},
+		{"negative bound", DriftConfig{Bound: -1}, false},
+		{"nan bound", DriftConfig{Bound: math.NaN()}, false},
+	}
+	for _, tc := range cases {
+		_, err := NewDriftModel(tc.cfg)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: NewDriftModel err = %v, want ok = %v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// Motion must be a pure function of (seed, id, epoch): two models fed the
+// same schedule agree position for position, and tracking order or extra
+// reads never change the draws.
+func TestDriftDeterminismOrderIndependent(t *testing.T) {
+	cfg := DriftConfig{Seed: 42, VelocityMean: 0.02, JumpRate: 0.2, InflationPerEpoch: 0.05}
+	r := rng.New(7)
+	pts := r.UniformDiskN(40, 1)
+
+	a := mustDrift(t, cfg)
+	b := mustDrift(t, cfg)
+	for id, p := range pts {
+		a.Track(id, p)
+	}
+	for id := len(pts) - 1; id >= 0; id-- { // reverse order
+		b.Track(id, pts[id])
+	}
+	for epoch := 0; epoch < 30; epoch++ {
+		a.Tick()
+		b.Tick()
+		b.True(epoch % len(pts)) // extra reads must not consume draws
+	}
+	for id := range pts {
+		if a.True(id) != b.True(id) {
+			t.Fatalf("node %d: positions diverged: %v vs %v", id, a.True(id), b.True(id))
+		}
+	}
+}
+
+func TestDriftStalenessAndRefresh(t *testing.T) {
+	m := mustDrift(t, DriftConfig{Seed: 3, VelocityMean: 0.1, InflationPerEpoch: 0.5})
+	m.Track(1, geom.Point2{X: 1})
+	for i := 0; i < 4; i++ {
+		m.Tick()
+	}
+	if got := m.Staleness(1); got != 4 {
+		t.Fatalf("staleness after 4 ticks = %d, want 4", got)
+	}
+	if m.EstimateError(1) <= 0 {
+		t.Fatal("estimate error should grow under steady velocity")
+	}
+	if got, want := m.Weight(4), 1+4*0.5; got != want {
+		t.Fatalf("Weight(4) = %v, want %v", got, want)
+	}
+	p, moved := m.Refresh(1)
+	if !moved {
+		t.Fatal("refresh after motion should report a move")
+	}
+	if p != m.True(1) || m.Staleness(1) != 0 || m.EstimateError(1) != 0 {
+		t.Fatalf("refresh did not snap the estimate: est %v true %v staleness %d", p, m.True(1), m.Staleness(1))
+	}
+	if _, moved := m.Refresh(1); moved {
+		t.Fatal("second refresh in the same epoch must be a no-move")
+	}
+}
+
+func TestDriftWeightedDist(t *testing.T) {
+	m := mustDrift(t, DriftConfig{Seed: 9, InflationPerEpoch: 0.25})
+	m.Track(0, geom.Point2{})
+	m.Track(1, geom.Point2{X: 2})
+	base := m.WeightedDist(0, 1)
+	if base != 2 {
+		t.Fatalf("fresh weighted dist = %v, want the plain estimate distance 2", base)
+	}
+	m.Tick()
+	m.Tick()
+	m.Refresh(0) // node 1 stays 2 epochs stale
+	got := m.WeightedDist(0, 1)
+	want := 2 * (1 + 2*0.25)
+	if got != want {
+		t.Fatalf("weighted dist with a 2-epoch-stale endpoint = %v, want %v", got, want)
+	}
+	// Untracked endpoints never inflate and never move.
+	if d := m.WeightedDist(0, 99); d != m.Estimate(0).Dist(geom.Point2{}) {
+		t.Fatalf("untracked endpoint distance = %v", d)
+	}
+}
+
+// Jump displacements must exceed steady drift on average, and the jump
+// rate must be honored within sampling tolerance.
+func TestDriftJumps(t *testing.T) {
+	const n, epochs, rate = 200, 50, 0.1
+	m := mustDrift(t, DriftConfig{Seed: 11, JumpRate: rate, JumpMean: 1})
+	for id := 0; id < n; id++ {
+		m.Track(id, geom.Point2{})
+	}
+	jumps := 0
+	prev := make([]geom.Point2, n)
+	for e := 0; e < epochs; e++ {
+		m.Tick()
+		for id := 0; id < n; id++ {
+			if m.True(id) != prev[id] { // zero velocity: any motion is a jump
+				jumps++
+				prev[id] = m.True(id)
+			}
+		}
+	}
+	got := float64(jumps) / float64(n*epochs)
+	if got < rate/2 || got > rate*2 {
+		t.Fatalf("observed jump rate %v, configured %v", got, rate)
+	}
+}
+
+// A bounded model must keep every position inside the disk under motion
+// that constantly tries to escape it, and reflection must not pile nodes
+// onto the boundary radius itself.
+func TestDriftBoundReflects(t *testing.T) {
+	m := mustDrift(t, DriftConfig{Seed: 9, JumpRate: 1, JumpMean: 2, Bound: 1})
+	r := rng.New(11)
+	for id, p := range r.UniformDiskN(20, 1) {
+		m.Track(id, p)
+	}
+	atBoundary := 0
+	for epoch := 0; epoch < 50; epoch++ {
+		m.Tick()
+		for id := 0; id < 20; id++ {
+			p := m.True(id)
+			d := math.Hypot(p.X, p.Y)
+			if d > 1+1e-12 {
+				t.Fatalf("epoch %d: node %d escaped the bound: |%v| = %v", epoch, id, p, d)
+			}
+			if d == 1 {
+				atBoundary++
+			}
+		}
+	}
+	if atBoundary > 2 {
+		t.Fatalf("%d positions landed exactly on the boundary radius — reflection should scatter them inside", atBoundary)
+	}
+	if _, moved := m.Refresh(0); !moved {
+		t.Fatal("jump-every-epoch model never moved node 0")
+	}
+}
+
+func TestDriftTrackForgetAndPanics(t *testing.T) {
+	m := mustDrift(t, DriftConfig{Seed: 1, VelocityMean: 0.1})
+	m.Track(2, geom.Point2{X: 1})
+	if !m.Tracked(2) || m.Tracked(0) || m.Tracked(5) {
+		t.Fatal("Tracked bookkeeping wrong")
+	}
+	m.Forget(2)
+	m.Forget(99) // out of range: no-op
+	if m.Tracked(2) {
+		t.Fatal("Forget did not untrack")
+	}
+	if m.Staleness(2) != 0 || m.EstimateError(2) != 0 {
+		t.Fatal("untracked node must read as fresh")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Track(-1) must panic")
+		}
+	}()
+	m.Track(-1, geom.Point2{})
+}
+
+// Re-tracking an id (a leave followed by a re-join) must redraw the same
+// velocity: motion is keyed by identity, not by tracking history.
+func TestDriftRetrackSameVelocity(t *testing.T) {
+	cfg := DriftConfig{Seed: 5, VelocityMean: 0.3}
+	a := mustDrift(t, cfg)
+	a.Track(7, geom.Point2{})
+	a.Tick()
+	first := a.True(7)
+	a.Forget(7)
+	a.Track(7, geom.Point2{})
+	a.Tick()
+	if got := a.True(7); got != first {
+		t.Fatalf("re-tracked velocity differs: first tick moved to %v, now %v", first, got)
+	}
+}

@@ -69,7 +69,9 @@ type BuildState struct {
 	needFull bool
 	built    bool
 
-	last *Result // cache: valid until the next Add/Remove
+	cert Certificate // eq. 7 certificate of the last completed rebuild
+
+	last *Result // cache: valid until the next Add/Remove/Move
 }
 
 // NewBuildState returns an empty incremental build around the given source.
@@ -280,6 +282,7 @@ func (s *BuildState) rebuildFull(in instr) (*Result, error) {
 		// Degenerate geometry: stay unbuilt so the next rebuild re-evaluates
 		// from scratch (there is no grid state worth retaining).
 		s.built, s.needFull = false, false
+		s.cert = Certificate{}
 		clear(s.dirty)
 		var err error
 		if res.Tree, err = buildDegenerate(s.n, s.degCap); err != nil {
@@ -475,6 +478,7 @@ func (s *BuildState) exportResult(in instr, res *Result, slots []int32) (*Result
 	}
 	res.CoreDelay = cd
 	res.Bound = s.g.UpperBound(arcCoeff(s.variant))
+	s.cert = Certificate{Bound: res.Bound, Radius: res.Radius}
 	endMetrics()
 	return res, nil
 }

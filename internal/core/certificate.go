@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"omtree/internal/geom"
+)
+
+// Certificate is the eq. 7 quality certificate frozen at the end of a
+// rebuild: the analytic radius upper bound the grid geometry guarantees,
+// and the radius the built tree actually realized over the coordinates it
+// was built from. When coordinates drift afterwards, RealizedRadius
+// recomputes the second number from refreshed positions while Bound stays
+// what was promised — the ratio of the two is the degradation signal the
+// protocol's kinetic repair acts on (DESIGN.md §2h).
+type Certificate struct {
+	// Bound is the certified eq. 7 radius upper bound at build time (0
+	// when the last build was degenerate or none has run).
+	Bound float64
+	// Radius is the realized radius at build time.
+	Radius float64
+}
+
+// Certificate returns the certificate of the last completed rebuild; the
+// zero value before any build (or after a degenerate one).
+func (s *BuildState) Certificate() Certificate { return s.cert }
+
+// Move relocates a live member to a new position: bookkeeping-wise a
+// Remove followed by an Add at the same slot, so every exactness guard
+// (scale growth/shrink, interior-occupancy counters at depths k and k+1,
+// dirty-cell marking) is exactly the one the churn paths already enforce.
+// Moving to the identical position is a no-op and keeps the result cache.
+func (s *BuildState) Move(slot int, p geom.Point2) {
+	if slot <= 0 || slot >= len(s.present) || !s.present[slot] {
+		panic(fmt.Sprintf("core: BuildState.Move slot %d not present", slot))
+	}
+	if s.pos[slot] == p {
+		return
+	}
+	s.Remove(slot)
+	s.Add(slot, p)
+}
+
+// DirtyFraction is the fraction of grid cells whose membership changed
+// since the last rebuild — the knob a repair policy compares against its
+// full-rebuild cutoff. It reports 1 when the next rebuild runs from
+// scratch anyway (never built, forced, or an exactness guard tripped):
+// there is no local repair cheaper than the full rebuild in that state.
+func (s *BuildState) DirtyFraction() float64 {
+	if !s.built || s.needFull || len(s.members) == 0 {
+		return 1
+	}
+	return float64(len(s.dirty)) / float64(len(s.members))
+}
+
+// ForceFull makes the next Rebuild run from scratch even if the dirty-cell
+// incremental path would have been exact — the escape hatch for a caller
+// that wants the periodic-full-refresh behavior (and its per-member
+// message cost) on demand.
+func (s *BuildState) ForceFull() {
+	s.needFull = true
+	s.last = nil
+}
+
+// RealizedRadius recomputes the maximum source-to-member delay of the last
+// build's wiring over the current slot positions. Move updates positions
+// without rewiring, so after coordinate drift this is the delay the
+// certified tree actually achieves — compare against Certificate().Bound.
+// Slots added since the last rebuild are not wired yet and are skipped;
+// slots whose ancestor chain left the membership contribute nothing (the
+// overlay layer tracks its own live tree for that case). Returns 0 before
+// the first build.
+func (s *BuildState) RealizedRadius() float64 {
+	if !s.built {
+		return 0
+	}
+	const unknown = -1.0
+	delay := make([]float64, len(s.pos))
+	for i := range delay {
+		delay[i] = unknown
+	}
+	delay[0] = 0
+	var radius float64
+	var chain []int32
+	for sl := 1; sl < len(s.present); sl++ {
+		if !s.present[sl] || delay[sl] != unknown {
+			continue
+		}
+		// Walk up to a node with a known delay, then unwind.
+		chain = chain[:0]
+		v := int32(sl)
+		for delay[v] == unknown {
+			p := s.parent[v]
+			if p < 0 {
+				break // not wired into the last build
+			}
+			chain = append(chain, v)
+			v = p
+		}
+		if delay[v] == unknown {
+			continue
+		}
+		for i := len(chain) - 1; i >= 0; i-- {
+			c := chain[i]
+			p := s.parent[c]
+			delay[c] = delay[p] + s.pos[p].Dist(s.pos[c])
+			if s.present[c] && delay[c] > radius {
+				radius = delay[c]
+			}
+		}
+	}
+	return radius
+}

@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"testing"
+
+	"omtree/internal/protocol"
+)
+
+func TestRunDriftSweepValidation(t *testing.T) {
+	bad := []DriftSweepConfig{
+		{N: 5, Rates: []float64{0.01}, Trials: 1, MaxOutDegree: 6},
+		{N: 100, Rates: nil, Trials: 1, MaxOutDegree: 6},
+		{N: 100, Rates: []float64{0.01}, Trials: 0, MaxOutDegree: 6},
+		{N: 100, Rates: []float64{0.01}, Trials: 1, MaxOutDegree: 2},
+		{N: 100, Rates: []float64{1.5}, Trials: 1, MaxOutDegree: 6},
+	}
+	for i, cfg := range bad {
+		if _, err := RunDriftSweep(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestDriftSweepSmall(t *testing.T) {
+	rows, err := RunDriftSweep(DriftSweepConfig{
+		N: 150, Rates: []float64{0.01}, Rounds: 12,
+		Trials: 2, Seed: 7, MaxOutDegree: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 policy rows, got %d", len(rows))
+	}
+	byPolicy := map[string]DriftRow{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+		if r.Reestimates == 0 {
+			t.Errorf("policy %s never re-estimated: %+v", r.Policy, r)
+		}
+	}
+	none, local, full := byPolicy["none"], byPolicy["local"], byPolicy["full"]
+	if none.LocalRepairs != 0 || none.Fallbacks != 0 || none.Rebuilds != 0 {
+		t.Errorf("monitor-only policy repaired: %+v", none)
+	}
+	for _, r := range []DriftRow{local, full} {
+		if r.BoundRatio > 1+1e-9 {
+			t.Errorf("policy %s ended above the eq. 7 bound: %+v", r.Policy, r)
+		}
+	}
+	if local.Messages >= full.Messages {
+		t.Errorf("local policy cost %.0f messages, full baseline %.0f — no win",
+			local.Messages, full.Messages)
+	}
+}
+
+// TestDriftAcceptance10k is the PR's acceptance criterion: under a seeded
+// drift schedule at 10k nodes, certificate-triggered local repair restores
+// the realized radius to within the eq. 7 bound with measurably fewer
+// protocol messages than the periodic-full-rebuild policy.
+func TestDriftAcceptance10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-node drift acceptance run skipped in -short")
+	}
+	rows, err := RunDriftSweep(DriftSweepConfig{
+		N: 10000, Rates: []float64{0.002}, Rounds: 18,
+		Policies: []protocol.RepairPolicy{protocol.RepairLocal, protocol.RepairFull},
+		Trials:   1, Seed: 2004, MaxOutDegree: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, full := rows[0], rows[1]
+	if local.LocalRepairs == 0 {
+		t.Fatalf("local policy never repaired incrementally: %+v", local)
+	}
+	if local.BoundRatio > 1+1e-9 {
+		t.Fatalf("local repair left the realized radius above the eq. 7 bound: %+v", local)
+	}
+	if local.Messages >= 0.7*full.Messages {
+		t.Fatalf("local repair cost %.0f messages vs full-rebuild %.0f — not a measurable win",
+			local.Messages, full.Messages)
+	}
+}

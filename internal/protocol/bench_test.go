@@ -1,8 +1,10 @@
 package protocol
 
 import (
+	"fmt"
 	"testing"
 
+	"omtree/internal/coords"
 	"omtree/internal/geom"
 	"omtree/internal/rng"
 )
@@ -137,6 +139,56 @@ func BenchmarkRebuildIncremental(b *testing.B) {
 		}
 		if _, err := o.Rebuild(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDriftRepair measures a maintenance round under coordinate drift
+// for the two repair policies: local repairs the tree through dirty cells
+// only when the eq. 7 certificate degrades, full rebuilds on every
+// re-estimation sweep. Every round is a sweep (ReestimatePeriod 1) so each
+// iteration pays re-estimation plus that policy's repair work.
+func BenchmarkDriftRepair(b *testing.B) {
+	for _, policy := range []RepairPolicy{RepairLocal, RepairFull} {
+		for _, n := range []int{10000, 100000} {
+			b.Run(fmt.Sprintf("%s/%d", policy, n), func(b *testing.B) {
+				r := rng.New(6)
+				o, err := New(Config{
+					Source: geom.Point2{}, Scale: 1, K: SuggestK(n), MaxOutDegree: 6,
+					Drift: DriftConfig{
+						ReestimatePeriod:     1,
+						DegradationThreshold: 1.02,
+						Policy:               policy,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < n; i++ {
+					if _, _, err := o.Join(r.UniformDisk(1)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := o.Rebuild(); err != nil { // freeze the certificate
+					b.Fatal(err)
+				}
+				drift, err := coords.NewDriftModel(coords.DriftConfig{
+					Seed: 7, JumpRate: 0.002, JumpMean: 0.15,
+					InflationPerEpoch: 0.05, Bound: 0.99,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := o.SetDrift(drift); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := o.MaintenanceRound(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -53,6 +53,10 @@ func RegisterSessionMetrics(r *obs.Registry, st *SessionStats) {
 		{"protocol/joins_queued", &st.JoinsQueued},
 		{"protocol/queued_admitted", &st.QueuedAdmitted},
 		{"protocol/joins_shed", &st.JoinsShed},
+		{"protocol/drift_reestimates", &st.DriftReestimates},
+		{"protocol/drift_messages", &st.DriftMessages},
+		{"protocol/local_repairs", &st.LocalRepairs},
+		{"protocol/full_rebuild_fallbacks", &st.FullRebuildFallbacks},
 	}
 	for _, f := range fields {
 		v := f.v

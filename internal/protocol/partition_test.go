@@ -431,6 +431,24 @@ func TestConfigValidate(t *testing.T) {
 			c.Faults.DegradedRadius = math.Inf(1)
 		}},
 		{"bad admission", func(c *Config) { c.Admission = Admission{RatePerRound: -5} }},
+		{"drift policy without period", func(c *Config) {
+			c.Drift = DriftConfig{Policy: RepairLocal}
+		}},
+		{"negative drift threshold", func(c *Config) {
+			c.Drift = DriftConfig{ReestimatePeriod: 3, DegradationThreshold: -1.1}
+		}},
+		{"NaN drift threshold", func(c *Config) {
+			c.Drift = DriftConfig{ReestimatePeriod: 3, DegradationThreshold: math.NaN()}
+		}},
+		{"drift cutoff above one", func(c *Config) {
+			c.Drift = DriftConfig{ReestimatePeriod: 3, FullRebuildCutoff: 1.5}
+		}},
+		{"negative drift cutoff", func(c *Config) {
+			c.Drift = DriftConfig{ReestimatePeriod: 3, FullRebuildCutoff: -0.1}
+		}},
+		{"unknown drift policy", func(c *Config) {
+			c.Drift = DriftConfig{ReestimatePeriod: 3, Policy: RepairPolicy(9)}
+		}},
 	}
 	for _, tc := range cases {
 		cfg := valid
@@ -444,6 +462,14 @@ func TestConfigValidate(t *testing.T) {
 	}
 	if err := valid.Validate(); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
+	}
+	driftCfg := valid
+	driftCfg.Drift = DriftConfig{
+		ReestimatePeriod: 3, DegradationThreshold: 1.1,
+		FullRebuildCutoff: 0.5, Policy: RepairFull,
+	}
+	if err := driftCfg.Validate(); err != nil {
+		t.Fatalf("valid drift config rejected: %v", err)
 	}
 
 	// The convenience fields wire the transport and admission through New.

@@ -41,6 +41,7 @@ import (
 	"math"
 	"strconv"
 
+	"omtree/internal/coords"
 	"omtree/internal/core"
 	"omtree/internal/geom"
 	"omtree/internal/grid"
@@ -73,6 +74,11 @@ type Config struct {
 	// Admission throttles joins per maintenance round; the zero value
 	// admits everything (see SetAdmission).
 	Admission Admission
+	// Drift tunes the kinetic control loop (re-estimation cadence,
+	// certificate degradation threshold, repair policy) used once a
+	// coordinate drift model is attached with SetDrift. The zero value
+	// disables the loop.
+	Drift DriftConfig
 }
 
 // maxK caps the published grid depth: the session allocates O(2^K) cell
@@ -107,6 +113,9 @@ func (c Config) Validate() error {
 		}
 	}
 	if err := c.Admission.validate(); err != nil {
+		return err
+	}
+	if err := c.Drift.validate(); err != nil {
 		return err
 	}
 	return nil
@@ -202,6 +211,12 @@ type Overlay struct {
 	// ids double as build-state slots.
 	bs *core.BuildState
 
+	// drift is the attached coordinate drift model (see SetDrift); nil by
+	// default. driftRounds counts maintenance rounds since the last
+	// re-estimation sweep.
+	drift       *coords.DriftModel
+	driftRounds int
+
 	// Stats accumulates control-message totals for the session.
 	Stats SessionStats
 }
@@ -254,6 +269,13 @@ type SessionStats struct {
 	JoinsQueued    int // joins parked in the pending queue
 	QueuedAdmitted int // queued joins later admitted by a round
 	JoinsShed      int // joins rejected with a retry-after hint
+
+	// Kinetic-drift accounting (see DESIGN.md §2h).
+	DriftReestimates     int // coordinate re-estimation sweeps run
+	DriftedNodes         int // refreshed members whose coordinates had moved
+	DriftMessages        int // coordinate reports and cell handoffs
+	LocalRepairs         int // certificate-triggered dirty-cell repairs
+	FullRebuildFallbacks int // local repairs escalated to a full rebuild
 }
 
 // OpStats describes one operation's cost.
@@ -469,6 +491,7 @@ func (o *Overlay) join(p geom.Point2) (int, OpStats, error) {
 			o.Stats.Joins++
 			o.Stats.DegradedJoins++
 			o.Stats.JoinMessages += st.Messages
+			o.trackDrift(id, p)
 			joined = true
 			return int(id), st, nil
 		}
@@ -558,6 +581,7 @@ func (o *Overlay) join(p geom.Point2) (int, OpStats, error) {
 	o.alive++
 	o.Stats.Joins++
 	o.Stats.JoinMessages += st.Messages
+	o.trackDrift(id, p)
 	joined = true
 	return int(id), st, nil
 }
@@ -630,8 +654,7 @@ func (o *Overlay) bestLocalParent(cell int32, p geom.Point2) int32 {
 		if !o.nodeAlive(id) || o.residual(id) == 0 {
 			return
 		}
-		cand := &o.nodes[id]
-		score := cand.delay + cand.pos.Dist(p)
+		score := o.nodes[id].delay + o.driftDist(id, p)
 		if score < bestScore {
 			best, bestScore = id, score
 		}
@@ -660,10 +683,11 @@ func (o *Overlay) descendParent(p geom.Point2, room func(int32) int, st *OpStats
 		if !o.exchange(0, v, st) {
 			break // this probe went dark; settle for what the walk has
 		}
-		vd := o.nodes[v].pos.Dist(p)
+		vd := o.driftDist(v, p)
 		// Rank candidates by the delay the child would end up with, not by
 		// raw proximity: a near node at the end of a long chain is a worse
-		// parent than a slightly farther low-delay one.
+		// parent than a slightly farther low-delay one. Distances are
+		// staleness-weighted when a drift model is attached.
 		if score := o.nodes[v].delay + vd; o.nodes[v].alive && room(v) > 0 && score < lastScore {
 			lastWithRoom, lastScore = v, score
 		}
@@ -673,7 +697,7 @@ func (o *Overlay) descendParent(p geom.Point2, room func(int32) int, st *OpStats
 			if !o.nodes[c].alive {
 				continue // never descend into a dead subtree
 			}
-			if d := o.nodes[c].pos.Dist(p); d < bestD {
+			if d := o.driftDist(c, p); d < bestD {
 				best, bestD = c, d
 			}
 		}
@@ -749,6 +773,7 @@ func (o *Overlay) Leave(id int) (OpStats, error) {
 	n.alive = false
 	o.alive--
 	o.Stats.Leaves++
+	o.forgetDrift(int32(id))
 
 	parent := n.parent
 	if !o.exchange(int32(id), parent, &st) { // goodbye to parent
@@ -1183,6 +1208,7 @@ func (o *Overlay) FailAbrupt(id int) error {
 	n.alive = false
 	o.alive--
 	o.Stats.AbruptFailures++
+	o.forgetDrift(int32(id))
 	o.emit("protocol/fail_abrupt", int32(id), -1, "")
 	return nil
 }

@@ -234,6 +234,7 @@ func (o *Overlay) crash(id int32) {
 	n.alive = false
 	o.alive--
 	o.Stats.InjectedCrashes++
+	o.forgetDrift(id)
 }
 
 // MaintenanceStats reports one failure-detector round.
@@ -264,6 +265,13 @@ type MaintenanceStats struct {
 	// Join-admission accounting.
 	AdmittedJoins int // queued joins admitted this round
 	PendingJoins  int // joins still parked at round end
+
+	// Kinetic-drift accounting (see DESIGN.md §2h).
+	Reestimated   int     // members whose coordinates were refreshed this round
+	Drifted       int     // refreshed members whose position had actually moved
+	CertRatio     float64 // realized radius / certified bound after this round (0 while unarmed)
+	RepairedLocal int     // dirty-cell local repairs run this round
+	RepairedFull  int     // full rebuilds run this round (periodic or fallback)
 }
 
 // MaintenanceRound runs one periodic round of the deployed control loop:
@@ -419,6 +427,13 @@ func (o *Overlay) MaintenanceRound() (MaintenanceStats, error) {
 		if o.electRep(int32(cell), st) {
 			ms.Elections++
 		}
+	}
+
+	// Phase 4b: kinetic drift — epoch tick, periodic coordinate
+	// re-estimation, certificate monitoring, and policy-driven repair
+	// (no-op without an attached drift model).
+	if err := o.driftPhase(&ms, st); err != nil {
+		return ms, err
 	}
 
 	// Phase 5: degradation accounting — live members still dark.

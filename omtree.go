@@ -362,6 +362,43 @@ func NewFaultPlane(sc FaultScenario) (*FaultPlane, error) { return faultplane.Ne
 // SimConfig.Drop, matching the control plane's loss model on the data path.
 var LinkDrop = faultplane.LinkDrop
 
+// Kinetic-drift types (see internal/coords and internal/protocol): seeded
+// coordinate drift, eq. 7 certificate monitoring, and policy-driven local
+// repair (DESIGN.md §2h).
+type (
+	// DriftModel tracks true vs estimated coordinates under seeded drift.
+	DriftModel = coords.DriftModel
+	// DriftModelConfig parameterizes the drift motion: steady velocities,
+	// route-change jumps, staleness inflation, and the bounding disk.
+	DriftModelConfig = coords.DriftConfig
+	// OverlayDriftConfig tunes the overlay's kinetic control loop: the
+	// re-estimation cadence, degradation threshold, and repair policy.
+	OverlayDriftConfig = protocol.DriftConfig
+	// OverlayRepairPolicy selects the reaction to certificate degradation.
+	OverlayRepairPolicy = protocol.RepairPolicy
+	// TreeCertificate is the eq. 7 certificate a rebuild freezes: the
+	// analytic radius bound and the radius the tree realized at build time.
+	TreeCertificate = core.Certificate
+)
+
+// Kinetic repair policies: monitor only, certificate-triggered dirty-cell
+// repair, or a full rebuild on every re-estimation sweep.
+const (
+	OverlayRepairNone  = protocol.RepairNone
+	OverlayRepairLocal = protocol.RepairLocal
+	OverlayRepairFull  = protocol.RepairFull
+)
+
+// Kinetic-drift constructors.
+var (
+	// NewDriftModel validates a drift config and returns an empty model at
+	// epoch zero; attach it to a session with Overlay.SetDrift.
+	NewDriftModel = coords.NewDriftModel
+	// ParseOverlayRepairPolicy parses the CLI spelling of a repair policy
+	// (none, local, full).
+	ParseOverlayRepairPolicy = protocol.ParseRepairPolicy
+)
+
 // Coordinate-substrate constructors.
 var (
 	// NewDelayMatrix allocates a zero delay matrix.

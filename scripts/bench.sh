@@ -6,10 +6,11 @@
 #   scripts/bench.sh [OUTPUT.json]       # default: BENCH_<yyyymmdd>.json
 #
 # Environment overrides:
-#   BENCH_PKGS     packages to benchmark (default: the protocol hot path,
-#                  the trace recorder, and the grid k-search — the surfaces
-#                  the tracing layer and the analytic rebuild path must not
-#                  slow down)
+#   BENCH_PKGS     packages to benchmark (default: the protocol hot path —
+#                  including the DriftRepair local-vs-full pair at 10k and
+#                  100k nodes — the trace recorder, and the grid k-search:
+#                  the surfaces the tracing layer, the analytic rebuild
+#                  path, and the kinetic repair loop must not slow down)
 #   BENCH_PATTERN  -bench regexp (default: all benchmarks in BENCH_PKGS)
 #   BENCH_COUNT    -count repetitions (default 1; use 5+ for a decision)
 #

@@ -11,10 +11,11 @@
 #   BENCH_TOLERANCE  allowed ns/op regression as a fraction (default 0.02,
 #                    i.e. the 2% budget from EXPERIMENTS.md)
 #
-# Benchmarks are matched by name. A benchmark present only on one side is
-# reported but does not fail the comparison (new benchmarks have no
-# baseline yet; retired ones no longer matter). Exit status is non-zero
-# when any shared benchmark's ns/op exceeds baseline * (1 + tolerance).
+# Benchmarks are matched by name. A benchmark present on only one side is
+# skipped with a warning on stderr — plus a count summary — but does not
+# fail the comparison (new benchmarks have no baseline yet; retired ones no
+# longer matter). Exit status is non-zero when any shared benchmark's ns/op
+# exceeds baseline * (1 + tolerance).
 #
 # ns/op on a shared CI box is noisy; re-run with BENCH_COUNT=5 (see
 # scripts/bench.sh) before treating a small overshoot as real.
@@ -65,17 +66,30 @@ awk -v tol="$TOL" -v basefile="$BASE" -v snapfile="$SNAP" '
         close(snapfile)
         if (length(base) == 0) { print "bench_compare: no benchmarks in " basefile > "/dev/stderr"; exit 2 }
         if (length(snap) == 0) { print "bench_compare: no benchmarks in " snapfile > "/dev/stderr"; exit 2 }
-        fail = 0
+        fail = 0; base_only = 0; snap_only = 0
         for (name in base) {
-            if (!(name in snap)) { printf "  %-16s baseline only (retired?)\n", name; continue }
+            if (!(name in snap)) {
+                printf "bench_compare: warning: skipping %s (baseline only; retired?)\n", \
+                    name > "/dev/stderr"
+                base_only++
+                continue
+            }
             delta = (snap[name] - base[name]) / base[name]
             verdict = "ok"
             if (delta > tol) { verdict = "REGRESSION"; fail = 1 }
             printf "  %-16s %12.2f -> %12.2f ns/op  %+7.2f%%  %s\n", \
                 name, base[name], snap[name], 100 * delta, verdict
         }
-        for (name in snap)
-            if (!(name in base)) printf "  %-16s snapshot only (no baseline yet)\n", name
+        for (name in snap) {
+            if (!(name in base)) {
+                printf "bench_compare: warning: skipping %s (snapshot only; no baseline yet)\n", \
+                    name > "/dev/stderr"
+                snap_only++
+            }
+        }
+        if (base_only + snap_only > 0)
+            printf "bench_compare: skipped %d unmatched benchmark(s): %d baseline-only, %d snapshot-only\n", \
+                base_only + snap_only, base_only, snap_only > "/dev/stderr"
         if (fail) {
             printf "bench_compare: ns/op regression beyond %.0f%% tolerance\n", 100 * tol > "/dev/stderr"
             exit 1
