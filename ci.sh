@@ -1,9 +1,10 @@
 #!/bin/sh
 # ci.sh — the repo's full gate: formatting, vet, the regular test suite,
-# the race-detector run that guards the parallel build pipeline, and
-# short fuzz smokes over the codec, fault-schedule, partition-schedule,
-# drift-schedule, and incremental-rebuild fuzzers. `ci.sh bench` runs the
-# benchmark regression gate instead.
+# the race-detector run that guards the parallel build pipeline and the
+# shared multi-group substrate, and short fuzz smokes over the codec,
+# fault-schedule, partition-schedule, drift-schedule, incremental-rebuild,
+# and multi-group fuzzers. `ci.sh bench` runs the benchmark regression
+# gate instead.
 set -eu
 
 cd "$(dirname "$0")"
@@ -59,6 +60,7 @@ check_cover ./internal/core 89
 check_cover ./internal/coords 92
 check_cover ./internal/grid 90
 check_cover ./internal/protocol 92
+check_cover ./internal/multigroup 90
 
 # Golden files (cmd/omt-sim and cmd/omt-experiments CLI output;
 # internal/protocol trace timelines) are compared byte-for-byte by the
@@ -77,5 +79,6 @@ go test -run='^$' -fuzz='^FuzzFaultSchedule$' -fuzztime=10s ./internal/protocol
 go test -run='^$' -fuzz='^FuzzPartitionSchedule$' -fuzztime=10s ./internal/protocol
 go test -run='^$' -fuzz='^FuzzDriftSchedule$' -fuzztime=10s ./internal/protocol
 go test -run='^$' -fuzz='^FuzzIncrementalRebuild$' -fuzztime=10s ./internal/protocol
+go test -run='^$' -fuzz='^FuzzMultiGroup$' -fuzztime=10s ./internal/multigroup
 
 echo "ci: all green"

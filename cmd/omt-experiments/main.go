@@ -6,6 +6,7 @@
 //	omt-experiments -fig8                   # 3-D unit ball, degrees 10 and 2
 //	omt-experiments -baselines              # Polar_Grid vs prior heuristics
 //	omt-experiments -drift                  # kinetic repair-policy frontier
+//	omt-experiments -groups                 # multi-group shared-substrate sweep
 //	omt-experiments -all                    # everything
 //
 // By default the sweep runs sizes 100 .. 100,000 with 20 trials each, which
@@ -93,6 +94,7 @@ func run(args []string, out io.Writer) error {
 	faults := fs.Bool("faults", false, "unreliable control plane: loss sweep with self-healing")
 	partition := fs.Bool("partition", false, "partition tolerance: degraded islands, admission control, reconciliation (requires -faults)")
 	drift := fs.Bool("drift", false, "kinetic drift: certificate monitoring and repair-policy frontier")
+	groups := fs.Bool("groups", false, "multi-group trees on a shared substrate: memory amortization sweep")
 	scale := fs.Bool("scale", false, "large-n comparison vs the k-d-tree greedy")
 	dims := fs.Bool("dims", false, "delay convergence across dimensions 2..5")
 	all := fs.Bool("all", false, "run everything")
@@ -126,14 +128,14 @@ func run(args []string, out io.Writer) error {
 	if *all {
 		*table1, *fig4, *fig5, *fig6, *fig7, *fig8 = true, true, true, true, true, true
 		*baselines, *churn, *dims, *repairs, *scale, *faults = true, true, true, true, true, true
-		*partition, *drift = true, true
+		*partition, *drift, *groups = true, true, true
 	}
 	// The partition sweep extends the fault sweep's scenario; alone it would
 	// skip the context that makes its columns comparable.
 	if *partition && !*faults {
 		return fmt.Errorf("-partition requires -faults (it extends the unreliable-control-plane sweep)")
 	}
-	if !*table1 && !*fig4 && !*fig5 && !*fig6 && !*fig7 && !*fig8 && !*baselines && !*churn && !*dims && !*repairs && !*scale && !*faults && !*drift {
+	if !*table1 && !*fig4 && !*fig5 && !*fig6 && !*fig7 && !*fig8 && !*baselines && !*churn && !*dims && !*repairs && !*scale && !*faults && !*drift && !*groups {
 		fs.Usage()
 		return fmt.Errorf("nothing selected (try -all)")
 	}
@@ -182,6 +184,7 @@ func run(args []string, out io.Writer) error {
 		Faults    []experiment.FaultRow     `json:"faults,omitempty"`
 		Partition []experiment.PartitionRow `json:"partition,omitempty"`
 		Drift     []experiment.DriftRow     `json:"drift,omitempty"`
+		Groups    []experiment.GroupRow     `json:"groups,omitempty"`
 		Metrics   *obs.Snapshot             `json:"metrics,omitempty"`
 	}{Seed: *seed}
 
@@ -390,6 +393,25 @@ func run(args []string, out io.Writer) error {
 		}
 		manifest.Drift = rows
 		if err := experiment.DriftTable(rows, 800).Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *groups {
+		fmt.Fprintln(out, "Multi-group trees on a shared substrate (1000 hosts, degree 6):")
+		fmt.Fprintln(out)
+		rows, err := experiment.RunGroupSweep(experiment.GroupSweepConfig{
+			Hosts: 1000, Groups: []int{1, 8, 32}, Overlaps: []float64{0, 0.5},
+			MeanSize: 100, Sources: 4, MaxOutDegree: 6,
+			Trials: trialsForExtensions(nTrials), Seed: *seed,
+			Progress: func(m string) { fmt.Fprintln(os.Stderr, "[groups]", m) },
+		})
+		if err != nil {
+			return err
+		}
+		manifest.Groups = rows
+		if err := experiment.GroupTable(rows).Render(out); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

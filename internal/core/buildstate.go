@@ -30,6 +30,15 @@ import (
 // ids only by order, so the slot -> dense-id relabeling (which is monotone)
 // preserves every decision.
 //
+// The state's geometry (slot positions and their polar conversion) lives in
+// a SlotGeometry. NewBuildState owns its geometry and grows it per Add;
+// NewBuildStateShared borrows one read-only — the multi-group substrate
+// builds one per source and lends it to every group rooted there — and the
+// state then only ever writes its private membership arrays. All remaining
+// per-group cell state is copy-on-write with respect to the retained build:
+// rebuilds copy a cell's member list into scratch before the wiring
+// permutes it, and only dirty cells' retained state is touched at all.
+//
 // The incremental path falls back to a full rebuild whenever the cheap
 // exactness conditions fail:
 //   - the verified k would change (an interior cell emptied, depth k+1
@@ -39,17 +48,19 @@ import (
 //     outermost radius, or a point at the outermost radius left);
 //   - geometry is degenerate (no receivers, or all at the source).
 //
-// BuildState is not safe for concurrent use.
+// BuildState is not safe for concurrent use. Distinct BuildStates sharing
+// one SlotGeometry may be used concurrently: the geometry is never written
+// after construction.
 type BuildState struct {
-	source  geom.Point2
 	o       options
 	variant Variant
 	degCap  int
 
-	pos     []geom.Point2 // slot -> absolute position
-	pts     []geom.Polar  // slot -> polar around source
-	present []bool        // slot -> currently a member
-	n       int           // live receiver slots
+	geo    *SlotGeometry // slot positions + polars; read-only when shared
+	shared bool          // borrowed geometry: Add/Move are forbidden, AddSlot is the entry
+
+	present []bool // slot -> currently a member
+	n       int    // live receiver slots
 
 	scale float64
 	k     int
@@ -79,24 +90,57 @@ type BuildState struct {
 // incremental path is serial — parallel and serial builds are identical
 // anyway).
 func NewBuildState(source geom.Point2, opts ...Option) (*BuildState, error) {
+	s, err := newBuildState(opts)
+	if err != nil {
+		return nil, err
+	}
+	s.geo = &SlotGeometry{source: source, pts: []geom.Polar{{}}}
+	s.present = []bool{true}
+	s.cellOf = []int32{0}
+	s.parent = []int32{tree.NoParent}
+	return s, nil
+}
+
+// NewBuildStateShared returns an empty incremental build borrowing geo,
+// which must stay immutable for the state's lifetime. Membership changes go
+// through AddSlot/Remove; Add and Move (which would write positions) panic.
+// Any number of states — one per multicast group — may borrow one geometry
+// concurrently, each paying only for its private membership arrays.
+func NewBuildStateShared(geo *SlotGeometry, opts ...Option) (*BuildState, error) {
+	if geo == nil {
+		return nil, fmt.Errorf("core: NewBuildStateShared needs a geometry")
+	}
+	s, err := newBuildState(opts)
+	if err != nil {
+		return nil, err
+	}
+	s.geo, s.shared = geo, true
+	slots := geo.Slots()
+	s.present = make([]bool, slots)
+	s.present[0] = true
+	s.cellOf = make([]int32, slots)
+	s.parent = make([]int32, slots)
+	for i := 1; i < slots; i++ {
+		s.cellOf[i] = -1
+		s.parent[i] = unattachedNode
+	}
+	s.parent[0] = tree.NoParent
+	return s, nil
+}
+
+// newBuildState resolves the options shared by both constructors.
+func newBuildState(opts []Option) (*BuildState, error) {
 	o := buildOptions(opts)
 	variant, degCap, err := variantFor(o.maxOutDegree, naturalDegree2D)
 	if err != nil {
 		return nil, err
 	}
-	s := &BuildState{
-		source:  source,
+	return &BuildState{
 		o:       o,
 		variant: variant,
 		degCap:  degCap,
-		pos:     []geom.Point2{source},
-		pts:     []geom.Polar{{}},
-		present: []bool{true},
-		cellOf:  []int32{0},
-		parent:  []int32{tree.NoParent},
 		dirty:   make(map[int]struct{}),
-	}
-	return s, nil
+	}, nil
 }
 
 // N returns the number of live receiver slots.
@@ -114,20 +158,43 @@ func (s *BuildState) SetInstruments(reg *obs.Registry, rec *trace.Recorder) {
 	s.o.obs, s.o.trace = reg, rec
 }
 
-// ensureSlot grows the slot-indexed arrays to cover slot.
+// MemoryBytes estimates the state's private resident size (membership,
+// cell, and parent arrays; the geometry is counted separately, since shared
+// geometries amortize across states).
+func (s *BuildState) MemoryBytes() int64 {
+	n := int64(len(s.present)) + 4*int64(len(s.cellOf)+len(s.parent)+len(s.reps)+len(s.cnt1))
+	for _, m := range s.members {
+		n += 4 * int64(cap(m))
+	}
+	return n
+}
+
+// ensureSlot grows the slot-indexed arrays to cover slot. Only an owning
+// state may grow its geometry; a shared state's slots are fixed at
+// construction.
 func (s *BuildState) ensureSlot(slot int) {
-	for len(s.pos) <= slot {
-		s.pos = append(s.pos, geom.Point2{})
-		s.pts = append(s.pts, geom.Polar{})
+	if s.shared {
+		if slot >= s.geo.Slots() {
+			panic(fmt.Sprintf("core: slot %d outside the shared geometry's %d slots", slot, s.geo.Slots()))
+		}
+		return
+	}
+	for len(s.present) <= slot {
+		s.geo.hosts = append(s.geo.hosts, geom.Point2{})
+		s.geo.pts = append(s.geo.pts, geom.Polar{})
 		s.present = append(s.present, false)
 		s.cellOf = append(s.cellOf, -1)
 		s.parent = append(s.parent, unattachedNode)
 	}
 }
 
-// Add registers a new member at the given slot. Slots must be >= 1 (0 is the
-// source) and not currently present.
+// Add registers a new member at the given slot with an explicit position.
+// Slots must be >= 1 (0 is the source) and not currently present. States
+// borrowing a shared geometry must use AddSlot instead.
 func (s *BuildState) Add(slot int, p geom.Point2) {
+	if s.shared {
+		panic("core: BuildState.Add on shared geometry (immutable positions; use AddSlot)")
+	}
 	if slot <= 0 {
 		panic(fmt.Sprintf("core: BuildState.Add slot %d out of range", slot))
 	}
@@ -135,9 +202,29 @@ func (s *BuildState) Add(slot int, p geom.Point2) {
 	if s.present[slot] {
 		panic(fmt.Sprintf("core: BuildState.Add slot %d already present", slot))
 	}
-	s.pos[slot] = p
-	c := p.PolarAround(s.source)
-	s.pts[slot] = c
+	s.geo.hosts[slot-1] = p
+	s.geo.pts[slot] = p.PolarAround(s.geo.source)
+	s.addLive(slot)
+}
+
+// AddSlot registers the member at a slot whose position the geometry
+// already holds — the only join path for shared-geometry states, where
+// slot h+1 is host h of the substrate the geometry was built over.
+func (s *BuildState) AddSlot(slot int) {
+	if slot <= 0 || slot >= s.geo.Slots() {
+		panic(fmt.Sprintf("core: BuildState.AddSlot slot %d outside the geometry's %d slots", slot, s.geo.Slots()))
+	}
+	s.ensureSlot(slot)
+	if s.present[slot] {
+		panic(fmt.Sprintf("core: BuildState.AddSlot slot %d already present", slot))
+	}
+	s.addLive(slot)
+}
+
+// addLive makes a slot (whose geometry is in place) live, maintaining the
+// incremental bookkeeping.
+func (s *BuildState) addLive(slot int) {
+	c := s.geo.pts[slot]
 	s.present[slot] = true
 	s.n++
 	s.last = nil
@@ -177,7 +264,7 @@ func (s *BuildState) Remove(slot int) {
 	if !s.built || s.needFull {
 		return
 	}
-	c := s.pts[slot]
+	c := s.geo.pts[slot]
 	if c.R == s.scale {
 		// The outermost member left; the scale (and with it every cell
 		// boundary) may shrink.
@@ -268,9 +355,10 @@ func (s *BuildState) liveSlots() []int32 {
 func (s *BuildState) rebuildFull(in instr) (*Result, error) {
 	endConv := in.phase("build/convert")
 	slots := s.liveSlots()
+	pts := s.geo.pts
 	var scale float64
 	for _, sl := range slots {
-		if r := s.pts[sl].R; r > scale {
+		if r := pts[sl].R; r > scale {
 			scale = r
 		}
 	}
@@ -291,18 +379,14 @@ func (s *BuildState) rebuildFull(in instr) (*Result, error) {
 		return res, nil
 	}
 
-	polars := make([]geom.Polar, len(slots))
-	for i, sl := range slots {
-		polars[i] = s.pts[sl]
-	}
 	endGrid := in.phase("build/grid")
 	k, err := pickK(s.o, s.n, func(k int) bool {
-		return grid.PolarGrid{K: k, Scale: scale}.InteriorOccupied(polars)
+		return grid.PolarGrid{K: k, Scale: scale}.InteriorOccupiedSlots(pts, slots)
 	}, func(kMax int) int {
 		if s.o.trialK {
-			return grid.MaxFeasibleK(polars, scale, kMax)
+			return grid.MaxFeasibleKSlots(pts, slots, scale, kMax)
 		}
-		return grid.MaxFeasibleKAnalytic(polars, scale, kMax)
+		return grid.MaxFeasibleKAnalyticSlots(pts, slots, scale, kMax)
 	})
 	endGrid()
 	if err != nil {
@@ -317,10 +401,10 @@ func (s *BuildState) rebuildFull(in instr) (*Result, error) {
 	s.members = make([][]int32, numCells)
 	s.cnt1 = make([]int32, grid.NumCells(k+1))
 	for _, sl := range slots {
-		cell := s.g.CellOf(s.pts[sl])
+		cell := s.g.CellOf(pts[sl])
 		s.cellOf[sl] = int32(cell)
 		s.members[cell] = append(s.members[cell], sl) // slots ascend, so lists stay sorted
-		c1 := s.g1.CellOf(s.pts[sl])
+		c1 := s.g1.CellOf(pts[sl])
 		if r1, _ := grid.RingIdx(c1); r1 > 0 && r1 < s.g1.K {
 			s.cnt1[c1]++
 		}
@@ -339,7 +423,7 @@ func (s *BuildState) rebuildFull(in instr) (*Result, error) {
 	}
 	s.parent[0] = tree.NoParent
 	sink := &parentSink{parents: s.parent}
-	conn := &conn2{ctx: &bisect.Ctx2{B: sink, Pts: s.pts}, g: s.g}
+	conn := &conn2{ctx: &bisect.Ctx2{B: sink, Pts: pts}, g: s.g}
 	endReps := in.phase("build/reps")
 	s.reps = make([]int32, numCells)
 	s.reps[0] = -1 // the source itself anchors ring 0
@@ -410,7 +494,7 @@ func (s *BuildState) rebuildIncremental(in instr) (*Result, error) {
 	in.obs.Gauge("build/dirty_cells").Set(float64(len(cells)))
 
 	sink := &parentSink{parents: s.parent}
-	conn := &conn2{ctx: &bisect.Ctx2{B: sink, Pts: s.pts}, g: s.g}
+	conn := &conn2{ctx: &bisect.Ctx2{B: sink, Pts: s.geo.pts}, g: s.g}
 	endReps := in.phase("build/reps")
 	for _, c := range cells {
 		if c != 0 {
@@ -434,7 +518,7 @@ func (s *BuildState) rebuildIncremental(in instr) (*Result, error) {
 // tree and computes the Result metrics, mirroring Build2's metrics phase.
 func (s *BuildState) exportResult(in instr, res *Result, slots []int32) (*Result, error) {
 	endExp := in.phase("build/export")
-	rank := make([]int32, len(s.pos))
+	rank := make([]int32, len(s.present))
 	for i, sl := range slots {
 		rank[sl] = int32(i + 1)
 	}
@@ -456,12 +540,12 @@ func (s *BuildState) exportResult(in instr, res *Result, slots []int32) (*Result
 
 	endMetrics := in.phase("build/metrics")
 	dist := func(i, j int) float64 {
-		pi, pj := s.source, s.source
+		pi, pj := s.geo.source, s.geo.source
 		if i > 0 {
-			pi = s.pos[slots[i-1]]
+			pi = s.geo.pos(slots[i-1])
 		}
 		if j > 0 {
-			pj = s.pos[slots[j-1]]
+			pj = s.geo.pos(slots[j-1])
 		}
 		return pi.Dist(pj)
 	}

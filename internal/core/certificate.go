@@ -34,8 +34,11 @@ func (s *BuildState) Move(slot int, p geom.Point2) {
 	if slot <= 0 || slot >= len(s.present) || !s.present[slot] {
 		panic(fmt.Sprintf("core: BuildState.Move slot %d not present", slot))
 	}
-	if s.pos[slot] == p {
+	if s.geo.pos(int32(slot)) == p {
 		return
+	}
+	if s.shared {
+		panic("core: BuildState.Move on shared geometry (immutable positions)")
 	}
 	s.Remove(slot)
 	s.Add(slot, p)
@@ -75,7 +78,7 @@ func (s *BuildState) RealizedRadius() float64 {
 		return 0
 	}
 	const unknown = -1.0
-	delay := make([]float64, len(s.pos))
+	delay := make([]float64, len(s.present))
 	for i := range delay {
 		delay[i] = unknown
 	}
@@ -103,7 +106,7 @@ func (s *BuildState) RealizedRadius() float64 {
 		for i := len(chain) - 1; i >= 0; i-- {
 			c := chain[i]
 			p := s.parent[c]
-			delay[c] = delay[p] + s.pos[p].Dist(s.pos[c])
+			delay[c] = delay[p] + s.geo.pos(p).Dist(s.geo.pos(c))
 			if s.present[c] && delay[c] > radius {
 				radius = delay[c]
 			}

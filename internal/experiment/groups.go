@@ -1,0 +1,243 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"omtree/internal/geom"
+	"omtree/internal/multigroup"
+	"omtree/internal/rng"
+	"omtree/internal/stats"
+)
+
+// GroupSweepConfig parameterizes the multi-group substrate experiment: G
+// groups share one host population, with group sizes drawn from a
+// distribution and memberships overlapping through a shared hot pool. The
+// sweep maps group count x size distribution x overlap onto per-group
+// delay quality (every group must meet its own eq. 7 bound) and the memory
+// split between the shared substrate and the per-group state — the
+// amortization the shared-substrate design exists to win.
+type GroupSweepConfig struct {
+	// Hosts is the shared population size (default 2000).
+	Hosts int
+	// Groups lists the group counts to sweep.
+	Groups []int
+	// Dists lists group-size distributions: "equal" (every group MeanSize)
+	// and/or "zipf" (sizes proportional to 1/rank, scaled to mean MeanSize).
+	Dists []string
+	// Overlaps lists hot-pool fractions in [0, 1]: each member is drawn
+	// from a shared MeanSize-host pool with this probability, uniformly
+	// from the population otherwise. 0 is independent memberships; 1 makes
+	// every group a subset of one hot set.
+	Overlaps []float64
+	// MeanSize is the mean group membership (default 200).
+	MeanSize int
+	// Sources is the distinct source-position pool shared by the groups
+	// (default 4): fewer sources than groups is what exercises polar-view
+	// sharing.
+	Sources int
+	// MaxOutDegree caps the per-group tree degree (0 = natural).
+	MaxOutDegree int
+	Trials       int
+	Seed         uint64
+	// Progress, when non-nil, receives one line per completed cell
+	// (includes wall-clock build time, which is why it is not in the rows).
+	Progress func(msg string)
+}
+
+// GroupRow aggregates one (groups, dist, overlap) cell across trials.
+// Every field is a deterministic function of the seed, so rows are
+// golden-testable; build wall time goes to Progress instead.
+type GroupRow struct {
+	Groups  int
+	Dist    string
+	Overlap float64
+	// Members is the realized mean group size.
+	Members float64
+	// Radius and BoundRatio aggregate per-group tree quality: the mean
+	// realized radius and the mean radius / eq. 7 bound (must stay <= 1).
+	Radius     float64
+	BoundRatio float64
+	// SubstrateKB and GroupKB estimate resident memory: the shared
+	// substrate (counted once) vs the summed per-group state.
+	SubstrateKB float64
+	GroupKB     float64
+	// SharedFrac is SubstrateKB / (SubstrateKB + GroupKB): how small the
+	// shared, amortized-once part is relative to what G groups retain.
+	SharedFrac float64
+	// Views is the mean number of distinct per-source polar views built
+	// (bounded by Sources, not by Groups).
+	Views float64
+}
+
+// groupSizes returns the per-group membership sizes for a distribution.
+func groupSizes(dist string, groups, mean int) ([]int, error) {
+	sizes := make([]int, groups)
+	switch dist {
+	case "equal":
+		for i := range sizes {
+			sizes[i] = mean
+		}
+	case "zipf":
+		// sizes[i] ~ 1/(i+1), scaled so the mean is mean.
+		var h float64
+		for i := 0; i < groups; i++ {
+			h += 1 / float64(i+1)
+		}
+		scale := float64(mean) * float64(groups) / h
+		for i := range sizes {
+			s := int(scale / float64(i+1))
+			if s < 1 {
+				s = 1
+			}
+			sizes[i] = s
+		}
+	default:
+		return nil, fmt.Errorf("experiment: unknown group-size distribution %q (want equal or zipf)", dist)
+	}
+	return sizes, nil
+}
+
+// RunGroupSweep measures per-group tree quality and the substrate/group
+// memory split across group counts, size distributions, and overlaps.
+func RunGroupSweep(cfg GroupSweepConfig) ([]GroupRow, error) {
+	if len(cfg.Groups) == 0 || len(cfg.Overlaps) == 0 {
+		return nil, fmt.Errorf("experiment: group sweep needs group counts and overlaps")
+	}
+	if cfg.Trials < 1 {
+		return nil, fmt.Errorf("experiment: group sweep needs trials >= 1")
+	}
+	hosts := cfg.Hosts
+	if hosts == 0 {
+		hosts = 2000
+	}
+	mean := cfg.MeanSize
+	if mean == 0 {
+		mean = 200
+	}
+	if mean > hosts {
+		return nil, fmt.Errorf("experiment: mean group size %d exceeds population %d", mean, hosts)
+	}
+	nsrc := cfg.Sources
+	if nsrc == 0 {
+		nsrc = 4
+	}
+	dists := cfg.Dists
+	if len(dists) == 0 {
+		dists = []string{"equal", "zipf"}
+	}
+	for _, ov := range cfg.Overlaps {
+		if ov < 0 || ov > 1 {
+			return nil, fmt.Errorf("experiment: overlap %v outside [0, 1]", ov)
+		}
+	}
+
+	var rows []GroupRow
+	cell := 0
+	for _, groups := range cfg.Groups {
+		if groups < 1 {
+			return nil, fmt.Errorf("experiment: invalid group count %d", groups)
+		}
+		for _, dist := range dists {
+			if _, err := groupSizes(dist, groups, mean); err != nil {
+				return nil, err
+			}
+			for _, ov := range cfg.Overlaps {
+				start := time.Now()
+				var members, radius, ratio, subKB, grpKB, views stats.Accumulator
+				for trial := 0; trial < cfg.Trials; trial++ {
+					r := rng.New(trialSeed(cfg.Seed^0x96007, cell, trial))
+					sub, err := multigroup.NewSubstrate(r.UniformDiskN(hosts, 1))
+					if err != nil {
+						return nil, err
+					}
+					srcPool := make([]geom.Point2, nsrc)
+					for i := range srcPool {
+						srcPool[i] = r.UniformDisk(0.25)
+					}
+					hot := r.Perm(hosts)[:mean]
+					sizes, _ := groupSizes(dist, groups, mean)
+					var groupBytes int64
+					for gi := 0; gi < groups; gi++ {
+						src := srcPool[gi%nsrc]
+						g, err := sub.NewGroup(multigroup.GroupConfig{
+							Source:       []float64{src.X, src.Y},
+							MaxOutDegree: cfg.MaxOutDegree,
+						})
+						if err != nil {
+							return nil, err
+						}
+						for g.Size() < sizes[gi] {
+							var h int
+							if r.Float64() < ov {
+								h = hot[r.Intn(mean)]
+							} else {
+								h = r.Intn(hosts)
+							}
+							if !g.Has(h) {
+								if err := g.Join(h); err != nil {
+									return nil, err
+								}
+							}
+						}
+						res, _, err := g.Build()
+						if err != nil {
+							return nil, err
+						}
+						members.Add(float64(g.Size()))
+						radius.Add(res.Radius)
+						if res.Bound > 0 {
+							ratio.Add(res.Radius / res.Bound)
+						}
+						groupBytes += g.MemoryBytes()
+					}
+					subKB.Add(float64(sub.MemoryBytes()) / 1024)
+					grpKB.Add(float64(groupBytes) / 1024)
+					views.Add(float64(sub.Views()))
+				}
+				row := GroupRow{
+					Groups:      groups,
+					Dist:        dist,
+					Overlap:     ov,
+					Members:     members.Mean(),
+					Radius:      radius.Mean(),
+					BoundRatio:  ratio.Mean(),
+					SubstrateKB: subKB.Mean(),
+					GroupKB:     grpKB.Mean(),
+					Views:       views.Mean(),
+				}
+				if tot := row.SubstrateKB + row.GroupKB; tot > 0 {
+					row.SharedFrac = row.SubstrateKB / tot
+				}
+				rows = append(rows, row)
+				if cfg.Progress != nil {
+					cfg.Progress(fmt.Sprintf("groups=%d dist=%s overlap=%.2f done in %v",
+						groups, dist, ov, time.Since(start).Round(time.Millisecond)))
+				}
+				cell++
+			}
+		}
+	}
+	return rows, nil
+}
+
+// GroupTable renders the multi-group sweep.
+func GroupTable(rows []GroupRow) *stats.Table {
+	t := stats.NewTable("Groups", "Dist", "Overlap", "Members", "Radius",
+		"Radius/Bound", "SubstrateKB", "GroupKB", "SharedFrac", "Views")
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.Groups),
+			r.Dist,
+			fmt.Sprintf("%.2f", r.Overlap),
+			fmt.Sprintf("%.1f", r.Members),
+			fmt.Sprintf("%.3f", r.Radius),
+			fmt.Sprintf("%.3f", r.BoundRatio),
+			fmt.Sprintf("%.1f", r.SubstrateKB),
+			fmt.Sprintf("%.1f", r.GroupKB),
+			fmt.Sprintf("%.3f", r.SharedFrac),
+			fmt.Sprintf("%.1f", r.Views),
+		)
+	}
+	return t
+}

@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunGroupSweep(t *testing.T) {
+	var progress []string
+	rows, err := RunGroupSweep(GroupSweepConfig{
+		Hosts:    400,
+		Groups:   []int{1, 6},
+		Dists:    []string{"equal", "zipf"},
+		Overlaps: []float64{0, 0.8},
+		MeanSize: 60,
+		Sources:  3,
+		Trials:   2,
+		Seed:     99,
+		Progress: func(m string) { progress = append(progress, m) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*2*2 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	if len(progress) != len(rows) {
+		t.Errorf("progress lines %d != rows %d", len(progress), len(rows))
+	}
+	for _, r := range rows {
+		if r.BoundRatio <= 0 || r.BoundRatio > 1+1e-9 {
+			t.Errorf("row %+v: bound ratio %v outside (0, 1]", r, r.BoundRatio)
+		}
+		if r.Members <= 0 || r.Radius <= 0 {
+			t.Errorf("row %+v: empty aggregates", r)
+		}
+		if r.Views > 3 {
+			t.Errorf("row %+v: %v views exceed the source pool", r, r.Views)
+		}
+		if r.SharedFrac <= 0 || r.SharedFrac >= 1 {
+			t.Errorf("row %+v: shared fraction %v out of range", r, r.SharedFrac)
+		}
+	}
+	// More groups amortize the substrate further: with 6 groups the shared
+	// fraction must be smaller than with 1.
+	if rows[0].SharedFrac <= rows[4].SharedFrac {
+		t.Errorf("shared fraction did not shrink with group count: 1 group %v vs 6 groups %v",
+			rows[0].SharedFrac, rows[4].SharedFrac)
+	}
+	// Determinism: the same seed reproduces the rows exactly.
+	again, err := RunGroupSweep(GroupSweepConfig{
+		Hosts: 400, Groups: []int{1, 6}, Dists: []string{"equal", "zipf"},
+		Overlaps: []float64{0, 0.8}, MeanSize: 60, Sources: 3, Trials: 2, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Fatalf("row %d not reproducible: %+v vs %+v", i, rows[i], again[i])
+		}
+	}
+	// Rendering has one line per row plus header and rule.
+	var sb strings.Builder
+	if err := GroupTable(rows).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "\n"); got < len(rows) {
+		t.Errorf("table rendered %d lines for %d rows", got, len(rows))
+	}
+}
+
+func TestRunGroupSweepValidation(t *testing.T) {
+	base := GroupSweepConfig{Groups: []int{2}, Overlaps: []float64{0}, Trials: 1}
+	for name, cfg := range map[string]GroupSweepConfig{
+		"no-groups":   {Overlaps: []float64{0}, Trials: 1},
+		"no-overlaps": {Groups: []int{2}, Trials: 1},
+		"no-trials":   {Groups: []int{2}, Overlaps: []float64{0}},
+		"bad-overlap": {Groups: []int{2}, Overlaps: []float64{1.5}, Trials: 1},
+		"bad-count":   {Groups: []int{0}, Overlaps: []float64{0}, Trials: 1},
+		"bad-dist":    {Groups: []int{2}, Overlaps: []float64{0}, Trials: 1, Dists: []string{"powerlaw"}},
+		"big-mean":    {Groups: []int{2}, Overlaps: []float64{0}, Trials: 1, Hosts: 10, MeanSize: 50},
+	} {
+		if _, err := RunGroupSweep(cfg); err == nil {
+			t.Errorf("%s: config %+v must be rejected", name, cfg)
+		}
+	}
+	if _, err := RunGroupSweep(base); err != nil {
+		t.Errorf("base config rejected: %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+package grid
+
+import "omtree/internal/geom"
+
+// This file is the subset counterpart of the occupancy and k-search entry
+// points: the same computations over pts[slots[i]] instead of a dense polar
+// slice. The multi-group substrate keeps one polar array per source, shared
+// read-only across every group built around that source; a group's
+// membership is a slot list into that array, and gathering it into a dense
+// slice per build would copy O(membership) coordinates on every rebuild of
+// every group. Iterating the slot list directly makes the per-group k
+// search allocation-free over the shared geometry. Each subset function
+// returns exactly what its dense counterpart returns over the gathered
+// slice — the differential tests lock that down — so swapping one for the
+// other can never change a chosen depth or a built tree.
+
+// InteriorOccupiedSlots reports InteriorOccupied over the subset
+// pts[slots[0]], pts[slots[1]], ... without materializing it.
+func (g PolarGrid) InteriorOccupiedSlots(pts []geom.Polar, slots []int32) bool {
+	if g.K == 1 {
+		return true // no interior rings
+	}
+	lo, hi := 1, 1<<uint(g.K)-1
+	seen := make([]bool, hi-lo)
+	need := hi - lo
+	for _, sl := range slots {
+		c := pts[sl]
+		ring := g.RingOf(c.R)
+		if ring == 0 || ring == g.K {
+			continue
+		}
+		id := CellID(ring, g.SegIndexOf(ring, c.Theta))
+		if !seen[id-lo] {
+			seen[id-lo] = true
+			need--
+			if need == 0 {
+				return true
+			}
+		}
+	}
+	return need == 0
+}
+
+// MaxFeasibleKSlots is MaxFeasibleK over the slot subset: the largest k in
+// [1, kMax] whose interior cells are all occupied, scanning downward.
+func MaxFeasibleKSlots(pts []geom.Polar, slots []int32, scale float64, kMax int) int {
+	if kMax < 1 {
+		kMax = 1
+	}
+	for k := kMax; k > 1; k-- {
+		g := PolarGrid{K: k, Scale: scale}
+		if g.InteriorOccupiedSlots(pts, slots) {
+			return k
+		}
+	}
+	return 1
+}
+
+// MaxFeasibleKAnalyticSlots is MaxFeasibleKAnalytic over the slot subset:
+// the occupancy-lemma estimate plus a single classification pass, always
+// agreeing with the trial loop (see analytic.go for why).
+func MaxFeasibleKAnalyticSlots(pts []geom.Polar, slots []int32, scale float64, kMax int) int {
+	if kMax < 1 {
+		kMax = 1
+	}
+	for cap := analyticCap(len(slots), kMax); ; cap = kMax {
+		if cap <= 1 {
+			return 1
+		}
+		ref := PolarGrid{K: cap, Scale: scale}
+		b := newOccBits(cap)
+		for _, sl := range slots {
+			c := pts[sl]
+			ring := ref.RingOf(c.R)
+			if ring > 0 && ring < cap {
+				b.mark(cap-ring, ref.SegIndexOf(ring, c.Theta))
+			}
+		}
+		if k := b.maxFeasible(); k < cap || cap == kMax {
+			return k
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package multigroup_test
+
+import (
+	"testing"
+
+	"omtree/internal/core"
+	"omtree/internal/geom"
+	"omtree/internal/multigroup"
+	"omtree/internal/rng"
+)
+
+// BenchmarkMultiGroupBuild measures the cost of standing up G group trees
+// over one host population, the number the shared substrate exists to
+// improve:
+//
+//   - substrate: the one-time cost a deployment pays once — axes, kNN
+//     index, and reference grid over the full population.
+//   - shared: G groups created on an existing substrate: join through the
+//     bitset, build via the cached per-source polar views.
+//   - cloned: what a naive deployment does instead — every group gathers
+//     its own member coordinates and runs a from-scratch Build2, paying
+//     the geometry transform and k-search setup G times with nothing
+//     amortized.
+//
+// shared and cloned produce identical trees (the differential suite locks
+// that down). shared trades some per-build time (slot-sparse iteration
+// over the full population's slots instead of a dense member array) for
+// the memory amortization and incremental churn the substrate design
+// buys; this benchmark pins that overhead so it cannot silently grow.
+func BenchmarkMultiGroupBuild(b *testing.B) {
+	const (
+		hosts     = 2000
+		groups    = 16
+		groupSize = 1500
+		sources   = 4
+	)
+	r := rng.New(42)
+	pts := r.UniformDiskN(hosts, 1)
+	srcPool := make([]geom.Point2, sources)
+	for i := range srcPool {
+		srcPool[i] = r.UniformDisk(0.25)
+	}
+	// Sliding membership windows, as in the scale harness: heavy pairwise
+	// overlap without equal memberships.
+	memberOf := func(gi, j int) int { return (gi*31 + j) % hosts }
+
+	b.Run("substrate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := multigroup.NewSubstrate(pts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("shared", func(b *testing.B) {
+		sub, err := multigroup.NewSubstrate(pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for gi := 0; gi < groups; gi++ {
+				src := srcPool[gi%sources]
+				g, err := sub.NewGroup(multigroup.GroupConfig{
+					Source: []float64{src.X, src.Y}, MaxOutDegree: 6,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < groupSize; j++ {
+					if err := g.Join(memberOf(gi, j)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, _, err := g.Build(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	b.Run("cloned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for gi := 0; gi < groups; gi++ {
+				members := make([]geom.Point2, groupSize)
+				for j := 0; j < groupSize; j++ {
+					members[j] = pts[memberOf(gi, j)]
+				}
+				if _, err := core.Build2(srcPool[gi%sources], members,
+					core.WithMaxOutDegree(6)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package multigroup
+
+import "math/bits"
+
+// bitset is a fixed-size bitset over substrate host ids — 1 bit per host
+// per group is what lets a thousand 10k-member groups hold their
+// memberships in a few megabytes total.
+type bitset struct {
+	words []uint64
+	n     int // set bits
+}
+
+func newBitset(size int) bitset {
+	return bitset{words: make([]uint64, (size+63)/64)}
+}
+
+func (b *bitset) get(i int) bool {
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// set sets bit i, reporting whether it was previously clear.
+func (b *bitset) set(i int) bool {
+	w, m := i>>6, uint64(1)<<uint(i&63)
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	b.n++
+	return true
+}
+
+// clear clears bit i, reporting whether it was previously set.
+func (b *bitset) clear(i int) bool {
+	w, m := i>>6, uint64(1)<<uint(i&63)
+	if b.words[w]&m == 0 {
+		return false
+	}
+	b.words[w] &^= m
+	b.n--
+	return true
+}
+
+func (b *bitset) count() int { return b.n }
+
+// forEach calls fn for every set bit in ascending order.
+func (b *bitset) forEach(fn func(i int)) {
+	for w, word := range b.words {
+		for word != 0 {
+			fn(w<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
+
+// memoryBytes is the bitset's resident size.
+func (b *bitset) memoryBytes() int64 { return 8 * int64(len(b.words)) }

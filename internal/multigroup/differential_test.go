@@ -1,0 +1,437 @@
+package multigroup_test
+
+import (
+	"fmt"
+	"testing"
+
+	"omtree/internal/core"
+	"omtree/internal/geom"
+	"omtree/internal/multigroup"
+	"omtree/internal/rng"
+)
+
+// sameResult asserts two build results are byte-identical: every stat
+// field exactly equal (float bits included) and the parent arrays equal
+// element-wise. This is the contract the shared-substrate path promises:
+// not "equivalent", the same tree.
+func sameResult(t *testing.T, got, want *core.Result) {
+	t.Helper()
+	if got.Dim != want.Dim || got.Variant != want.Variant || got.MaxOutDegree != want.MaxOutDegree {
+		t.Fatalf("shape mismatch: got (%d,%v,%d), want (%d,%v,%d)",
+			got.Dim, got.Variant, got.MaxOutDegree, want.Dim, want.Variant, want.MaxOutDegree)
+	}
+	if got.K != want.K || got.Scale != want.Scale {
+		t.Fatalf("grid mismatch: got (k=%d, scale=%v), want (k=%d, scale=%v)", got.K, got.Scale, want.K, want.Scale)
+	}
+	if got.Radius != want.Radius || got.CoreDelay != want.CoreDelay || got.Bound != want.Bound {
+		t.Fatalf("metrics mismatch: got (%v,%v,%v), want (%v,%v,%v)",
+			got.Radius, got.CoreDelay, got.Bound, want.Radius, want.CoreDelay, want.Bound)
+	}
+	gp, wp := got.Tree.Parents(), want.Tree.Parents()
+	if len(gp) != len(wp) {
+		t.Fatalf("tree size mismatch: %d vs %d nodes", len(gp), len(wp))
+	}
+	for i := range gp {
+		if gp[i] != wp[i] {
+			t.Fatalf("parent[%d] = %d, want %d", i, gp[i], wp[i])
+		}
+	}
+}
+
+// fixture2 builds a 2-D substrate plus a pseudo-random membership and the
+// dense gather Build2 wants.
+func fixture2(t *testing.T, seed uint64, n int, keep float64) (*multigroup.Substrate, []int, []geom.Point2) {
+	t.Helper()
+	r := rng.New(seed)
+	hosts := r.UniformDiskN(n, 1)
+	sub, err := multigroup.NewSubstrate(hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var members []int
+	var dense []geom.Point2
+	for h := 0; h < n; h++ {
+		if r.Float64() < keep {
+			members = append(members, h)
+			dense = append(dense, hosts[h])
+		}
+	}
+	return sub, members, dense
+}
+
+// TestDifferential2D pins the tentpole guarantee: a single group on a
+// shared substrate builds byte-identically to Build2 over the same
+// membership, across sizes, degree bounds, and automatic/forced depths.
+func TestDifferential2D(t *testing.T) {
+	sizes := []struct {
+		n    int
+		keep float64
+	}{
+		{1, 1.0}, {2, 1.0}, {30, 0.7}, {500, 0.5}, {4000, 0.9},
+	}
+	if !testing.Short() {
+		sizes = append(sizes, struct {
+			n    int
+			keep float64
+		}{100000, 0.6})
+	}
+	degrees := []int{0, 4, 2, 3}
+	for _, sz := range sizes {
+		for _, deg := range degrees {
+			t.Run(fmt.Sprintf("n%d_deg%d", sz.n, deg), func(t *testing.T) {
+				if sz.n >= 100000 && deg != 0 {
+					t.Skip("big case runs the natural variant only")
+				}
+				sub, members, dense := fixture2(t, uint64(sz.n)*13+uint64(deg), sz.n, sz.keep)
+				source := geom.Point2{X: 0.1, Y: -0.2}
+				g, err := sub.NewGroup(multigroup.GroupConfig{Source: []float64{source.X, source.Y}, MaxOutDegree: deg})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, h := range members {
+					if err := g.Join(h); err != nil {
+						t.Fatal(err)
+					}
+				}
+				got, full, err := g.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !full {
+					t.Error("first build must be full")
+				}
+				var opts []core.Option
+				if deg != 0 {
+					opts = append(opts, core.WithMaxOutDegree(deg))
+				}
+				want, err := core.Build2(source, dense, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResult(t, got, want)
+			})
+		}
+	}
+}
+
+// TestDifferentialForceK covers the forced-depth variants: a feasible
+// forced k matches Build2 with the same forcing, and an infeasible one
+// errors on both paths.
+func TestDifferentialForceK(t *testing.T) {
+	sub, members, dense := fixture2(t, 99, 800, 0.8)
+	source := geom.Point2{}
+	for _, k := range []int{1, 2, 3} {
+		g, err := sub.NewGroup(multigroup.GroupConfig{Source: []float64{0, 0}, ForceK: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range members {
+			if err := g.Join(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, _, gotErr := g.Build()
+		want, wantErr := core.Build2(source, dense, core.WithForceK(k))
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("forceK=%d: group err %v, Build2 err %v", k, gotErr, wantErr)
+		}
+		if gotErr == nil {
+			sameResult(t, got, want)
+		}
+	}
+	// Far beyond feasibility: both must reject.
+	g, err := sub.NewGroup(multigroup.GroupConfig{Source: []float64{0, 0}, ForceK: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range members {
+		if err := g.Join(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := g.Build(); err == nil {
+		t.Error("infeasible forced k must fail through the group path")
+	}
+	if _, err := core.Build2(source, dense, core.WithForceK(14)); err == nil {
+		t.Error("infeasible forced k must fail through Build2")
+	}
+}
+
+// TestDifferentialDegenerate covers the degenerate geometries: empty
+// membership, a single member, and every member coincident with the
+// source.
+func TestDifferentialDegenerate(t *testing.T) {
+	source := geom.Point2{X: 0.25, Y: 0.25}
+	hosts := []geom.Point2{source, source, source, {X: 0.5, Y: 0.5}}
+	sub, err := multigroup.NewSubstrate(hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		members []int
+	}{
+		{"empty", nil},
+		{"single", []int{3}},
+		{"coincident", []int{0, 1, 2}},
+		{"mixed", []int{0, 1, 2, 3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := sub.NewGroup(multigroup.GroupConfig{Source: []float64{source.X, source.Y}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var dense []geom.Point2
+			for _, h := range tc.members {
+				if err := g.Join(h); err != nil {
+					t.Fatal(err)
+				}
+				dense = append(dense, hosts[h])
+			}
+			got, _, err := g.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := core.Build2(source, dense)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, got, want)
+		})
+	}
+}
+
+// TestDifferentialIncremental drives a group through joins and leaves,
+// comparing against a fresh Build2 after every churn batch — the group's
+// incremental path (including its dirty-cell fast path) must stay
+// byte-identical to from-scratch throughout.
+func TestDifferentialIncremental(t *testing.T) {
+	const n = 1500
+	r := rng.New(424242)
+	hosts := r.UniformDiskN(n, 1)
+	sub, err := multigroup.NewSubstrate(hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	source := geom.Point2{X: -0.05, Y: 0.07}
+	g, err := sub.NewGroup(multigroup.GroupConfig{Source: []float64{source.X, source.Y}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]bool, n)
+	for h := 0; h < n; h += 2 {
+		if err := g.Join(h); err != nil {
+			t.Fatal(err)
+		}
+		in[h] = true
+	}
+	sawIncremental := false
+	for step := 0; step < 40; step++ {
+		for i := 0; i < 10; i++ {
+			h := r.Intn(n)
+			if in[h] {
+				if err := g.Leave(h); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := g.Join(h); err != nil {
+					t.Fatal(err)
+				}
+			}
+			in[h] = !in[h]
+		}
+		got, full, err := g.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !full {
+			sawIncremental = true
+		}
+		var dense []geom.Point2
+		for h := 0; h < n; h++ {
+			if in[h] {
+				dense = append(dense, hosts[h])
+			}
+		}
+		want, err := core.Build2(source, dense)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, got, want)
+	}
+	if !sawIncremental {
+		t.Error("no churn batch took the incremental path; the differential exercised nothing new")
+	}
+}
+
+// TestDifferential3D and TestDifferentialD pin the one-shot paths on
+// non-2-D substrates to Build3/BuildD over the gathered membership.
+func TestDifferential3D(t *testing.T) {
+	r := rng.New(7)
+	hosts := r.UniformBall3N(600, 1)
+	sub, err := multigroup.NewSubstrate3(hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	source := geom.Point3{X: 0.1, Y: 0, Z: -0.1}
+	for _, deg := range []int{0, 4, 2} {
+		g, err := sub.NewGroup(multigroup.GroupConfig{Source: []float64{source.X, source.Y, source.Z}, MaxOutDegree: deg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dense []geom.Point3
+		for h := 0; h < 600; h++ {
+			if h%3 != 0 {
+				if err := g.Join(h); err != nil {
+					t.Fatal(err)
+				}
+				dense = append(dense, hosts[h])
+			}
+		}
+		got, full, err := g.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !full {
+			t.Error("3-D builds are one-shot; full must be true")
+		}
+		var opts []core.Option
+		if deg != 0 {
+			opts = append(opts, core.WithMaxOutDegree(deg))
+		}
+		want, err := core.Build3(source, dense, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, got, want)
+	}
+}
+
+func TestDifferentialD(t *testing.T) {
+	const d, n = 5, 400
+	r := rng.New(11)
+	vecs := r.UniformBallDN(n, d, 1)
+	axes := make([][]float64, d)
+	for a := range axes {
+		axes[a] = make([]float64, n)
+		for h := 0; h < n; h++ {
+			axes[a][h] = vecs[h][a]
+		}
+	}
+	sub, err := multigroup.NewSubstrateND(axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Dim() != d {
+		t.Fatalf("dim = %d, want %d", sub.Dim(), d)
+	}
+	source := make([]float64, d)
+	source[0] = 0.2
+	g, err := sub.NewGroup(multigroup.GroupConfig{Source: source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dense []geom.Vec
+	for h := 0; h < n; h++ {
+		if h%4 != 1 {
+			if err := g.Join(h); err != nil {
+				t.Fatal(err)
+			}
+			dense = append(dense, vecs[h])
+		}
+	}
+	got, _, err := g.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.BuildD(geom.Vec(source), dense, nil...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, got, want)
+}
+
+// TestGroupAPI covers the membership surface: range/duplicate errors,
+// Members ordering, view sharing across same-source groups, and config
+// validation.
+func TestGroupAPI(t *testing.T) {
+	sub, _, _ := fixture2(t, 3, 50, 0)
+	if _, err := sub.NewGroup(multigroup.GroupConfig{Source: []float64{1, 2, 3}}); err == nil {
+		t.Error("dim-mismatched source must be rejected")
+	}
+	g, err := sub.NewGroup(multigroup.GroupConfig{Source: []float64{0, 0}, ID: "api"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ID() != "api" {
+		t.Errorf("ID = %q", g.ID())
+	}
+	if err := g.Join(-1); err == nil {
+		t.Error("negative host must be rejected")
+	}
+	if err := g.Join(50); err == nil {
+		t.Error("out-of-range host must be rejected")
+	}
+	if err := g.Join(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join(7); err == nil {
+		t.Error("duplicate join must be rejected")
+	}
+	if err := g.Leave(8); err == nil {
+		t.Error("leaving a non-member must be rejected")
+	}
+	if err := g.Join(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Members(); len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Errorf("Members() = %v, want [3 7]", got)
+	}
+	if !g.Has(7) || g.Has(8) {
+		t.Error("Has is wrong")
+	}
+	if g.Size() != 2 {
+		t.Errorf("Size = %d", g.Size())
+	}
+	// Two groups on the same source share one polar view.
+	before := sub.Views()
+	if _, err := sub.NewGroup(multigroup.GroupConfig{Source: []float64{0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Views() != before {
+		t.Errorf("same-source group grew the view cache: %d -> %d", before, sub.Views())
+	}
+	if _, err := sub.NewGroup(multigroup.GroupConfig{Source: []float64{0.9, 0.9}}); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Views() != before+1 {
+		t.Errorf("new source must add one view: %d -> %d", before, sub.Views())
+	}
+	if g.MemoryBytes() <= 0 || sub.MemoryBytes() <= 0 {
+		t.Error("memory estimates must be positive")
+	}
+	// 3-D groups reject ForceK.
+	sub3, err := multigroup.NewSubstrate3([]geom.Point3{{X: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub3.NewGroup(multigroup.GroupConfig{Source: []float64{0, 0, 0}, ForceK: 2}); err == nil {
+		t.Error("ForceK on a 3-D substrate must be rejected")
+	}
+	// Substrate constructor validation.
+	if _, err := multigroup.NewSubstrate(nil); err == nil {
+		t.Error("empty population must be rejected")
+	}
+	if _, err := multigroup.NewSubstrateND(nil); err == nil {
+		t.Error("no axes must be rejected")
+	}
+	if _, err := multigroup.NewSubstrateND([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged axes must be rejected")
+	}
+	if _, err := multigroup.NewSubstrateND([][]float64{{}, {}}); err == nil {
+		t.Error("empty axes must be rejected")
+	}
+	if _, err := multigroup.NewSubstrate3(nil); err == nil {
+		t.Error("empty 3-D population must be rejected")
+	}
+}

@@ -1,0 +1,107 @@
+package multigroup_test
+
+import (
+	"testing"
+
+	"omtree/internal/core"
+	"omtree/internal/geom"
+	"omtree/internal/invariant"
+	"omtree/internal/multigroup"
+	"omtree/internal/rng"
+)
+
+// boundSlack absorbs float64 rounding in radius/bound comparisons, as in
+// the core bound tests.
+const boundSlack = 1e-9
+
+// auditGroup re-verifies one group's freshly built tree from scratch: the
+// invariant audit over the parent array plus the per-group eq. 7 bound.
+func auditGroup(t *testing.T, sub *multigroup.Substrate, g *multigroup.GroupTree, source geom.Point2, res *core.Result) {
+	t.Helper()
+	members := g.Members()
+	pos := func(node int) geom.Point2 {
+		if node == 0 {
+			return source
+		}
+		return sub.Host2(members[node-1])
+	}
+	dist := func(i, j int) float64 { return pos(i).Dist(pos(j)) }
+	if v := invariant.Check(res.Tree, len(members)+1, 0, res.MaxOutDegree, dist, res.Radius); len(v) != 0 {
+		t.Fatalf("group %s: invariant audit failed: %v", g.ID(), v)
+	}
+	if res.Bound > 0 && res.Radius > res.Bound*(1+boundSlack) {
+		t.Fatalf("group %s: radius %v exceeds eq. 7 bound %v", g.ID(), res.Radius, res.Bound)
+	}
+}
+
+// FuzzMultiGroup drives a random population of groups over one substrate
+// through random join/leave/build sequences. Every build is audited from
+// scratch (spanning tree, degree cap, radius recomputation) and must meet
+// its own eq. 7 bound — per group, regardless of how memberships overlap.
+func FuzzMultiGroup(f *testing.F) {
+	f.Add(uint64(1), uint16(40), uint8(3), uint8(20))
+	f.Add(uint64(7), uint16(300), uint8(6), uint8(40))
+	f.Add(uint64(42), uint16(5), uint8(1), uint8(10))
+	f.Add(uint64(9000), uint16(120), uint8(8), uint8(30))
+	f.Fuzz(func(t *testing.T, seed uint64, nHosts uint16, nGroups, nOps uint8) {
+		hosts := 3 + int(nHosts)%300
+		groups := 1 + int(nGroups)%8
+		ops := groups * (5 + int(nOps)%40)
+		r := rng.New(seed)
+		sub, err := multigroup.NewSubstrate(r.UniformDiskN(hosts, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A small source pool (smaller than the group count) forces view
+		// sharing; degree cycles through every wiring variant.
+		sources := []geom.Point2{{}, {X: 0.3, Y: 0.1}, {X: -0.4, Y: 0.4}}
+		degrees := []int{0, 2, 3, 4}
+		gs := make([]*multigroup.GroupTree, groups)
+		srcOf := make([]geom.Point2, groups)
+		for i := range gs {
+			srcOf[i] = sources[r.Intn(len(sources))]
+			g, err := sub.NewGroup(multigroup.GroupConfig{
+				Source:       []float64{srcOf[i].X, srcOf[i].Y},
+				MaxOutDegree: degrees[r.Intn(len(degrees))],
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gs[i] = g
+		}
+		for op := 0; op < ops; op++ {
+			i := r.Intn(groups)
+			g := gs[i]
+			switch r.Intn(4) {
+			case 0, 1: // join a random non-member, if any
+				h := r.Intn(hosts)
+				if !g.Has(h) {
+					if err := g.Join(h); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 2: // leave a random member, if any
+				m := g.Members()
+				if len(m) > 0 {
+					if err := g.Leave(m[r.Intn(len(m))]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 3:
+				res, _, err := g.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				auditGroup(t, sub, g, srcOf[i], res)
+			}
+		}
+		// Final audit of every group, built or not since its last churn.
+		for i, g := range gs {
+			res, _, err := g.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			auditGroup(t, sub, g, srcOf[i], res)
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package multigroup_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"omtree/internal/geom"
+	"omtree/internal/multigroup"
+	"omtree/internal/rng"
+)
+
+// TestConcurrentGroupsSharedSubstrate is the race hammer: many groups
+// build and incrementally rebuild concurrently over one substrate, with
+// the coordinate checksum asserted unchanged across the storm. Run under
+// -race (ci.sh does) this also proves the shared geometry is never
+// written after construction — the property that makes the sharing sound.
+func TestConcurrentGroupsSharedSubstrate(t *testing.T) {
+	const (
+		hosts       = 3000
+		sources     = 4
+		perSource   = 4
+		churnRounds = 6
+	)
+	r := rng.New(555)
+	sub, err := multigroup.NewSubstrate(r.UniformDiskN(hosts, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcPool := make([]geom.Point2, sources)
+	for i := range srcPool {
+		srcPool[i] = r.UniformDisk(0.3)
+	}
+	// Groups are created inside the goroutines, so same-source view-cache
+	// fills race each other on top of the build/rebuild concurrency.
+	before := sub.Checksum()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, sources*perSource)
+	for s := 0; s < sources; s++ {
+		for j := 0; j < perSource; j++ {
+			wg.Add(1)
+			go func(s, j int) {
+				defer wg.Done()
+				src := srcPool[s]
+				g, err := sub.NewGroup(multigroup.GroupConfig{Source: []float64{src.X, src.Y}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				lr := rng.New(uint64(1000*s + j))
+				for h := (s + j) % 2; h < hosts; h += 2 {
+					if err := g.Join(h); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if _, _, err := g.Build(); err != nil {
+					errs <- err
+					return
+				}
+				for round := 0; round < churnRounds; round++ {
+					for i := 0; i < 20; i++ {
+						h := lr.Intn(hosts)
+						if g.Has(h) {
+							if err := g.Leave(h); err != nil {
+								errs <- err
+								return
+							}
+						} else {
+							if err := g.Join(h); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}
+					res, _, err := g.Build()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if res.Bound > 0 && res.Radius > res.Bound*(1+boundSlack) {
+						errs <- fmt.Errorf("radius %v exceeds bound %v", res.Radius, res.Bound)
+						return
+					}
+				}
+			}(s, j)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := sub.Checksum(); after != before {
+		t.Fatalf("substrate mutated under concurrent group builds: checksum %x -> %x", before, after)
+	}
+	if got := sub.Views(); got != sources {
+		t.Errorf("view cache has %d entries, want %d (one per distinct source)", got, sources)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package multigroup_test
+
+// raceEnabled mirrors the -race build flag so the scale harness can skip
+// itself under the race detector (5-10x slowdown on a deliberately large
+// workload); the dedicated race hammer covers the concurrency contract.
+const raceEnabled = false

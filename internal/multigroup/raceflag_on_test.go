@@ -1,0 +1,6 @@
+//go:build race
+
+package multigroup_test
+
+// raceEnabled mirrors the -race build flag; see raceflag_off_test.go.
+const raceEnabled = true

@@ -1,0 +1,125 @@
+package multigroup_test
+
+import (
+	"runtime"
+	"testing"
+
+	"omtree/internal/geom"
+	"omtree/internal/multigroup"
+	"omtree/internal/obs"
+	"omtree/internal/rng"
+)
+
+// TestThousandGroupsResident is the tentpole's scale target: 1,000 groups
+// of 10k members each, resident simultaneously over one 12k-host substrate
+// whose geometry is built once (8 distinct sources -> 8 cached polar
+// views, not 1,000). Every group's build must meet its own eq. 7 bound; a
+// sample of groups gets the full from-scratch invariant audit.
+func TestThousandGroupsResident(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large resident-set harness; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("large resident-set harness; covered by the smaller race hammer under -race")
+	}
+	const (
+		hosts     = 12000
+		groups    = 1000
+		groupSize = 10000
+		sources   = 8
+	)
+	r := rng.New(20260808)
+	reg := obs.New()
+	reg.SetLabelCap(16) // 1,000 group ids must collapse, not explode the registry
+	sub, err := multigroup.NewSubstrate(r.UniformDiskN(hosts, 1), multigroup.WithObserver(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcPool := make([]geom.Point2, sources)
+	for i := range srcPool {
+		srcPool[i] = r.UniformDisk(0.2)
+	}
+
+	gs := make([]*multigroup.GroupTree, groups)
+	srcOf := make([]geom.Point2, groups)
+	var groupMem int64
+	for i := 0; i < groups; i++ {
+		src := srcPool[i%sources]
+		srcOf[i] = src
+		g, err := sub.NewGroup(multigroup.GroupConfig{Source: []float64{src.X, src.Y}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sliding membership window: every pair of groups overlaps heavily
+		// (the multi-tenant case) while no two memberships are equal.
+		start := (i * 7) % (hosts - groupSize)
+		for h := start; h < start+groupSize; h++ {
+			if err := g.Join(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, full, err := g.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !full {
+			t.Fatalf("group %d: first build must be full", i)
+		}
+		if res.Bound <= 0 || res.Radius > res.Bound*(1+boundSlack) {
+			t.Fatalf("group %d: radius %v vs bound %v", i, res.Radius, res.Bound)
+		}
+		if i%100 == 0 {
+			auditGroup(t, sub, g, src, res)
+		}
+		gs[i] = g
+		groupMem += g.MemoryBytes()
+	}
+
+	// The substrate was built once and shared: one polar view per distinct
+	// source, not per group.
+	if got := sub.Views(); got != sources {
+		t.Errorf("view cache has %d entries, want %d", got, sources)
+	}
+	subMem := sub.MemoryBytes()
+	reg.Gauge("multigroup/substrate_bytes").Set(float64(subMem))
+	reg.Gauge("multigroup/groups_bytes").Set(float64(groupMem))
+	// Shared-substrate accounting: G resident groups must not cost G copies
+	// of the substrate. With 8 views over 12k hosts the substrate side
+	// stays a tiny fraction of the per-group state.
+	if subMem > groupMem/10 {
+		t.Errorf("substrate %d B vs groups %d B: sharing failed to amortize", subMem, groupMem)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	t.Logf("resident: %d groups x %d members, substrate %.1f MB, groups %.1f MB (est), heap %.1f MB",
+		groups, groupSize, float64(subMem)/1e6, float64(groupMem)/1e6, float64(ms.HeapAlloc)/1e6)
+
+	// Incremental churn still works per group with everything resident.
+	for _, i := range []int{0, groups / 2, groups - 1} {
+		g := gs[i]
+		m := g.Members()
+		if err := g.Leave(m[len(m)/2]); err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := g.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Bound <= 0 || res.Radius > res.Bound*(1+boundSlack) {
+			t.Fatalf("group %d after churn: radius %v vs bound %v", i, res.Radius, res.Bound)
+		}
+	}
+
+	// The labeled-metrics cardinality guard held: at most cap+1 series per
+	// labeled family despite 1,000 distinct group ids.
+	var rebuildSeries int
+	for _, c := range reg.Snapshot().Counters {
+		if len(c.Name) > 24 && c.Name[:24] == "multigroup/rebuilds_full" {
+			rebuildSeries++
+		}
+	}
+	if rebuildSeries > 17 {
+		t.Errorf("%d rebuild series; the label cap (16+other) did not hold", rebuildSeries)
+	}
+	runtime.KeepAlive(gs)
+}

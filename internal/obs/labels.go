@@ -1,0 +1,106 @@
+package obs
+
+// Labeled metrics: the per-group dimension the multi-group layer needs,
+// without growing the registry model. A labeled counter or gauge is an
+// ordinary registry entry whose name carries one key="value" label pair in
+// the familiar brace syntax, so snapshots render and sort it like any other
+// series. What the registry adds is a bounded-cardinality guard: group ids
+// arrive from callers (potentially thousands of them, or unbounded in a
+// fuzzer), and an unbounded label set would turn the registry into a leak.
+// Each (name, key) series admits at most LabelCap distinct values; later
+// values collapse into the reserved value "other", so the total series
+// count stays bounded while the aggregate total stays exact.
+
+// DefaultLabelCap is the per-(name, key) distinct-value budget used until
+// SetLabelCap overrides it.
+const DefaultLabelCap = 64
+
+// labelOverflow is the reserved value that absorbs labels past the cap.
+const labelOverflow = "other"
+
+// SetLabelCap sets the per-(name, key) distinct-label budget for subsequent
+// labeled lookups. Values already admitted stay admitted; n <= 0 resets to
+// DefaultLabelCap. No-op on a nil registry.
+func (r *Registry) SetLabelCap(n int) {
+	if r == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultLabelCap
+	}
+	r.mu.Lock()
+	r.labelCap = n
+	r.mu.Unlock()
+}
+
+// admitLabel resolves the value actually used for a label pair, creating
+// the series' admission set on first use. Caller holds r.mu.
+func (r *Registry) admitLabel(name, key, value string) string {
+	if value == labelOverflow {
+		return value // the overflow bucket is always admitted and never counted
+	}
+	if r.labels == nil {
+		r.labels = make(map[string]map[string]bool)
+	}
+	series := name + "|" + key
+	seen, ok := r.labels[series]
+	if !ok {
+		seen = make(map[string]bool)
+		r.labels[series] = seen
+	}
+	if seen[value] {
+		return value
+	}
+	cap := r.labelCap
+	if cap <= 0 {
+		cap = DefaultLabelCap
+	}
+	if len(seen) >= cap {
+		return labelOverflow
+	}
+	seen[value] = true
+	return value
+}
+
+// labeledName renders the full series name for a label pair.
+func labeledName(name, key, value string) string {
+	return name + "{" + key + "=\"" + value + "\"}"
+}
+
+// LabeledCounter resolves the counter for one key="value" label pair under
+// name, e.g. LabeledCounter("group/rebuilds", "group", "news") increments
+// the series `group/rebuilds{group="news"}`. Once a (name, key) series has
+// admitted LabelCap distinct values, further values share the series
+// `name{key="other"}`. Returns nil on a nil registry.
+func (r *Registry) LabeledCounter(name, key, value string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	full := labeledName(name, key, r.admitLabel(name, key, value))
+	c, ok := r.counters[full]
+	if !ok {
+		c = &Counter{r: r}
+		r.counters[full] = c
+	}
+	r.mu.Unlock()
+	return c
+}
+
+// LabeledGauge is LabeledCounter for gauges, with the same admission guard.
+// Overflowing gauges share one last-write-wins series, which loses per-value
+// resolution but keeps the registry bounded.
+func (r *Registry) LabeledGauge(name, key, value string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	full := labeledName(name, key, r.admitLabel(name, key, value))
+	g, ok := r.gauges[full]
+	if !ok {
+		g = &Gauge{r: r}
+		r.gauges[full] = g
+	}
+	r.mu.Unlock()
+	return g
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLabeledCounterBasics(t *testing.T) {
+	r := New()
+	r.LabeledCounter("group/rebuilds", "group", "a").Add(2)
+	r.LabeledCounter("group/rebuilds", "group", "b").Inc()
+	r.LabeledCounter("group/rebuilds", "group", "a").Inc()
+
+	s := r.Snapshot()
+	got := map[string]int64{}
+	for _, c := range s.Counters {
+		got[c.Name] = c.Value
+	}
+	if got[`group/rebuilds{group="a"}`] != 3 {
+		t.Errorf("series a = %d, want 3", got[`group/rebuilds{group="a"}`])
+	}
+	if got[`group/rebuilds{group="b"}`] != 1 {
+		t.Errorf("series b = %d, want 1", got[`group/rebuilds{group="b"}`])
+	}
+}
+
+func TestLabeledGaugeBasics(t *testing.T) {
+	r := New()
+	r.LabeledGauge("group/radius", "group", "x").Set(1.5)
+	r.LabeledGauge("group/radius", "group", "x").Set(2.5)
+	if v := r.LabeledGauge("group/radius", "group", "x").Value(); v != 2.5 {
+		t.Errorf("gauge = %v, want 2.5", v)
+	}
+}
+
+func TestLabelCapOverflow(t *testing.T) {
+	r := New()
+	r.SetLabelCap(3)
+	for i := 0; i < 10; i++ {
+		r.LabeledCounter("c", "g", fmt.Sprintf("v%d", i)).Inc()
+	}
+	s := r.Snapshot()
+	var series, otherVal, total int64
+	for _, c := range s.Counters {
+		if !strings.HasPrefix(c.Name, "c{") {
+			continue
+		}
+		series++
+		total += c.Value
+		if c.Name == `c{g="other"}` {
+			otherVal = c.Value
+		}
+	}
+	if series != 4 { // 3 admitted + "other"
+		t.Errorf("got %d series, want 4", series)
+	}
+	if otherVal != 7 {
+		t.Errorf(`c{g="other"} = %d, want 7`, otherVal)
+	}
+	if total != 10 {
+		t.Errorf("aggregate total = %d, want 10 (overflow must not lose counts)", total)
+	}
+	// Admitted values stay pinned to their own series after overflow began.
+	r.LabeledCounter("c", "g", "v0").Inc()
+	if got := r.LabeledCounter("c", "g", "v0").Value(); got != 2 {
+		t.Errorf(`c{g="v0"} = %d, want 2`, got)
+	}
+	// Explicit "other" always lands in the overflow bucket and never
+	// consumes admission budget.
+	r2 := New()
+	r2.SetLabelCap(2)
+	r2.LabeledCounter("c", "g", "other").Inc()
+	r2.LabeledCounter("c", "g", "a").Inc()
+	r2.LabeledCounter("c", "g", "b").Inc()
+	if got := r2.LabeledCounter("c", "g", "b").Value(); got != 1 {
+		t.Errorf(`"other" consumed admission budget: c{g="b"} = %d, want 1`, got)
+	}
+}
+
+func TestSetLabelCapResets(t *testing.T) {
+	r := New()
+	r.SetLabelCap(-5) // resets to default
+	for i := 0; i < DefaultLabelCap+5; i++ {
+		r.LabeledCounter("c", "g", fmt.Sprintf("v%d", i)).Inc()
+	}
+	if got := r.LabeledCounter("c", "g", "other").Value(); got != 5 {
+		t.Errorf("overflow after default cap = %d, want 5", got)
+	}
+	// Raising the cap later admits new values again without disturbing
+	// what is already admitted.
+	r.SetLabelCap(DefaultLabelCap + 10)
+	r.LabeledCounter("c", "g", "fresh").Inc()
+	if got := r.LabeledCounter("c", "g", "fresh").Value(); got != 1 {
+		t.Errorf("fresh value after cap raise = %d, want 1", got)
+	}
+}
+
+func TestLabeledNilRegistry(t *testing.T) {
+	var r *Registry
+	r.SetLabelCap(7) // must not panic
+	c := r.LabeledCounter("c", "g", "x")
+	if c != nil {
+		t.Error("nil registry must return a nil counter handle")
+	}
+	c.Inc() // nil handle is a no-op
+	g := r.LabeledGauge("g", "g", "x")
+	if g != nil {
+		t.Error("nil registry must return a nil gauge handle")
+	}
+	g.Set(1)
+}
+
+func TestLabeledConcurrent(t *testing.T) {
+	r := New()
+	r.SetLabelCap(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.LabeledCounter("c", "g", fmt.Sprintf("v%d", i%16)).Inc()
+				r.LabeledGauge("r", "g", fmt.Sprintf("v%d", i%16)).Set(float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, c := range r.Snapshot().Counters {
+		total += c.Value
+	}
+	if total != 8*200 {
+		t.Errorf("total = %d, want %d", total, 8*200)
+	}
+}

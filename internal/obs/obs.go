@@ -48,6 +48,9 @@ type Registry struct {
 	hists    map[string]*Histogram
 	spans    map[string]*spanStat
 	funcs    map[string]func() int64
+
+	labels   map[string]map[string]bool // labeled series -> admitted values (labels.go)
+	labelCap int                        // 0 means DefaultLabelCap
 }
 
 // New returns an empty, enabled registry.

@@ -1,0 +1,207 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+
+	"omtree/internal/faultplane"
+	"omtree/internal/geom"
+	"omtree/internal/obs"
+	"omtree/internal/obs/trace"
+)
+
+// GroupSet runs several multicast sessions — one Overlay per group — over
+// ONE transport and ONE failure-detector tuning, the protocol face of the
+// multi-group substrate: a deployment keeps a single control-plane socket
+// and heartbeat schedule per host, not one per group the host belongs to.
+//
+// Create injects the shared transport into every group (a Config carrying
+// its own Transport or Faults is rejected: the set owns both), and
+// MaintenanceAll runs one failure-detector round across all groups while
+// advancing the shared transport's virtual round clock exactly once — G
+// groups share the heartbeat cadence instead of multiplying it.
+//
+// Per-group control traffic lands on the attached registry as labeled
+// counters ("groupset/joins{group=...}" etc.), bounded by the registry's
+// label cap. Like Overlay, a GroupSet is not safe for concurrent use.
+type GroupSet struct {
+	shared *sharedTransport // nil when the set is reliable
+	faults FaultConfig
+	reg    *obs.Registry
+
+	groups map[string]*Overlay
+	names  []string // sorted; deterministic MaintenanceAll order
+}
+
+// NewGroupSet creates an empty set. A nil transport makes every group
+// reliable (the original analyzable model); fault tuning without a
+// transport is rejected exactly as in Config.Validate. The registry may be
+// nil.
+func NewGroupSet(t Transport, faults FaultConfig, reg *obs.Registry) (*GroupSet, error) {
+	if faults != (FaultConfig{}) {
+		if t == nil {
+			return nil, fmt.Errorf("protocol: group set fault tuning configured with a nil transport")
+		}
+		if err := faults.validate(); err != nil {
+			return nil, err
+		}
+	} else if t != nil {
+		faults = DefaultFaultConfig()
+	}
+	gs := &GroupSet{faults: faults, reg: reg, groups: make(map[string]*Overlay)}
+	if t != nil {
+		gs.shared = &sharedTransport{t: t}
+	}
+	return gs, nil
+}
+
+// Create starts a new group's session. cfg must leave Transport and Faults
+// zero — the set injects its shared ones — and the name must be new.
+func (s *GroupSet) Create(name string, cfg Config) (*Overlay, error) {
+	if name == "" {
+		return nil, fmt.Errorf("protocol: group name must be non-empty")
+	}
+	if _, ok := s.groups[name]; ok {
+		return nil, fmt.Errorf("protocol: group %q already exists", name)
+	}
+	if cfg.Transport != nil {
+		return nil, fmt.Errorf("protocol: group %q supplies its own transport; the set owns the shared one", name)
+	}
+	if cfg.Faults != (FaultConfig{}) {
+		return nil, fmt.Errorf("protocol: group %q supplies its own fault tuning; the set owns the shared one", name)
+	}
+	if s.shared != nil {
+		cfg.Transport = s.shared
+		cfg.Faults = s.faults
+	}
+	o, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o.reg = s.reg // build phases and overlay gauges share the set's registry
+	s.groups[name] = o
+	i := sort.SearchStrings(s.names, name)
+	s.names = append(s.names, "")
+	copy(s.names[i+1:], s.names[i:])
+	s.names[i] = name
+	s.reg.LabeledCounter("groupset/created", "group", name).Inc()
+	return o, nil
+}
+
+// Group returns the named group's session (nil if absent) for operations
+// the set does not wrap: Optimize, Snapshot, Audit, drift control, ...
+func (s *GroupSet) Group(name string) *Overlay { return s.groups[name] }
+
+// Names returns the group names in sorted order.
+func (s *GroupSet) Names() []string { return append([]string(nil), s.names...) }
+
+// Len returns the number of groups.
+func (s *GroupSet) Len() int { return len(s.groups) }
+
+// Join adds a member to the named group.
+func (s *GroupSet) Join(group string, p geom.Point2) (int, OpStats, error) {
+	o, ok := s.groups[group]
+	if !ok {
+		return 0, OpStats{}, fmt.Errorf("protocol: no group %q", group)
+	}
+	id, st, err := o.Join(p)
+	if err == nil {
+		s.reg.LabeledCounter("groupset/joins", "group", group).Inc()
+		s.reg.LabeledGauge("groupset/members", "group", group).Set(float64(o.N()))
+	}
+	return id, st, err
+}
+
+// Leave removes a member from the named group.
+func (s *GroupSet) Leave(group string, id int) (OpStats, error) {
+	o, ok := s.groups[group]
+	if !ok {
+		return OpStats{}, fmt.Errorf("protocol: no group %q", group)
+	}
+	st, err := o.Leave(id)
+	if err == nil {
+		s.reg.LabeledCounter("groupset/leaves", "group", group).Inc()
+		s.reg.LabeledGauge("groupset/members", "group", group).Set(float64(o.N()))
+	}
+	return st, err
+}
+
+// Rebuild refreshes the named group's tree from its retained build state.
+func (s *GroupSet) Rebuild(group string) (OpStats, error) {
+	o, ok := s.groups[group]
+	if !ok {
+		return OpStats{}, fmt.Errorf("protocol: no group %q", group)
+	}
+	st, err := o.Rebuild()
+	if err == nil {
+		s.reg.LabeledCounter("groupset/rebuilds", "group", group).Inc()
+	}
+	return st, err
+}
+
+// MaintenanceAll runs one failure-detector round in every group (sorted
+// name order), advancing the shared transport's round clock exactly once:
+// scheduled fault events fire once per sweep, and every group's detector
+// observes the same epoch. Returns per-group stats keyed by name; the
+// first error aborts the sweep.
+func (s *GroupSet) MaintenanceAll() (map[string]MaintenanceStats, error) {
+	if s.shared != nil {
+		s.shared.tick()
+	}
+	out := make(map[string]MaintenanceStats, len(s.groups))
+	for _, name := range s.names {
+		ms, err := s.groups[name].MaintenanceRound()
+		if err != nil {
+			return out, fmt.Errorf("protocol: group %q maintenance: %w", name, err)
+		}
+		out[name] = ms
+	}
+	return out, nil
+}
+
+// sharedTransport adapts one Transport for several Overlays. Delivery,
+// jitter, tracing, and partition state delegate straight through; the
+// round clock is the one piece that must not be multiplied — every
+// overlay's MaintenanceRound calls Tick, so the adapter forwards only the
+// tick the set itself arms per MaintenanceAll sweep and absorbs the rest.
+type sharedTransport struct {
+	t       Transport
+	pending bool // one forwarded Tick armed
+}
+
+func (s *sharedTransport) Attempt(from, to int32) faultplane.Outcome { return s.t.Attempt(from, to) }
+func (s *sharedTransport) Jitter() float64                           { return s.t.Jitter() }
+
+// AttemptTraced delegates when the wrapped transport can trace and draws
+// through the plain path otherwise — same stream either way, as the
+// TracedTransport contract requires.
+func (s *sharedTransport) AttemptTraced(from, to int32, tc trace.Ctx) faultplane.Outcome {
+	if tt, ok := s.t.(TracedTransport); ok {
+		return tt.AttemptTraced(from, to, tc)
+	}
+	return s.t.Attempt(from, to)
+}
+
+// tick arms one forwarded Tick for the next Tick() call.
+func (s *sharedTransport) tick() { s.pending = true }
+
+// Tick forwards the armed tick to the wrapped round clock and absorbs the
+// redundant per-overlay calls that follow within the same sweep.
+func (s *sharedTransport) Tick() {
+	if !s.pending {
+		return
+	}
+	s.pending = false
+	if rt, ok := s.t.(RoundTicker); ok {
+		rt.Tick()
+	}
+}
+
+// Partitioned reports the wrapped transport's partition state (0 — whole —
+// when it has none to report).
+func (s *sharedTransport) Partitioned() int {
+	if pt, ok := s.t.(PartitionedTransport); ok {
+		return pt.Partitioned()
+	}
+	return 0
+}

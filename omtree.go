@@ -15,7 +15,8 @@
 // Supporting toolkits are re-exported here: baselines (Star, GreedyClosest,
 // BandwidthLatency, ...), the discrete-event overlay simulator (NewSim,
 // Repair), the GNP-style network-coordinates substrate (Embed,
-// TransitStub), and deterministic geometric samplers (NewRand).
+// TransitStub), the multi-group shared substrate (NewSubstrate,
+// Substrate.NewGroup), and deterministic geometric samplers (NewRand).
 package omtree
 
 import (
@@ -27,6 +28,7 @@ import (
 	"omtree/internal/core"
 	"omtree/internal/faultplane"
 	"omtree/internal/geom"
+	"omtree/internal/multigroup"
 	"omtree/internal/netsim"
 	"omtree/internal/obs"
 	"omtree/internal/obs/trace"
@@ -161,6 +163,45 @@ type BuildState = core.BuildState
 // NewBuildState returns an empty retained build rooted at source, ready
 // for Add/Remove/Rebuild cycles.
 var NewBuildState = core.NewBuildState
+
+// Multi-group types (see internal/multigroup): many multicast groups over
+// one shared host population. A Substrate holds the coordinates and every
+// index derived only from them, built once; each GroupTree holds one
+// group's private membership and tree state. A group's Build returns
+// exactly what Build/Build3D/BuildND would for the same source and the
+// members' coordinates in ascending host order.
+type (
+	// Substrate is the shared, read-only half of a multi-group deployment.
+	Substrate = multigroup.Substrate
+	// SubstrateOption configures a Substrate.
+	SubstrateOption = multigroup.SubstrateOption
+	// GroupTree is one group's private tree state on a Substrate.
+	GroupTree = multigroup.GroupTree
+	// GroupConfig describes one group: source, degree bound, grid knobs.
+	GroupConfig = multigroup.GroupConfig
+)
+
+// Multi-group constructors.
+var (
+	// NewSubstrate builds the shared substrate over a 2-D host population.
+	NewSubstrate = multigroup.NewSubstrate
+	// NewSubstrate3 is NewSubstrate for 3-D hosts.
+	NewSubstrate3 = multigroup.NewSubstrate3
+	// NewSubstrateND is NewSubstrate for one coordinate slice per axis.
+	NewSubstrateND = multigroup.NewSubstrateND
+	// WithSubstrateObserver routes per-group labeled metrics to a registry
+	// (bounded by the registry's label cap).
+	WithSubstrateObserver = multigroup.WithObserver
+)
+
+// OverlayGroupSet runs several live sessions — one Overlay per group —
+// over one shared transport and failure-detector tuning; MaintenanceAll
+// sweeps every group while advancing the shared round clock exactly once.
+type OverlayGroupSet = protocol.GroupSet
+
+// NewOverlayGroupSet creates an empty group set. A nil transport makes
+// every group reliable; the registry may be nil.
+var NewOverlayGroupSet = protocol.NewGroupSet
 
 // BuildBisection runs the stand-alone constant-factor Bisection over an
 // arbitrary planar point set. Unlike Build, the source indexes into points

@@ -311,3 +311,78 @@ func TestFacadeBuildState(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFacadeMultiGroup(t *testing.T) {
+	r := omtree.NewRand(11)
+	hosts := r.UniformDiskN(400, 1)
+	reg := omtree.NewObserver()
+	sub, err := omtree.NewSubstrate(hosts, omtree.WithSubstrateObserver(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two groups with overlapping memberships on one substrate; each build
+	// equals the stand-alone Build over the same members.
+	var groups []*omtree.GroupTree
+	for gi := 0; gi < 2; gi++ {
+		g, err := sub.NewGroup(omtree.GroupConfig{
+			Source: []float64{0, 0}, MaxOutDegree: 6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for h := gi * 100; h < gi*100+250; h++ {
+			if err := g.Join(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		groups = append(groups, g)
+	}
+	for _, g := range groups {
+		res, full, err := g.Build()
+		if err != nil || !full {
+			t.Fatalf("build: full=%v err=%v", full, err)
+		}
+		members := g.Members()
+		recv := make([]omtree.Point2, len(members))
+		for i, h := range members {
+			recv[i] = sub.Host2(h)
+		}
+		want, err := omtree.Build(omtree.Point2{}, recv, omtree.WithMaxOutDegree(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Radius != want.Radius || res.K != want.K {
+			t.Fatalf("shared-substrate build differs: %+v vs %+v", res, want)
+		}
+	}
+	if sub.Views() != 1 {
+		t.Errorf("views = %d, want 1 (both groups share one source)", sub.Views())
+	}
+
+	// Group set of live sessions through the facade.
+	gs, err := omtree.NewOverlayGroupSet(nil, omtree.OverlayFaultConfig{}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"news", "music"} {
+		if _, err := gs.Create(name, omtree.OverlayConfig{Scale: 1, K: 3, MaxOutDegree: 6}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		p := r.UniformDisk(1)
+		for _, name := range gs.Names() {
+			if _, _, err := gs.Join(name, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := gs.MaintenanceAll(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range gs.Names() {
+		if err := gs.Group(name).Audit(); err != nil {
+			t.Fatalf("group %s: %v", name, err)
+		}
+	}
+}

@@ -11,11 +11,12 @@
 #   BENCH_TOLERANCE  allowed ns/op regression as a fraction (default 0.02,
 #                    i.e. the 2% budget from EXPERIMENTS.md)
 #
-# Benchmarks are matched by name. A benchmark present on only one side is
-# skipped with a warning on stderr — plus a count summary — but does not
-# fail the comparison (new benchmarks have no baseline yet; retired ones no
-# longer matter). Exit status is non-zero when any shared benchmark's ns/op
-# exceeds baseline * (1 + tolerance).
+# Benchmarks are matched by name. A benchmark present only in the snapshot
+# gets a "new" verdict row (it has no baseline yet — add it to
+# BENCH_baseline.json to start tracking it); one present only in the
+# baseline is skipped with a warning on stderr (retired benchmarks no
+# longer matter). Neither fails the comparison. Exit status is non-zero
+# when any shared benchmark's ns/op exceeds baseline * (1 + tolerance).
 #
 # ns/op on a shared CI box is noisy; re-run with BENCH_COUNT=5 (see
 # scripts/bench.sh) before treating a small overshoot as real.
@@ -82,14 +83,17 @@ awk -v tol="$TOL" -v basefile="$BASE" -v snapfile="$SNAP" '
         }
         for (name in snap) {
             if (!(name in base)) {
-                printf "bench_compare: warning: skipping %s (snapshot only; no baseline yet)\n", \
-                    name > "/dev/stderr"
+                printf "  %-16s %12s -> %12.2f ns/op  %7s  new\n", \
+                    name, "-", snap[name], "-"
                 snap_only++
             }
         }
-        if (base_only + snap_only > 0)
-            printf "bench_compare: skipped %d unmatched benchmark(s): %d baseline-only, %d snapshot-only\n", \
-                base_only + snap_only, base_only, snap_only > "/dev/stderr"
+        if (snap_only > 0)
+            printf "bench_compare: %d new benchmark(s) have no baseline yet; add them to BENCH_baseline.json\n", \
+                snap_only > "/dev/stderr"
+        if (base_only > 0)
+            printf "bench_compare: skipped %d baseline-only benchmark(s)\n", \
+                base_only > "/dev/stderr"
         if (fail) {
             printf "bench_compare: ns/op regression beyond %.0f%% tolerance\n", 100 * tol > "/dev/stderr"
             exit 1
