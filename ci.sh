@@ -3,8 +3,8 @@
 # the race-detector run that guards the parallel build pipeline and the
 # shared multi-group substrate, and short fuzz smokes over the codec,
 # fault-schedule, partition-schedule, drift-schedule, incremental-rebuild,
-# and multi-group fuzzers. `ci.sh bench` runs the benchmark regression
-# gate instead.
+# multi-group, and SLO-rule fuzzers. `ci.sh bench` runs the benchmark
+# regression gate instead.
 set -eu
 
 cd "$(dirname "$0")"
@@ -56,6 +56,7 @@ check_cover() {
 }
 check_cover ./internal/obs 92
 check_cover ./internal/obs/trace 90
+check_cover ./internal/obs/flight 90
 check_cover ./internal/core 89
 check_cover ./internal/coords 92
 check_cover ./internal/grid 90
@@ -80,5 +81,6 @@ go test -run='^$' -fuzz='^FuzzPartitionSchedule$' -fuzztime=10s ./internal/proto
 go test -run='^$' -fuzz='^FuzzDriftSchedule$' -fuzztime=10s ./internal/protocol
 go test -run='^$' -fuzz='^FuzzIncrementalRebuild$' -fuzztime=10s ./internal/protocol
 go test -run='^$' -fuzz='^FuzzMultiGroup$' -fuzztime=10s ./internal/multigroup
+go test -run='^$' -fuzz='^FuzzSLORules$' -fuzztime=10s ./internal/obs/flight
 
 echo "ci: all green"

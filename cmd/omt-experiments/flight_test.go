@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"omtree/internal/obs/flight"
+)
+
+// TestFlightRequiresDrift: -flight samples the drift sweep, so selecting it
+// without -drift is a usage error, reported before any file is created.
+func TestFlightRequiresDrift(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	var out bytes.Buffer
+	err := run([]string{"-table1", "-sizes", "100", "-trials", "1", "-flight", path}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-drift") {
+		t.Fatalf("err = %v, want a -flight requires -drift error", err)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Error("rejected -flight still created the output file")
+	}
+}
+
+// TestFlightTuningRequiresFlight: the interval and rule flags configure a
+// recorder, so alone they are usage errors.
+func TestFlightTuningRequiresFlight(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-drift", "-trials", "1", "-slo", "a > 1"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-slo requires -flight") {
+		t.Fatalf("err = %v, want a -slo requires -flight error", err)
+	}
+	err = run([]string{"-drift", "-trials", "1", "-flight-interval", "2"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-flight-interval requires -flight") {
+		t.Fatalf("err = %v, want a -flight-interval requires -flight error", err)
+	}
+}
+
+// TestDriftSweepFlight: -drift with -flight writes re-parseable JSONL
+// samples carrying the protocol series and appends the health report, with
+// the watched rule listed in the slo section.
+func TestDriftSweepFlight(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	var out bytes.Buffer
+	args := []string{"-drift", "-trials", "1", "-seed", "7",
+		"-flight", path, "-slo", "cert: protocol/certificate_ratio > 1.3"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "flight health report") {
+		t.Fatalf("stdout missing the health report:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "cert: protocol/certificate_ratio > 1.3") {
+		t.Fatalf("report missing the watched rule:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) == 0 {
+		t.Fatal("flight file is empty")
+	}
+	sawProtocol := false
+	for _, line := range lines {
+		var s flight.Sample
+		if err := json.Unmarshal(line, &s); err != nil {
+			t.Fatalf("line %q is not a sample: %v", line, err)
+		}
+		if s.Counters["protocol/maintenance_rounds"] > 0 {
+			sawProtocol = true
+		}
+	}
+	if !sawProtocol {
+		t.Fatal("no sample carried the trials' protocol counters")
+	}
+}

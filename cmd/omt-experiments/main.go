@@ -18,10 +18,16 @@
 // -metrics FILE writes a JSON metrics snapshot (aggregated build-phase
 // spans across every trial) on exit and embeds it in the -json manifest;
 // -trace FILE writes the faults sweep's causal event timeline as Chrome
-// trace-event JSON (requires -faults; load it in Perfetto); -pprof ADDR
-// serves net/http/pprof for live profiling. All are off by default and do
-// not change any result. Output files are created up front, so an
-// unwritable path fails before the sweep starts.
+// trace-event JSON (requires -faults; load it in Perfetto); -flight FILE
+// attaches a flight recorder to the drift sweep (requires -drift): every
+// trial's maintenance rounds land registry samples with per-series rates in
+// a bounded ring, -slo RULES watches them against declarative health rules,
+// the ring is written to FILE as JSONL and a deterministic health report is
+// appended to stdout; -openmetrics FILE writes the final registry state as
+// Prometheus/OpenMetrics exposition text; -pprof ADDR serves net/http/pprof
+// for live profiling. All are off by default and do not change any result.
+// Output files are created up front, so an unwritable path fails before the
+// sweep starts.
 package main
 
 import (
@@ -36,8 +42,10 @@ import (
 	"strconv"
 	"strings"
 
+	"omtree/internal/cliutil"
 	"omtree/internal/experiment"
 	"omtree/internal/obs"
+	"omtree/internal/obs/flight"
 	"omtree/internal/obs/trace"
 )
 
@@ -64,20 +72,6 @@ func startPprof(addr string) error {
 	}
 	go http.Serve(ln, nil)
 	return nil
-}
-
-// createOutput opens path for writing immediately, so a misspelled or
-// unwritable destination fails before the sweep runs instead of after it.
-// An empty path yields a nil file (feature off).
-func createOutput(flagName, path string) (*os.File, error) {
-	if path == "" {
-		return nil, nil
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return nil, fmt.Errorf("-%s: %w", flagName, err)
-	}
-	return f, nil
 }
 
 func run(args []string, out io.Writer) error {
@@ -108,6 +102,10 @@ func run(args []string, out io.Writer) error {
 	jsonPath := fs.String("json", "", "write all executed experiment rows as JSON here")
 	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot (build-phase spans) here on exit")
 	tracePath := fs.String("trace", "", "write the faults sweep's Chrome trace-event JSON timeline here (requires -faults)")
+	flightPath := fs.String("flight", "", "record the drift sweep's flight samples and write them here as JSONL (requires -drift)")
+	flightInterval := fs.Int("flight-interval", 1, "sample every N maintenance rounds (requires -flight)")
+	sloSpec := fs.String("slo", "", "';'-joined SLO rules watched per flight sample (requires -flight)")
+	openMetricsPath := fs.String("openmetrics", "", "write the final registry state as OpenMetrics exposition text here on exit")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,16 +113,6 @@ func run(args []string, out io.Writer) error {
 	if err := startPprof(*pprofAddr); err != nil {
 		return err
 	}
-	// Fail fast: requested outputs must be writable before hours of sweeping.
-	metricsF, err := createOutput("metrics", *metricsPath)
-	if err != nil {
-		return err
-	}
-	var reg *obs.Registry
-	if metricsF != nil {
-		reg = obs.New()
-	}
-
 	if *all {
 		*table1, *fig4, *fig5, *fig6, *fig7, *fig8 = true, true, true, true, true, true
 		*baselines, *churn, *dims, *repairs, *scale, *faults = true, true, true, true, true, true
@@ -134,6 +122,43 @@ func run(args []string, out io.Writer) error {
 	// skip the context that makes its columns comparable.
 	if *partition && !*faults {
 		return fmt.Errorf("-partition requires -faults (it extends the unreliable-control-plane sweep)")
+	}
+	// -flight samples the drift sweep's round clock; without -drift it would
+	// silently write an empty ring, so reject the combination before any
+	// output file is created. The tuning flags only matter with a recorder.
+	if *flightPath != "" && !*drift {
+		return fmt.Errorf("-flight requires -drift (it samples the drift sweep's maintenance rounds)")
+	}
+	if *flightPath == "" {
+		intervalSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "flight-interval" {
+				intervalSet = true
+			}
+		})
+		if intervalSet {
+			return fmt.Errorf("-flight-interval requires -flight")
+		}
+		if *sloSpec != "" {
+			return fmt.Errorf("-slo requires -flight")
+		}
+	}
+	// Fail fast: requested outputs must be writable before hours of sweeping.
+	metricsF, err := cliutil.CreateOutput("metrics", *metricsPath)
+	if err != nil {
+		return err
+	}
+	flightF, err := cliutil.CreateOutput("flight", *flightPath)
+	if err != nil {
+		return err
+	}
+	openMetricsF, err := cliutil.CreateOutput("openmetrics", *openMetricsPath)
+	if err != nil {
+		return err
+	}
+	var reg *obs.Registry
+	if metricsF != nil || flightF != nil || openMetricsF != nil {
+		reg = obs.New()
 	}
 	if !*table1 && !*fig4 && !*fig5 && !*fig6 && !*fig7 && !*fig8 && !*baselines && !*churn && !*dims && !*repairs && !*scale && !*faults && !*drift && !*groups {
 		fs.Usage()
@@ -147,11 +172,21 @@ func run(args []string, out io.Writer) error {
 		if !*faults {
 			return fmt.Errorf("-trace requires -faults (it records the fault sweep's event timeline)")
 		}
-		if traceF, err = createOutput("trace", *tracePath); err != nil {
+		if traceF, err = cliutil.CreateOutput("trace", *tracePath); err != nil {
 			return err
 		}
 		rec = trace.New(1 << 20)
 		rec.Observe(reg)
+	}
+	var fr *flight.Recorder
+	if flightF != nil {
+		rules, err := flight.ParseSLORules(*sloSpec)
+		if err != nil {
+			return fmt.Errorf("-slo: %w", err)
+		}
+		fr = flight.New(reg, flight.Config{
+			Interval: *flightInterval, Rules: rules, Trace: rec,
+		})
 	}
 
 	sizes := defaultSizes
@@ -386,7 +421,7 @@ func run(args []string, out io.Writer) error {
 		rows, err := experiment.RunDriftSweep(experiment.DriftSweepConfig{
 			N: 800, Rates: []float64{0.003, 0.01},
 			Trials: trialsForExtensions(nTrials), Seed: *seed, MaxOutDegree: 6,
-			Trace: rec,
+			Trace: rec, Obs: reg, Flight: fr,
 		})
 		if err != nil {
 			return err
@@ -436,16 +471,18 @@ func run(args []string, out io.Writer) error {
 	if reg != nil {
 		snap := reg.Snapshot()
 		manifest.Metrics = &snap
-		data, err := snap.JSON()
-		if err != nil {
-			return err
-		}
-		if _, err := metricsF.Write(append(data, '\n')); err != nil {
-			return fmt.Errorf("writing metrics: %w", err)
-		}
-		if err := metricsF.Close(); err != nil {
-			return err
-		}
+	}
+	if err := cliutil.WriteFlightReport(fr, out); err != nil {
+		return err
+	}
+	if err := cliutil.WriteMetricsJSON(reg, metricsF); err != nil {
+		return err
+	}
+	if err := cliutil.WriteFlightJSONL(fr, flightF); err != nil {
+		return err
+	}
+	if err := cliutil.WriteOpenMetrics(reg, fr, openMetricsF); err != nil {
+		return err
 	}
 	if traceF != nil {
 		if err := rec.WriteChromeJSON(traceF); err != nil {

@@ -62,3 +62,44 @@ func TestGoldenOutput(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenFlight locks down the flight recorder's two artifacts — the
+// JSONL sample ring and the stdout health report — under the seeded drift
+// scenario with the monitor-only policy, where the certificate SLO provably
+// fires. The scenario is run twice and both artifacts must be byte-identical
+// across runs before either is compared against its golden file: flight
+// samples capture only the deterministic registry families, so any
+// divergence means wall-clock state leaked into a sample.
+func TestGoldenFlight(t *testing.T) {
+	runOnce := func(path string) []byte {
+		t.Helper()
+		var out bytes.Buffer
+		args := []string{"-n", "800", "-degree", "6", "-seed", "9",
+			"-drift", "0.003", "-repair-policy", "none",
+			"-flight", path, "-flight-interval", "2",
+			"-slo", "cert: protocol/certificate_ratio > 1.15 for 2; sweeps: rate(protocol/maintenance_rounds) >= 1"}
+		if err := run(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+	dir := t.TempDir()
+	out1 := runOnce(filepath.Join(dir, "one.jsonl"))
+	out2 := runOnce(filepath.Join(dir, "two.jsonl"))
+	jsonl1, err := os.ReadFile(filepath.Join(dir, "one.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonl2, err := os.ReadFile(filepath.Join(dir, "two.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1, out2) {
+		t.Fatalf("two runs diverged on stdout:\n run 1:\n%s\n run 2:\n%s", out1, out2)
+	}
+	if !bytes.Equal(jsonl1, jsonl2) {
+		t.Fatal("two runs diverged on the flight JSONL")
+	}
+	checkGolden(t, "flight", out1)
+	checkGolden(t, "flight_jsonl", jsonl1)
+}

@@ -38,9 +38,23 @@
 // and data-plane counters) on exit; -trace FILE writes a Chrome trace-event
 // JSON timeline (load it in Perfetto or chrome://tracing) and -trace-text
 // FILE the same timeline as deterministic plain text; -pprof ADDR serves
-// net/http/pprof on the given address for live profiling. All are off by
-// default and change nothing about the simulated results. Output files are
-// created up front, so an unwritable path fails before the run starts.
+// net/http/pprof on the given address for live profiling.
+//
+// -flight FILE attaches a flight recorder: every maintenance round (or
+// every -flight-interval rounds) the metrics registry is sampled into a
+// bounded ring with per-series rates, -slo RULES watches the samples
+// against declarative health rules (fired alerts land in the samples and
+// the trace timeline), the retained ring is written to FILE as JSONL on
+// exit, and a deterministic text health report is appended to stdout.
+// -openmetrics FILE writes the final registry state as Prometheus/
+// OpenMetrics exposition text for external scrapers.
+//
+//	omt-sim -n 800 -seed 9 -drift 0.003 -repair-policy none \
+//	        -flight flight.jsonl -slo 'cert: protocol/certificate_ratio > 1.15 for 2'
+//
+// All are off by default and change nothing about the simulated results.
+// Output files are created up front, so an unwritable path fails before the
+// run starts.
 package main
 
 import (
@@ -53,6 +67,7 @@ import (
 	"os"
 
 	"omtree"
+	"omtree/internal/cliutil"
 )
 
 func main() {
@@ -75,35 +90,6 @@ func startPprof(addr string) error {
 	}
 	go http.Serve(ln, nil)
 	return nil
-}
-
-// createOutput opens path for writing immediately, so a misspelled or
-// unwritable destination fails before the simulation runs instead of after
-// it. An empty path yields a nil file (feature off).
-func createOutput(flagName, path string) (*os.File, error) {
-	if path == "" {
-		return nil, nil
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return nil, fmt.Errorf("-%s: %w", flagName, err)
-	}
-	return f, nil
-}
-
-// writeMetrics dumps the registry's snapshot as JSON to the pre-opened file.
-func writeMetrics(reg *omtree.Observer, f *os.File) error {
-	if f == nil {
-		return nil
-	}
-	data, err := reg.Snapshot().JSON()
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(append(data, '\n')); err != nil {
-		return err
-	}
-	return f.Close()
 }
 
 // writeTraces dumps the recorder as Chrome trace-event JSON and/or a plain
@@ -146,6 +132,10 @@ func run(args []string, out io.Writer) error {
 	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) to this file on exit")
 	traceTextPath := fs.String("trace-text", "", "write a plain-text event timeline to this file on exit")
+	flightPath := fs.String("flight", "", "record flight samples (registry snapshots per maintenance round) and write them to this file as JSONL on exit")
+	flightInterval := fs.Int("flight-interval", 1, "sample every N maintenance rounds (requires -flight)")
+	sloSpec := fs.String("slo", "", "';'-joined SLO rules watched per flight sample, e.g. 'cert: protocol/certificate_ratio > 1.15 for 3' (requires -flight)")
+	openMetricsPath := fs.String("openmetrics", "", "write the final registry state as OpenMetrics exposition text to this file on exit")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -153,21 +143,45 @@ func run(args []string, out io.Writer) error {
 	if err := startPprof(*pprofAddr); err != nil {
 		return err
 	}
+	// The flight tuning flags only matter with a recorder; reject them alone
+	// so a typo'd invocation can't silently record nothing.
+	if *flightPath == "" {
+		intervalSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "flight-interval" {
+				intervalSet = true
+			}
+		})
+		if intervalSet {
+			return fmt.Errorf("-flight-interval requires -flight")
+		}
+		if *sloSpec != "" {
+			return fmt.Errorf("-slo requires -flight")
+		}
+	}
 	// Fail fast: every requested output must be writable before any work runs.
-	metricsF, err := createOutput("metrics", *metricsPath)
+	metricsF, err := cliutil.CreateOutput("metrics", *metricsPath)
 	if err != nil {
 		return err
 	}
-	traceF, err := createOutput("trace", *tracePath)
+	traceF, err := cliutil.CreateOutput("trace", *tracePath)
 	if err != nil {
 		return err
 	}
-	traceTextF, err := createOutput("trace-text", *traceTextPath)
+	traceTextF, err := cliutil.CreateOutput("trace-text", *traceTextPath)
+	if err != nil {
+		return err
+	}
+	flightF, err := cliutil.CreateOutput("flight", *flightPath)
+	if err != nil {
+		return err
+	}
+	openMetricsF, err := cliutil.CreateOutput("openmetrics", *openMetricsPath)
 	if err != nil {
 		return err
 	}
 	var reg *omtree.Observer
-	if metricsF != nil {
+	if metricsF != nil || flightF != nil || openMetricsF != nil {
 		reg = omtree.NewObserver()
 	}
 	var rec *omtree.TraceRecorder
@@ -175,8 +189,27 @@ func run(args []string, out io.Writer) error {
 		rec = omtree.NewTraceRecorder(1 << 20)
 		rec.Observe(reg)
 	}
+	var fr *omtree.FlightRecorder
+	if flightF != nil {
+		rules, err := omtree.ParseSLORules(*sloSpec)
+		if err != nil {
+			return fmt.Errorf("-slo: %w", err)
+		}
+		fr = omtree.NewFlightRecorder(reg, omtree.FlightConfig{
+			Interval: *flightInterval, Rules: rules, Trace: rec,
+		})
+	}
 	finish := func() error {
-		if err := writeMetrics(reg, metricsF); err != nil {
+		if err := cliutil.WriteFlightReport(fr, out); err != nil {
+			return err
+		}
+		if err := cliutil.WriteMetricsJSON(reg, metricsF); err != nil {
+			return err
+		}
+		if err := cliutil.WriteFlightJSONL(fr, flightF); err != nil {
+			return err
+		}
+		if err := cliutil.WriteOpenMetrics(reg, fr, openMetricsF); err != nil {
 			return err
 		}
 		return writeTraces(rec, traceF, traceTextF)
@@ -198,7 +231,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := runDrift(out, reg, rec, *n, *degree, *seed, *driftRate, policy); err != nil {
+		if err := runDrift(out, reg, rec, fr, *n, *degree, *seed, *driftRate, policy); err != nil {
 			return err
 		}
 		return finish()
@@ -214,7 +247,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *loss > 0 || *crashRate > 0 || pe != nil {
-		if err := runFaulty(out, reg, rec, *n, *degree, *packets, *failCount, *seed, *loss, *crashRate, pe, *joinRate); err != nil {
+		if err := runFaulty(out, reg, rec, fr, *n, *degree, *packets, *failCount, *seed, *loss, *crashRate, pe, *joinRate); err != nil {
 			return err
 		}
 		return finish()
@@ -238,7 +271,8 @@ func run(args []string, out io.Writer) error {
 	receivers := r.UniformDiskN(*n, 1)
 	source := omtree.Point2{}
 	res, err := omtree.Build(source, receivers,
-		omtree.WithMaxOutDegree(*degree), omtree.WithObserver(reg), omtree.WithTrace(rec))
+		omtree.WithMaxOutDegree(*degree), omtree.WithObserver(reg),
+		omtree.WithTrace(rec), omtree.WithFlight(fr))
 	if err != nil {
 		return err
 	}
@@ -315,7 +349,7 @@ func run(args []string, out io.Writer) error {
 // runDrift exercises the kinetic control loop: a reliably built overlay's
 // coordinates jump under a seeded drift model while periodic re-estimation
 // sweeps refresh them and the certificate monitor repairs per policy.
-func runDrift(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, n, degree int, seed uint64, rate float64, policy omtree.OverlayRepairPolicy) error {
+func runDrift(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, fr *omtree.FlightRecorder, n, degree int, seed uint64, rate float64, policy omtree.OverlayRepairPolicy) error {
 	const (
 		period    = 3
 		threshold = 1.05
@@ -335,6 +369,7 @@ func runDrift(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, n,
 	}
 	o.Observe(reg)
 	o.Trace(rec)
+	o.SetFlight(fr)
 	r := omtree.NewRand(seed)
 	for i := 0; i < n; i++ {
 		if _, _, err := o.Join(r.UniformDisk(1)); err != nil {
@@ -409,7 +444,7 @@ func parsePartition(s string) (*omtree.PartitionEvent, error) {
 // control plane and reports degradation and recovery. With a partition
 // schedule it additionally splits the network mid-run, storms joins at the
 // degraded overlay, and reports island formation and reconciliation.
-func runFaulty(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, n, degree, packets, failCount int, seed uint64, loss, crashRate float64, pe *omtree.PartitionEvent, joinRate float64) error {
+func runFaulty(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, fr *omtree.FlightRecorder, n, degree, packets, failCount int, seed uint64, loss, crashRate float64, pe *omtree.PartitionEvent, joinRate float64) error {
 	fmt.Fprintf(out, "unreliable control plane: loss %.0f%%, duplication %.0f%%, crash rate %.2f%%\n",
 		100*loss, 100*loss/2, 100*crashRate)
 
@@ -434,6 +469,7 @@ func runFaulty(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, n
 	o.Observe(reg)
 	plane.Observe(reg)
 	o.Trace(rec)
+	o.SetFlight(fr)
 
 	// Members join while the network misbehaves; some give up after
 	// exhausting their retry budget.

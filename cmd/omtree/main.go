@@ -9,6 +9,14 @@
 //	omtree render -points points.json -tree tree.json -o tree.svg
 //	omtree compare -points points.json -degree 6
 //
+// build additionally takes the shared observability flags: -flight FILE
+// attaches a flight recorder (the completed build lands one sample, written
+// to FILE as JSONL, and a deterministic health report follows the build
+// stats on stdout), -slo RULES watches the sample against declarative
+// health rules, and -openmetrics FILE writes the build metrics as
+// Prometheus/OpenMetrics exposition text. Output files are created up
+// front, so an unwritable path fails before the build starts.
+//
 // Points files are JSON: {"dim": D, "points": [[x, y, ...], ...]} with
 // points[0] the multicast source. Tree files use the tree's JSON codec.
 package main
@@ -21,6 +29,7 @@ import (
 	"time"
 
 	"omtree"
+	"omtree/internal/cliutil"
 	"omtree/internal/invariant"
 )
 
@@ -152,11 +161,26 @@ func cmdBuild(args []string) error {
 	verify := fs.Bool("verify", false, "re-check tree invariants (spanning, degree bound, radius) after the build")
 	out := fs.String("o", "", "write tree JSON here")
 	dotOut := fs.String("dot", "", "write Graphviz DOT here")
+	flightPath := fs.String("flight", "", "record a flight sample of the build metrics and write it here as JSONL")
+	sloSpec := fs.String("slo", "", "';'-joined SLO rules watched against the build sample (requires -flight)")
+	openMetricsPath := fs.String("openmetrics", "", "write the build metrics as OpenMetrics exposition text here")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *pointsPath == "" {
 		return fmt.Errorf("-points is required")
+	}
+	if *sloSpec != "" && *flightPath == "" {
+		return fmt.Errorf("-slo requires -flight")
+	}
+	// Fail fast: requested outputs must be writable before the build runs.
+	flightF, err := cliutil.CreateOutput("flight", *flightPath)
+	if err != nil {
+		return err
+	}
+	openMetricsF, err := cliutil.CreateOutput("openmetrics", *openMetricsPath)
+	if err != nil {
+		return err
 	}
 	pf, err := loadPoints(*pointsPath)
 	if err != nil {
@@ -172,6 +196,20 @@ func cmdBuild(args []string) error {
 	}
 	if *workers != 0 {
 		opts = append(opts, omtree.WithParallelism(*workers))
+	}
+	var reg *omtree.Observer
+	var fr *omtree.FlightRecorder
+	if flightF != nil || openMetricsF != nil {
+		reg = omtree.NewObserver()
+		opts = append(opts, omtree.WithObserver(reg))
+	}
+	if flightF != nil {
+		rules, err := omtree.ParseSLORules(*sloSpec)
+		if err != nil {
+			return fmt.Errorf("-slo: %w", err)
+		}
+		fr = omtree.NewFlightRecorder(reg, omtree.FlightConfig{Rules: rules})
+		opts = append(opts, omtree.WithFlight(fr))
 	}
 
 	start := time.Now()
@@ -203,6 +241,15 @@ func cmdBuild(args []string) error {
 		fmt.Println("verify:     ok (spanning, degree bound, radius)")
 	}
 
+	if err := cliutil.WriteFlightReport(fr, os.Stdout); err != nil {
+		return err
+	}
+	if err := cliutil.WriteFlightJSONL(fr, flightF); err != nil {
+		return err
+	}
+	if err := cliutil.WriteOpenMetrics(reg, fr, openMetricsF); err != nil {
+		return err
+	}
 	if *out != "" {
 		if err := writeJSON(*out, res.Tree); err != nil {
 			return fmt.Errorf("writing tree: %w", err)

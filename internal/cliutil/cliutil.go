@@ -1,0 +1,91 @@
+// Package cliutil holds the output plumbing the three CLIs share: fail-fast
+// output-file creation and the standard writers for metrics snapshots,
+// flight-recorder artifacts, and OpenMetrics exposition.
+//
+// Every writer accepts a nil file (feature off) and does nothing, so a CLI
+// can call the full set unconditionally on exit. Files are closed by the
+// writer that fills them: create, run, write, done.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"omtree/internal/obs"
+	"omtree/internal/obs/flight"
+)
+
+// CreateOutput opens path for writing immediately, so a misspelled or
+// unwritable destination fails before the run starts instead of after it.
+// An empty path yields a nil file (feature off). The error names the flag
+// the path came from.
+func CreateOutput(flagName, path string) (*os.File, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("-%s: %w", flagName, err)
+	}
+	return f, nil
+}
+
+// WriteMetricsJSON dumps the registry's snapshot as one JSON document to the
+// pre-opened file and closes it. A nil file is a no-op.
+func WriteMetricsJSON(reg *obs.Registry, f *os.File) error {
+	if f == nil {
+		return nil
+	}
+	data, err := reg.Snapshot().JSON()
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("writing metrics: %w", err)
+	}
+	return f.Close()
+}
+
+// WriteFlightJSONL dumps the recorder's retained samples as append-only
+// JSONL to the pre-opened file and closes it. A nil file is a no-op.
+func WriteFlightJSONL(fr *flight.Recorder, f *os.File) error {
+	if f == nil {
+		return nil
+	}
+	if err := fr.WriteJSONL(f); err != nil {
+		return fmt.Errorf("writing flight samples: %w", err)
+	}
+	return f.Close()
+}
+
+// WriteOpenMetrics renders the registry as OpenMetrics exposition text to
+// the pre-opened file and closes it. When a flight recorder is attached its
+// last sample's rate columns are included as extra gauge families. A nil
+// file is a no-op.
+func WriteOpenMetrics(reg *obs.Registry, fr *flight.Recorder, f *os.File) error {
+	if f == nil {
+		return nil
+	}
+	var err error
+	if fr != nil {
+		err = fr.WriteOpenMetrics(f)
+	} else {
+		err = flight.WriteOpenMetrics(f, reg.Snapshot())
+	}
+	if err != nil {
+		return fmt.Errorf("writing openmetrics: %w", err)
+	}
+	return f.Close()
+}
+
+// WriteFlightReport prints the recorder's deterministic health report to w
+// when a recorder is attached. CLIs call it right before writing files so
+// the report lands at the end of the normal output.
+func WriteFlightReport(fr *flight.Recorder, w io.Writer) error {
+	if fr == nil {
+		return nil
+	}
+	_, err := io.WriteString(w, fr.Report())
+	return err
+}

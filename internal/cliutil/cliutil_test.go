@@ -1,0 +1,137 @@
+package cliutil
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"omtree/internal/obs"
+	"omtree/internal/obs/flight"
+)
+
+func TestCreateOutputEmptyPathIsOff(t *testing.T) {
+	f, err := CreateOutput("metrics", "")
+	if err != nil || f != nil {
+		t.Fatalf("empty path: got (%v, %v), want (nil, nil)", f, err)
+	}
+}
+
+// An unwritable destination must fail at creation time — before the run —
+// and the error must name the flag so the user knows which path to fix.
+func TestCreateOutputFailsFast(t *testing.T) {
+	_, err := CreateOutput("flight", filepath.Join(t.TempDir(), "no", "such", "dir", "x.jsonl"))
+	if err == nil {
+		t.Fatal("expected error for unwritable path")
+	}
+	if !strings.Contains(err.Error(), "-flight") {
+		t.Fatalf("error %q does not name the flag", err)
+	}
+}
+
+func TestWritersNilFileNoop(t *testing.T) {
+	if err := WriteMetricsJSON(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFlightJSONL(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteOpenMetrics(nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFlightReport(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteMetricsJSON(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("a/b").Add(3)
+	path := filepath.Join(t.TempDir(), "m.json")
+	f, err := CreateOutput("metrics", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetricsJSON(reg, f); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics file is not a snapshot: %v", err)
+	}
+	if len(snap.Counters) == 0 || snap.Counters[0].Name != "a/b" {
+		t.Fatalf("snapshot missing counter: %+v", snap)
+	}
+}
+
+func TestWriteFlightArtifacts(t *testing.T) {
+	reg := obs.New()
+	fr := flight.New(reg, flight.Config{})
+	reg.Counter("a/b").Add(1)
+	fr.Tick()
+	dir := t.TempDir()
+
+	jf, err := CreateOutput("flight", filepath.Join(dir, "f.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFlightJSONL(fr, jf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "f.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s flight.Sample
+	if err := json.Unmarshal(bytes.TrimSpace(data), &s); err != nil {
+		t.Fatalf("flight file is not JSONL samples: %v", err)
+	}
+	if s.Counters["a/b"] != 1 {
+		t.Fatalf("sample missing counter: %+v", s)
+	}
+
+	of, err := CreateOutput("openmetrics", filepath.Join(dir, "om.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteOpenMetrics(reg, fr, of); err != nil {
+		t.Fatal(err)
+	}
+	om, err := os.ReadFile(filepath.Join(dir, "om.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(om, []byte("omtree_a_b_total 1")) || !bytes.HasSuffix(om, []byte("# EOF\n")) {
+		t.Fatalf("openmetrics output malformed:\n%s", om)
+	}
+
+	// Without a recorder the plain registry exposition is used.
+	of2, err := CreateOutput("openmetrics", filepath.Join(dir, "om2.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteOpenMetrics(reg, nil, of2); err != nil {
+		t.Fatal(err)
+	}
+	om2, err := os.ReadFile(filepath.Join(dir, "om2.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(om2, []byte("omtree_a_b_total 1")) {
+		t.Fatalf("plain openmetrics output malformed:\n%s", om2)
+	}
+
+	var report bytes.Buffer
+	if err := WriteFlightReport(fr, &report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "flight health report") {
+		t.Fatalf("report malformed:\n%s", report.String())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"omtree/internal/geom"
 	"omtree/internal/grid"
 	"omtree/internal/obs"
+	"omtree/internal/obs/flight"
 	"omtree/internal/obs/trace"
 	"omtree/internal/tree"
 )
@@ -156,6 +157,13 @@ func (s *BuildState) Present(slot int) bool {
 // Instrumentation never influences the produced tree.
 func (s *BuildState) SetInstruments(reg *obs.Registry, rec *trace.Recorder) {
 	s.o.obs, s.o.trace = reg, rec
+}
+
+// SetFlight (re)attaches the flight recorder sampled after every rebuild,
+// mirroring WithFlight on Build2. Sampling never influences the produced
+// tree.
+func (s *BuildState) SetFlight(fr *flight.Recorder) {
+	s.o.flight = fr
 }
 
 // MemoryBytes estimates the state's private resident size (membership,

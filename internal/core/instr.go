@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"omtree/internal/obs"
+	"omtree/internal/obs/flight"
 	"omtree/internal/obs/trace"
 )
 
@@ -15,13 +16,14 @@ import (
 type instr struct {
 	obs *obs.Registry
 	rec *trace.Recorder
+	fl  *flight.Recorder
 	tid uint32
 }
 
 // newInstr mints the run's trace id and emits build/run.begin. note names
 // the run shape ("dim=2 n=1000"); the caller should defer finish().
 func newInstr(o options, dim, n int) instr {
-	in := instr{obs: o.obs, rec: o.trace}
+	in := instr{obs: o.obs, rec: o.trace, fl: o.flight}
 	if in.rec.Enabled() {
 		in.tid = in.rec.NewTrace()
 		in.rec.Emit(in.tid, 0, "build/run.begin", -1, -1,
@@ -30,9 +32,12 @@ func newInstr(o options, dim, n int) instr {
 	return in
 }
 
-// finish closes the run's timeline slice (safe on the zero instr).
+// finish closes the run's timeline slice and lands one flight sample so the
+// just-updated build/* series hit the health trajectory immediately (safe
+// on the zero instr).
 func (in instr) finish() {
 	in.rec.Emit(in.tid, 0, "build/run.end", -1, -1, "")
+	in.fl.SampleNow("build")
 }
 
 // phase opens one build phase: an obs span plus matching .begin/.end trace

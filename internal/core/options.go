@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"omtree/internal/obs"
+	"omtree/internal/obs/flight"
 	"omtree/internal/obs/trace"
 )
 
@@ -49,6 +50,7 @@ type options struct {
 	trialK       bool
 	obs          *obs.Registry
 	trace        *trace.Recorder
+	flight       *flight.Recorder
 }
 
 // Option configures a Build call.
@@ -105,6 +107,15 @@ func WithObserver(r *obs.Registry) Option {
 // serial builds are byte-deterministic.
 func WithTrace(rec *trace.Recorder) Option {
 	return func(o *options) { o.trace = rec }
+}
+
+// WithFlight attaches a flight recorder to the build: every completed build
+// takes one "build" sample, so the registry's build/* series land on the
+// health trajectory at the moment they change rather than whenever the next
+// maintenance round happens to sample. Like the other observers, a nil
+// recorder is free and sampling never influences the resulting tree.
+func WithFlight(fr *flight.Recorder) Option {
+	return func(o *options) { o.flight = fr }
 }
 
 // withTrialK selects the legacy downward trial-loop k search (one bucketing

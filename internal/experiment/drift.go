@@ -5,6 +5,8 @@ import (
 
 	"omtree/internal/coords"
 	"omtree/internal/geom"
+	"omtree/internal/obs"
+	"omtree/internal/obs/flight"
 	"omtree/internal/obs/trace"
 	"omtree/internal/protocol"
 	"omtree/internal/rng"
@@ -41,6 +43,13 @@ type DriftSweepConfig struct {
 	MaxOutDegree int
 	// Trace, when non-nil, records every trial's events on one recorder.
 	Trace *trace.Recorder
+	// Obs, when non-nil, receives every trial's session metrics (counter
+	// funcs are last-wins, so the registry always reflects the trial in
+	// flight).
+	Obs *obs.Registry
+	// Flight, when non-nil, samples every trial's maintenance rounds on one
+	// recorder — the CLI's -flight surface for the drift sweep.
+	Flight *flight.Recorder
 }
 
 // DriftRow aggregates one (rate, policy) cell across trials.
@@ -118,7 +127,9 @@ func RunDriftSweep(cfg DriftSweepConfig) ([]DriftRow, error) {
 				if err != nil {
 					return nil, err
 				}
+				o.Observe(cfg.Obs)
 				o.Trace(cfg.Trace)
+				o.SetFlight(cfg.Flight)
 				for i := 0; i < cfg.N; i++ {
 					if _, _, err := o.Join(r.UniformDisk(1)); err != nil {
 						return nil, err

@@ -1,0 +1,66 @@
+package flight
+
+import (
+	"fmt"
+	"testing"
+
+	"omtree/internal/obs"
+)
+
+// populate gives the registry a realistic protocol-sized series population
+// (~40 counters and a few gauges) so the enabled sampling cost is honest.
+func populate(reg *obs.Registry) {
+	for i := 0; i < 36; i++ {
+		reg.Counter(fmt.Sprintf("protocol/metric_%02d", i)).Add(int64(i))
+	}
+	for i := 0; i < 4; i++ {
+		reg.Gauge(fmt.Sprintf("protocol/gauge_%02d", i)).Set(float64(i) * 1.5)
+	}
+}
+
+// BenchmarkFlightSample measures the per-maintenance-round cost of the
+// flight hook. The none and disabled variants are the paths every
+// uninstrumented run pays — bench_compare.sh gates them against the
+// baseline, so they must stay ~zero-overhead (a nil check, respectively
+// one atomic load).
+func BenchmarkFlightSample(b *testing.B) {
+	b.Run("none", func(b *testing.B) {
+		var r *Recorder
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Tick()
+		}
+	})
+	b.Run("disabled", func(b *testing.B) {
+		reg := obs.New()
+		populate(reg)
+		r := New(reg, Config{})
+		r.SetEnabled(false)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Tick()
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		reg := obs.New()
+		populate(reg)
+		r := New(reg, Config{Capacity: 64,
+			Rules: []SLORule{{Series: "protocol/gauge_01", Op: OpGT, Threshold: 100, For: 3}}})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Tick()
+		}
+	})
+	b.Run("enabled-interval16", func(b *testing.B) {
+		reg := obs.New()
+		populate(reg)
+		r := New(reg, Config{Capacity: 64, Interval: 16})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Tick()
+		}
+	})
+}

@@ -1,0 +1,314 @@
+package flight
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"omtree/internal/obs"
+)
+
+// OpenMetrics export: render an obs.Snapshot in the Prometheus/OpenMetrics
+// text exposition format so external tooling can scrape the registry
+// without this repo growing a client-library dependency. Mapping:
+//
+//   - every family is prefixed "omtree_" and sanitized to [a-zA-Z0-9_:]
+//   - counters render as counter families with the required "_total" suffix
+//   - gauges render as gauge families
+//   - labeled series (`name{key="value"}`) keep their labels, values
+//     escaped per the spec
+//   - histograms render as summaries (quantile 0.5/0.95/0.99 plus _sum and
+//     _count) with a companion "<name>_max" gauge, since the registry keeps
+//     the exact max the summary type cannot carry
+//   - timing spans render as "<name>_seconds" summaries (_sum/_count) with
+//     a companion "<name>_seconds_max" gauge
+//
+// Families group all label variants of one base name under a single
+// "# TYPE" header regardless of how unrelated names interleave in the
+// snapshot's flat sort, and the output ends with the mandatory "# EOF".
+
+// WriteOpenMetrics renders a registry snapshot in the OpenMetrics text
+// format. Output is deterministic: families sort by name, series within a
+// family keep the snapshot's sorted order.
+func WriteOpenMetrics(w io.Writer, snap obs.Snapshot) error {
+	om := &omWriter{w: w}
+	for _, c := range snap.Counters {
+		base, labels := splitSeries(c.Name)
+		om.add(metricName(base), "counter", sample{
+			suffix: "_total", labels: labels, value: formatValue(float64(c.Value)),
+		})
+	}
+	for _, g := range snap.Gauges {
+		base, labels := splitSeries(g.Name)
+		om.add(metricName(base), "gauge", sample{
+			labels: labels, value: formatValue(g.Value),
+		})
+	}
+	for _, h := range snap.Histograms {
+		base, labels := splitSeries(h.Name)
+		name := metricName(base)
+		for _, q := range []struct {
+			q string
+			v float64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			om.add(name, "summary", sample{
+				labels: append(append([]label(nil), labels...), label{"quantile", q.q}),
+				value:  formatValue(q.v),
+			})
+		}
+		om.add(name, "summary", sample{suffix: "_sum", labels: labels, value: formatValue(h.Sum)})
+		om.add(name, "summary", sample{suffix: "_count", labels: labels, value: formatValue(float64(h.Count))})
+		om.add(name+"_max", "gauge", sample{labels: labels, value: formatValue(h.Max)})
+	}
+	for _, sp := range snap.Spans {
+		base, labels := splitSeries(sp.Name)
+		name := metricName(base) + "_seconds"
+		om.add(name, "summary", sample{suffix: "_sum", labels: labels, value: formatValue(sp.TotalSec)})
+		om.add(name, "summary", sample{suffix: "_count", labels: labels, value: formatValue(float64(sp.Count))})
+		om.add(name+"_max", "gauge", sample{labels: labels, value: formatValue(sp.MaxSec)})
+	}
+	return om.flush()
+}
+
+// WriteOpenMetrics renders the recorder's registry snapshot plus the most
+// recent sample's rate columns, the latter as the two gauge families
+// "omtree_flight_delta" and "omtree_flight_rate_per_round" labeled by
+// series name — the scrape surface a dashboard needs to plot movement
+// without computing its own differences.
+func (r *Recorder) WriteOpenMetrics(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	reg := r.reg
+	var rates map[string]Rate
+	if r.n > 0 {
+		rates = r.ring[(r.start+r.n-1)%len(r.ring)].Rates
+	}
+	r.mu.Unlock()
+	om := &omWriter{w: w}
+	names := make([]string, 0, len(rates))
+	for name := range rates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		labels := []label{{"series", name}}
+		om.add("omtree_flight_delta", "gauge", sample{
+			labels: labels, value: formatValue(rates[name].Delta),
+		})
+		om.add("omtree_flight_rate_per_round", "gauge", sample{
+			labels: labels, value: formatValue(rates[name].PerRound),
+		})
+	}
+	if err := om.flushFamiliesOnly(); err != nil {
+		return err
+	}
+	return WriteOpenMetrics(w, reg.Snapshot())
+}
+
+// label is one rendered label pair.
+type label struct{ key, value string }
+
+// sample is one series line within a family.
+type sample struct {
+	suffix string // "_total", "_sum", "_count", or empty
+	labels []label
+	value  string
+}
+
+// family collects one metric family's type and series lines.
+type family struct {
+	typ     string
+	samples []sample
+}
+
+// omWriter accumulates families (in first-seen order is irrelevant — flush
+// sorts by name) and renders them with one TYPE header each.
+type omWriter struct {
+	w        io.Writer
+	families map[string]*family
+}
+
+func (om *omWriter) add(name, typ string, s sample) {
+	if om.families == nil {
+		om.families = make(map[string]*family)
+	}
+	f, ok := om.families[name]
+	if !ok {
+		f = &family{typ: typ}
+		om.families[name] = f
+	}
+	f.samples = append(f.samples, s)
+}
+
+// render writes every family sorted by name: TYPE header then series lines
+// in insertion order (the snapshot's sort keeps them stable).
+func (om *omWriter) render() error {
+	names := make([]string, 0, len(om.families))
+	for name := range om.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := om.families[name]
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, f.typ)
+		for _, s := range f.samples {
+			b.WriteString(name)
+			b.WriteString(s.suffix)
+			if len(s.labels) > 0 {
+				b.WriteByte('{')
+				for i, l := range s.labels {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					b.WriteString(l.key)
+					b.WriteString("=\"")
+					b.WriteString(escapeLabel(l.value))
+					b.WriteByte('"')
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(s.value)
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(om.w, b.String())
+	return err
+}
+
+// flush renders the families followed by the "# EOF" terminator.
+func (om *omWriter) flush() error {
+	if err := om.render(); err != nil {
+		return err
+	}
+	_, err := io.WriteString(om.w, "# EOF\n")
+	return err
+}
+
+// flushFamiliesOnly renders the families without the terminator, for
+// writers that prepend extra families before a full snapshot export.
+func (om *omWriter) flushFamiliesOnly() error {
+	return om.render()
+}
+
+// metricName sanitizes a registry base name into a valid OpenMetrics
+// metric name under the omtree_ prefix: every character outside
+// [a-zA-Z0-9_] becomes '_' ("protocol/joins_ok" → "omtree_protocol_joins_ok").
+func metricName(base string) string {
+	var b strings.Builder
+	b.Grow(len("omtree_") + len(base))
+	b.WriteString("omtree_")
+	for i := 0; i < len(base); i++ {
+		c := base[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_',
+			c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// splitSeries separates a registry series name into its base name and any
+// `{key="value",...}` label pairs (the obs labeled-series syntax).
+// Malformed label blobs degrade gracefully: the blob stays part of the
+// base name and is sanitized away rather than emitting invalid exposition.
+func splitSeries(name string) (string, []label) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	labels, ok := parseLabels(name[open+1 : len(name)-1])
+	if !ok {
+		return name, nil
+	}
+	return name[:open], labels
+}
+
+// parseLabels scans `key="value",key="value"` with quote-aware splitting.
+func parseLabels(s string) ([]label, bool) {
+	var out []label
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return nil, false
+		}
+		key := s[:eq]
+		rest := s[eq+2:]
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, false
+		}
+		out = append(out, label{key: labelKey(key), value: rest[:end]})
+		s = rest[end+1:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, false
+			}
+			s = s[1:]
+		}
+	}
+	return out, true
+}
+
+// labelKey sanitizes a label key to [a-zA-Z0-9_].
+func labelKey(k string) string {
+	var b strings.Builder
+	b.Grow(len(k))
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_',
+			c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a float in the shortest round-trippable form.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

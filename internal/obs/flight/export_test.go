@@ -1,0 +1,295 @@
+package flight
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"omtree/internal/obs"
+)
+
+// parseExposition is the round-trip half of the format test: a minimal
+// OpenMetrics text parser that returns series -> value, the TYPE header
+// per family, and whether the mandatory EOF terminator was present.
+// It fails the test on duplicate series, duplicate TYPE headers, samples
+// outside any declared family, or malformed lines.
+func parseExposition(t *testing.T, text string) (map[string]float64, map[string]string, bool) {
+	t.Helper()
+	values := make(map[string]float64)
+	types := make(map[string]string)
+	eof := false
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if eof {
+			t.Fatalf("content after # EOF: %q", line)
+		}
+		if line == "# EOF" {
+			eof = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("duplicate TYPE header for %s", name)
+			}
+			types[name] = typ
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		series, num := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(num, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		if _, dup := values[series]; dup {
+			t.Fatalf("duplicate series %q", series)
+		}
+		// Every sample must belong to a declared family: its metric name
+		// (text before '{', minus a _total/_sum/_count suffix) has a TYPE.
+		name := series
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suf := range []string{"_total", "_sum", "_count"} {
+			if cut, ok := strings.CutSuffix(name, suf); ok {
+				base = cut
+				break
+			}
+		}
+		if _, ok := types[name]; !ok {
+			if _, ok := types[base]; !ok {
+				t.Fatalf("series %q has no TYPE header", series)
+			}
+		}
+		values[series] = v
+	}
+	return values, types, eof
+}
+
+func TestOpenMetricsRoundTrip(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("protocol/joins_ok").Add(7)
+	reg.LabeledCounter("groupset/rounds", "group", "news").Add(3)
+	reg.LabeledCounter("groupset/rounds", "group", "video").Add(5)
+	reg.Gauge("protocol/certificate_ratio").Set(1.125)
+	h := reg.Histogram("build/cell_seconds")
+	h.Observe(0.25)
+	h.Observe(0.5)
+	sp := reg.Start("build/wire")
+	sp.End()
+	snap := reg.Snapshot()
+
+	var buf bytes.Buffer
+	if err := WriteOpenMetrics(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	values, types, eof := parseExposition(t, buf.String())
+	if !eof {
+		t.Fatal("missing # EOF terminator")
+	}
+
+	// Counters: _total suffix, counter type, exact values, labels kept.
+	if types["omtree_protocol_joins_ok"] != "counter" {
+		t.Fatalf("types = %v", types)
+	}
+	if values["omtree_protocol_joins_ok_total"] != 7 {
+		t.Fatalf("joins_ok = %v", values)
+	}
+	if values[`omtree_groupset_rounds_total{group="news"}`] != 3 ||
+		values[`omtree_groupset_rounds_total{group="video"}`] != 5 {
+		t.Fatalf("labeled counters = %v", values)
+	}
+	// Gauges.
+	if types["omtree_protocol_certificate_ratio"] != "gauge" ||
+		values["omtree_protocol_certificate_ratio"] != 1.125 {
+		t.Fatal("gauge family wrong")
+	}
+	// Histograms: summary quantiles + sum/count + max gauge.
+	if types["omtree_build_cell_seconds"] != "summary" {
+		t.Fatal("histogram family not a summary")
+	}
+	if values[`omtree_build_cell_seconds{quantile="0.5"}`] == 0 {
+		t.Fatal("missing histogram quantile")
+	}
+	if values["omtree_build_cell_seconds_count"] != 2 ||
+		values["omtree_build_cell_seconds_sum"] != 0.75 {
+		t.Fatalf("histogram sum/count = %v", values)
+	}
+	if values["omtree_build_cell_seconds_max"] != 0.5 {
+		t.Fatal("missing histogram max gauge")
+	}
+	// Spans: _seconds summary + max gauge.
+	if types["omtree_build_wire_seconds"] != "summary" {
+		t.Fatal("span family not a summary")
+	}
+	if values["omtree_build_wire_seconds_count"] != 1 {
+		t.Fatalf("span count = %v", values)
+	}
+	if _, ok := values["omtree_build_wire_seconds_max"]; !ok {
+		t.Fatal("missing span max gauge")
+	}
+
+	// Determinism: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	if err := WriteOpenMetrics(&buf2, snap); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("two renders differ")
+	}
+}
+
+// TestLabeledOverflowThroughExporter drives a labeled series past its
+// cardinality cap and checks the "other" bucket's behavior end to end:
+// bounded series count in the snapshot, exact aggregate, stable ordering
+// and no duplicates in the OpenMetrics export.
+func TestLabeledOverflowThroughExporter(t *testing.T) {
+	reg := obs.New()
+	reg.SetLabelCap(2)
+	for i := 0; i < 6; i++ {
+		reg.LabeledCounter("group/joins", "group", fmt.Sprintf("g%02d", i)).Add(int64(i + 1))
+	}
+	snap := reg.Snapshot()
+	var got []string
+	var sum int64
+	for _, c := range snap.Counters {
+		got = append(got, c.Name)
+		sum += c.Value
+	}
+	want := []string{
+		`group/joins{group="g00"}`,
+		`group/joins{group="g01"}`,
+		`group/joins{group="other"}`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot series = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot series[%d] = %q, want %q (stable sorted order)", i, got[i], want[i])
+		}
+	}
+	if sum != 1+2+3+4+5+6 {
+		t.Fatalf("aggregate = %d, want exact total despite overflow", sum)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteOpenMetrics(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	values, types, _ := parseExposition(t, buf.String()) // fails on duplicates
+	if types["omtree_group_joins"] != "counter" {
+		t.Fatalf("types = %v", types)
+	}
+	if values[`omtree_group_joins_total{group="other"}`] != 3+4+5+6 {
+		t.Fatalf("overflow bucket = %v", values)
+	}
+	// All label variants sit under one TYPE header, in sorted order.
+	text := buf.String()
+	if strings.Count(text, "# TYPE omtree_group_joins counter") != 1 {
+		t.Fatalf("family header not unique:\n%s", text)
+	}
+	g00 := strings.Index(text, `{group="g00"}`)
+	g01 := strings.Index(text, `{group="g01"}`)
+	other := strings.Index(text, `{group="other"}`)
+	if !(g00 < g01 && g01 < other) {
+		t.Fatalf("label variants out of order:\n%s", text)
+	}
+}
+
+func TestOpenMetricsEscaping(t *testing.T) {
+	reg := obs.New()
+	reg.LabeledCounter("g/x", "group", `we\ird`).Inc()
+	var buf bytes.Buffer
+	if err := WriteOpenMetrics(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `omtree_g_x_total{group="we\\ird"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaped series missing; got:\n%s", buf.String())
+	}
+
+	// A quote inside a label value cannot be told apart from the closing
+	// quote (the registry stores label names unescaped), so the series
+	// degrades gracefully: the whole name is sanitized into the metric
+	// name instead of emitting invalid exposition text.
+	reg2 := obs.New()
+	reg2.LabeledCounter("g/x", "group", `we"ird`).Inc()
+	buf.Reset()
+	if err := WriteOpenMetrics(&buf, reg2.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	values, _, _ := parseExposition(t, buf.String())
+	if values[`omtree_g_x_group__we_ird___total`] != 1 {
+		t.Fatalf("quote-bearing label not passed through sanitized:\n%s", buf.String())
+	}
+}
+
+func TestSplitSeriesMalformed(t *testing.T) {
+	for _, name := range []string{
+		"plain",
+		"half{open",
+		`no{equals}`,
+		`g{k="unterminated}`,
+		`g{k="v"x}`,
+		`g{="v"}`,
+	} {
+		base, labels := splitSeries(name)
+		if base != name || labels != nil {
+			t.Fatalf("splitSeries(%q) = %q, %v; want passthrough", name, base, labels)
+		}
+	}
+	base, labels := splitSeries(`g{k="a",j="b"}`)
+	if base != "g" || len(labels) != 2 || labels[1].value != "b" {
+		t.Fatalf("splitSeries multi = %q %v", base, labels)
+	}
+}
+
+func TestRecorderWriteOpenMetrics(t *testing.T) {
+	reg := obs.New()
+	r := New(reg, Config{})
+	c := reg.Counter("ops")
+	c.Add(5)
+	r.Tick()
+	c.Add(3)
+	r.Tick()
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	values, types, eof := parseExposition(t, buf.String())
+	if !eof {
+		t.Fatal("missing EOF")
+	}
+	if types["omtree_flight_delta"] != "gauge" || types["omtree_flight_rate_per_round"] != "gauge" {
+		t.Fatalf("rate families missing: %v", types)
+	}
+	if values[`omtree_flight_delta{series="ops"}`] != 3 ||
+		values[`omtree_flight_rate_per_round{series="ops"}`] != 3 {
+		t.Fatalf("rate columns = %v", values)
+	}
+	// The registry families ride along.
+	if values["omtree_ops_total"] != 8 {
+		t.Fatalf("registry families missing: %v", values)
+	}
+	if values["omtree_flight_samples_total"] != 2 {
+		t.Fatalf("flight bookkeeping missing: %v", values)
+	}
+}
+
+func TestMetricName(t *testing.T) {
+	if got := metricName("protocol/joins-ok.v2"); got != "omtree_protocol_joins_ok_v2" {
+		t.Fatalf("metricName = %q", got)
+	}
+}

@@ -1,0 +1,137 @@
+package flight
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report renders the retained ring as a deterministic text health report:
+// a header with the ring's shape, a per-series trajectory table
+// (first/last/min/max over the retained window plus the per-round rate
+// across it), the fired-alert log, and each SLO rule's current state.
+// Layout is fixed and contains no wall-clock data, so two seeded runs
+// report byte-identically and the CLIs can golden-test it.
+func (r *Recorder) Report() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	samples := make([]Sample, r.n)
+	for i := 0; i < r.n; i++ {
+		samples[i] = r.ring[(r.start+i)%len(r.ring)]
+	}
+	total := r.total.Load()
+	evicted := r.evicted.Load()
+	fired := r.fired.Load()
+	cleared := r.cleared.Load()
+	round := r.round
+	interval := r.interval
+	capacity := len(r.ring)
+	alerts := append([]Alert(nil), r.alerts...)
+	alertCut := r.alertCut
+	rules := make([]ruleState, len(r.rules))
+	copy(rules, r.rules)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	b.WriteString("flight health report\n")
+	fmt.Fprintf(&b, "  samples: %d retained (cap %d, total %d, evicted %d)\n",
+		len(samples), capacity, total, evicted)
+	fmt.Fprintf(&b, "  rounds: %d  sample interval: %d\n", round, interval)
+	if len(samples) == 0 {
+		b.WriteString("  no samples recorded\n")
+		return b.String()
+	}
+
+	// Per-series trajectory over the retained window. A series missing
+	// from a sample (registered later) reads as 0 there, matching how the
+	// SLO evaluator resolves missing series.
+	type traj struct {
+		first, last, min, max float64
+	}
+	series := make(map[string]*traj)
+	valueIn := func(s *Sample, name string) (float64, bool) {
+		if v, ok := s.Counters[name]; ok {
+			return float64(v), true
+		}
+		v, ok := s.Gauges[name]
+		return v, ok
+	}
+	for i := range samples {
+		s := &samples[i]
+		for name := range s.Counters {
+			if series[name] == nil {
+				series[name] = &traj{}
+			}
+		}
+		for name := range s.Gauges {
+			if series[name] == nil {
+				series[name] = &traj{}
+			}
+		}
+	}
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := series[name]
+		for i := range samples {
+			v, _ := valueIn(&samples[i], name)
+			if i == 0 {
+				t.first, t.min, t.max = v, v, v
+			} else {
+				if v < t.min {
+					t.min = v
+				}
+				if v > t.max {
+					t.max = v
+				}
+			}
+			t.last = v
+		}
+	}
+	window := samples[len(samples)-1].Round - samples[0].Round
+	if window < 1 {
+		window = 1
+	}
+	b.WriteString("series (first/last/min/max over retained window):\n")
+	omitted := 0
+	for _, name := range names {
+		t := series[name]
+		if t.min == t.max && t.last == 0 {
+			omitted++
+			continue
+		}
+		fmt.Fprintf(&b, "  %-52s first=%-10.6g last=%-10.6g min=%-10.6g max=%-10.6g rate=%.6g/round\n",
+			name, t.first, t.last, t.min, t.max, (t.last-t.first)/float64(window))
+	}
+	if omitted > 0 {
+		fmt.Fprintf(&b, "  (%d flat zero series omitted)\n", omitted)
+	}
+
+	fmt.Fprintf(&b, "alerts: %d fired, %d cleared\n", fired, cleared)
+	if alertCut > 0 {
+		fmt.Fprintf(&b, "  (%d oldest alerts evicted)\n", alertCut)
+	}
+	for _, a := range alerts {
+		fmt.Fprintf(&b, "  sample %d round %d  %s: %s  value=%.6g\n",
+			a.Sample, a.Round, a.Rule, a.Expr, a.Value)
+	}
+	if len(rules) > 0 {
+		b.WriteString("slo:\n")
+		for i := range rules {
+			rs := &rules[i]
+			state := "ok"
+			if rs.firing {
+				state = fmt.Sprintf("FIRING (streak %d)", rs.streak)
+			} else if rs.streak > 0 {
+				state = fmt.Sprintf("breaching %d/%d", rs.streak, rs.rule.For)
+			}
+			fmt.Fprintf(&b, "  %-52s %s\n", rs.rule.String(), state)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,371 @@
+package flight
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Source selects which column of a sample an SLO rule reads.
+type Source string
+
+const (
+	// SourceValue reads the series' current value (counter or gauge).
+	SourceValue Source = "value"
+	// SourceRate reads the series' per-round rate since the previous sample.
+	SourceRate Source = "rate"
+	// SourceDelta reads the series' raw delta since the previous sample.
+	SourceDelta Source = "delta"
+)
+
+// Op is an SLO comparison operator.
+type Op string
+
+// The six comparison operators, in the order the parser tries them.
+const (
+	OpGE Op = ">="
+	OpLE Op = "<="
+	OpEQ Op = "=="
+	OpNE Op = "!="
+	OpGT Op = ">"
+	OpLT Op = "<"
+)
+
+// SLORule is one declarative health rule evaluated against every flight
+// sample: "this series (or its rate/delta), compared to this threshold,
+// holding for this many consecutive samples, is an alert."
+//
+// The text grammar (ParseSLORule) is
+//
+//	[name:] series OP threshold [for N [samples]]
+//	[name:] rate(series) OP threshold[%] [for N [samples]]
+//	[name:] delta(series) OP threshold [for N [samples]]
+//
+// e.g. `cert: protocol/certificate_ratio > 1.15 for 3` or
+// `shed: rate(protocol/joins_shed) > 1% for 2`. A `%` suffix divides the
+// threshold by 100. Multiple rules join with ';' (ParseSLORules).
+type SLORule struct {
+	// Name identifies the rule in alerts, labeled counters, and the health
+	// report. Empty Name defaults to the rule's expression.
+	Name string `json:"name"`
+	// Series is the registry series the rule watches (labeled series use
+	// their full `name{key="value"}` spelling). A missing series reads 0.
+	Series string `json:"series"`
+	// Source picks the value / rate / delta column; empty means value.
+	Source Source `json:"source"`
+	// Op compares the sourced value against Threshold.
+	Op Op `json:"op"`
+	// Threshold is the comparison constant.
+	Threshold float64 `json:"threshold"`
+	// For is the number of consecutive breaching samples required before
+	// the rule fires; values below 1 behave as 1.
+	For int `json:"for"`
+}
+
+// normalized returns the rule with defaults pinned: Source value, For >= 1,
+// Name defaulted to the expression.
+func (r SLORule) normalized() SLORule {
+	if r.Source == "" {
+		r.Source = SourceValue
+	}
+	if r.For < 1 {
+		r.For = 1
+	}
+	if r.Name == "" {
+		r.Name = r.expr()
+	}
+	return r
+}
+
+// expr renders the rule body (no name prefix) in canonical form.
+func (r SLORule) expr() string {
+	var b strings.Builder
+	switch r.Source {
+	case SourceRate, SourceDelta:
+		b.WriteString(string(r.Source))
+		b.WriteByte('(')
+		b.WriteString(r.Series)
+		b.WriteByte(')')
+	default:
+		b.WriteString(r.Series)
+	}
+	b.WriteByte(' ')
+	b.WriteString(string(r.Op))
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatFloat(r.Threshold, 'g', -1, 64))
+	if r.For > 1 {
+		fmt.Fprintf(&b, " for %d", r.For)
+	}
+	return b.String()
+}
+
+// String renders the rule in the canonical text form ParseSLORule accepts:
+// parse → String → parse is the identity (FuzzSLORules pins this).
+func (r SLORule) String() string {
+	n := r.normalized()
+	expr := n.expr()
+	if n.Name == expr {
+		return expr
+	}
+	return n.Name + ": " + expr
+}
+
+// StringRules renders rules in the canonical ';'-joined form ParseSLORules
+// accepts.
+func StringRules(rules []SLORule) string {
+	parts := make([]string, len(rules))
+	for i, r := range rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// ParseSLORules parses a ';'-separated rule list. Empty segments are
+// skipped, so a trailing ';' is harmless; an empty or all-blank input
+// yields no rules.
+func ParseSLORules(s string) ([]SLORule, error) {
+	var rules []SLORule
+	for _, part := range strings.Split(s, ";") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		r, err := ParseSLORule(part)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// ParseSLORule parses one rule in the grammar documented on SLORule.
+func ParseSLORule(s string) (SLORule, error) {
+	fail := func(format string, args ...any) (SLORule, error) {
+		return SLORule{}, fmt.Errorf("slo rule %q: %s", strings.TrimSpace(s), fmt.Sprintf(format, args...))
+	}
+	tok := strings.Fields(s)
+	var r SLORule
+	// Optional "name:" prefix — either its own token or glued to the source.
+	if len(tok) > 0 {
+		if name, rest, ok := strings.Cut(tok[0], ":"); ok {
+			if name == "" {
+				return fail("empty rule name")
+			}
+			r.Name = name
+			if rest == "" {
+				tok = tok[1:]
+			} else {
+				tok = append([]string{rest}, tok[1:]...)
+			}
+		}
+	}
+	if len(tok) < 3 {
+		return fail("want `series OP threshold`, got %d tokens", len(tok))
+	}
+	src := tok[0]
+	switch {
+	case strings.HasPrefix(src, "rate(") && strings.HasSuffix(src, ")"):
+		r.Source = SourceRate
+		r.Series = src[len("rate(") : len(src)-1]
+	case strings.HasPrefix(src, "delta(") && strings.HasSuffix(src, ")"):
+		r.Source = SourceDelta
+		r.Series = src[len("delta(") : len(src)-1]
+	default:
+		r.Source = SourceValue
+		r.Series = src
+	}
+	if r.Series == "" {
+		return fail("empty series name")
+	}
+	if strings.ContainsAny(r.Series, "; ()") {
+		return fail("series %q contains a reserved character", r.Series)
+	}
+	if strings.ContainsAny(r.Name, "; ():") {
+		return fail("name %q contains a reserved character", r.Name)
+	}
+	switch op := Op(tok[1]); op {
+	case OpGT, OpGE, OpLT, OpLE, OpEQ, OpNE:
+		r.Op = op
+	default:
+		return fail("unknown operator %q", tok[1])
+	}
+	num := tok[2]
+	pct := strings.HasSuffix(num, "%")
+	if pct {
+		num = strings.TrimSuffix(num, "%")
+	}
+	threshold, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return fail("bad threshold %q", tok[2])
+	}
+	if pct {
+		threshold /= 100
+	}
+	r.Threshold = threshold
+	rest := tok[3:]
+	if len(rest) > 0 {
+		if rest[0] != "for" {
+			return fail("unexpected token %q", rest[0])
+		}
+		if len(rest) < 2 {
+			return fail("`for` needs a sample count")
+		}
+		n, err := strconv.Atoi(rest[1])
+		if err != nil || n < 1 {
+			return fail("bad `for` count %q", rest[1])
+		}
+		r.For = n
+		rest = rest[2:]
+		// Tolerate the English phrasing "for 3 samples".
+		if len(rest) > 0 && (rest[0] == "samples" || rest[0] == "sample") {
+			rest = rest[1:]
+		}
+	}
+	if len(rest) > 0 {
+		return fail("unexpected token %q", rest[0])
+	}
+	return r.normalized(), nil
+}
+
+// Alert is one SLO rule transition into the firing state.
+type Alert struct {
+	// Rule is the firing rule's name.
+	Rule string `json:"rule"`
+	// Expr is the rule's canonical expression.
+	Expr string `json:"expr"`
+	// Sample and Round locate the sample whose evaluation fired the rule.
+	Sample int64 `json:"sample"`
+	Round  int64 `json:"round"`
+	// Value is the sourced series value that completed the breach window.
+	Value float64 `json:"value"`
+}
+
+// ruleState tracks one rule's breach streak across samples.
+type ruleState struct {
+	rule   SLORule
+	streak int
+	firing bool
+}
+
+// sourceValue resolves the rule's watched value from a sample.
+func (rs *ruleState) sourceValue(s *Sample) float64 {
+	switch rs.rule.Source {
+	case SourceRate:
+		return s.Rates[rs.rule.Series].PerRound
+	case SourceDelta:
+		return s.Rates[rs.rule.Series].Delta
+	default:
+		if v, ok := s.Counters[rs.rule.Series]; ok {
+			return float64(v)
+		}
+		return s.Gauges[rs.rule.Series]
+	}
+}
+
+// breaches reports whether v violates the rule's comparison.
+func (r SLORule) breaches(v float64) bool {
+	switch r.Op {
+	case OpGT:
+		return v > r.Threshold
+	case OpGE:
+		return v >= r.Threshold
+	case OpLT:
+		return v < r.Threshold
+	case OpLE:
+		return v <= r.Threshold
+	case OpEQ:
+		return v == r.Threshold
+	case OpNE:
+		return v != r.Threshold
+	}
+	return false
+}
+
+// evalRulesLocked runs every rule against the just-captured sample,
+// edge-triggering fire/clear transitions. Fires append to the sample and
+// the bounded alert log, bump the registry counters, and land instants on
+// the trace timeline. Caller holds r.mu; registry mutation from here is
+// safe because registry counter funcs never read mu-guarded state.
+func (r *Recorder) evalRulesLocked(s *Sample) {
+	for i := range r.rules {
+		rs := &r.rules[i]
+		v := rs.sourceValue(s)
+		if !rs.rule.breaches(v) {
+			rs.streak = 0
+			if rs.firing {
+				rs.firing = false
+				r.cleared.Add(1)
+				r.rec.Emit(0, 0, "flight/slo_clear", -1, -1,
+					fmt.Sprintf("%s value=%g", rs.rule.Name, v))
+			}
+			continue
+		}
+		rs.streak++
+		if rs.firing || rs.streak < rs.rule.For {
+			continue
+		}
+		rs.firing = true
+		a := Alert{
+			Rule:   rs.rule.Name,
+			Expr:   rs.rule.expr(),
+			Sample: s.Index,
+			Round:  s.Round,
+			Value:  v,
+		}
+		s.Alerts = append(s.Alerts, a)
+		r.alerts = append(r.alerts, a)
+		if len(r.alerts) > maxAlerts {
+			over := len(r.alerts) - maxAlerts
+			r.alerts = append(r.alerts[:0], r.alerts[over:]...)
+			r.alertCut += int64(over)
+		}
+		r.fired.Add(1)
+		r.reg.LabeledCounter("flight/slo_alerts_fired", "rule", rs.rule.Name).Inc()
+		r.rec.Emit(0, 0, "flight/slo_fire", -1, -1,
+			fmt.Sprintf("%s value=%g", rs.rule.Name, v))
+	}
+}
+
+// Firing returns the names of currently-firing rules, in rule order.
+func (r *Recorder) Firing() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for i := range r.rules {
+		if r.rules[i].firing {
+			out = append(out, r.rules[i].rule.Name)
+		}
+	}
+	return out
+}
+
+// Rules returns the recorder's normalized rule set (a copy).
+func (r *Recorder) Rules() []SLORule {
+	if r == nil {
+		return nil
+	}
+	out := make([]SLORule, len(r.rules))
+	for i := range r.rules {
+		out[i] = r.rules[i].rule
+	}
+	return out
+}
+
+// AlertsFired returns the number of fire transitions across all rules.
+func (r *Recorder) AlertsFired() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.fired.Load()
+}
+
+// AlertsCleared returns the number of clear transitions across all rules.
+func (r *Recorder) AlertsCleared() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.cleared.Load()
+}

@@ -1,0 +1,309 @@
+package flight
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"omtree/internal/obs"
+	"omtree/internal/obs/trace"
+)
+
+func TestParseSLORuleTable(t *testing.T) {
+	cases := []struct {
+		in   string
+		want SLORule
+	}{
+		{"protocol/certificate_ratio > 1.15 for 3", SLORule{
+			Name: "protocol/certificate_ratio > 1.15 for 3", Series: "protocol/certificate_ratio",
+			Source: SourceValue, Op: OpGT, Threshold: 1.15, For: 3,
+		}},
+		{"cert: protocol/certificate_ratio > 1.15 for 3 samples", SLORule{
+			Name: "cert", Series: "protocol/certificate_ratio",
+			Source: SourceValue, Op: OpGT, Threshold: 1.15, For: 3,
+		}},
+		{"shed: rate(protocol/joins_shed) > 1% for 2", SLORule{
+			Name: "shed", Series: "protocol/joins_shed",
+			Source: SourceRate, Op: OpGT, Threshold: 0.01, For: 2,
+		}},
+		{"drops: delta(trace/dropped_events) != 0", SLORule{
+			Name: "drops", Series: "trace/dropped_events",
+			Source: SourceDelta, Op: OpNE, Threshold: 0, For: 1,
+		}},
+		{"x >= 2", SLORule{
+			Name: "x >= 2", Series: "x", Source: SourceValue, Op: OpGE, Threshold: 2, For: 1,
+		}},
+		{"x <= -0.5", SLORule{
+			Name: "x <= -0.5", Series: "x", Source: SourceValue, Op: OpLE, Threshold: -0.5, For: 1,
+		}},
+		{"x == 0 for 1", SLORule{
+			Name: "x == 0", Series: "x", Source: SourceValue, Op: OpEQ, Threshold: 0, For: 1,
+		}},
+		{"x < 50%", SLORule{
+			Name: "x < 0.5", Series: "x", Source: SourceValue, Op: OpLT, Threshold: 0.5, For: 1,
+		}},
+		// Labeled series keep their full spelling.
+		{`g: groupset/rounds{group="news"} > 10`, SLORule{
+			Name: "g", Series: `groupset/rounds{group="news"}`,
+			Source: SourceValue, Op: OpGT, Threshold: 10, For: 1,
+		}},
+		// Glued name prefix.
+		{"n:x > 1", SLORule{
+			Name: "n", Series: "x", Source: SourceValue, Op: OpGT, Threshold: 1, For: 1,
+		}},
+	}
+	for _, tc := range cases {
+		got, err := ParseSLORule(tc.in)
+		if err != nil {
+			t.Fatalf("ParseSLORule(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("ParseSLORule(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseSLORuleErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"x",
+		"x >",
+		"x ~ 1",
+		"x > banana",
+		"x > 1 for",
+		"x > 1 for 0",
+		"x > 1 for -2",
+		"x > 1 for two",
+		"x > 1 whatever",
+		"x > 1 for 2 samples extra",
+		": x > 1",
+		"rate() > 1",
+		"a(b c > 1",
+		"bad(name) > 1",
+	} {
+		if _, err := ParseSLORule(in); err == nil {
+			t.Fatalf("ParseSLORule(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseSLORules(t *testing.T) {
+	rules, err := ParseSLORules("a > 1; b: rate(x) < 2 for 3 ;; ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].Series != "a" || rules[1].Name != "b" {
+		t.Fatalf("rules = %+v", rules)
+	}
+	if rules, err := ParseSLORules("  "); err != nil || rules != nil {
+		t.Fatalf("blank input: rules=%v err=%v", rules, err)
+	}
+	if _, err := ParseSLORules("a > 1; broken"); err == nil {
+		t.Fatal("bad segment accepted")
+	}
+}
+
+func TestSLOStringRoundTrip(t *testing.T) {
+	inputs := []string{
+		"cert: protocol/certificate_ratio > 1.15 for 3",
+		"rate(protocol/joins_shed) > 1% for 2",
+		"delta(trace/dropped_events) != 0",
+		"x >= 2; y: rate(z) <= 0.125 for 4",
+	}
+	for _, in := range inputs {
+		rules, err := ParseSLORules(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canonical := StringRules(rules)
+		again, err := ParseSLORules(canonical)
+		if err != nil {
+			t.Fatalf("canonical %q failed to reparse: %v", canonical, err)
+		}
+		if !reflect.DeepEqual(rules, again) {
+			t.Fatalf("round trip drifted: %+v vs %+v", rules, again)
+		}
+		if StringRules(again) != canonical {
+			t.Fatalf("String not a fixed point: %q vs %q", StringRules(again), canonical)
+		}
+	}
+}
+
+func FuzzSLORules(f *testing.F) {
+	f.Add("cert: protocol/certificate_ratio > 1.15 for 3")
+	f.Add("rate(x) > 1%; delta(y) != 0 for 2")
+	f.Add("a>=1;b<2")
+	f.Add("n:x == 0 for 7 samples")
+	f.Add("x > 1e300; y < -1e-300")
+	f.Fuzz(func(t *testing.T, s string) {
+		rules, err := ParseSLORules(s)
+		if err != nil {
+			return
+		}
+		canonical := StringRules(rules)
+		again, err := ParseSLORules(canonical)
+		if err != nil {
+			t.Fatalf("canonical %q of accepted input %q failed to reparse: %v", canonical, s, err)
+		}
+		if !reflect.DeepEqual(rules, again) {
+			t.Fatalf("round trip drifted for %q: %+v vs %+v", s, rules, again)
+		}
+		// Evaluating parsed rules against an arbitrary sample never panics.
+		sample := &Sample{
+			Counters: map[string]int64{"x": 5},
+			Gauges:   map[string]float64{"y": 0.5},
+			Rates:    map[string]Rate{"x": {Delta: 1, PerRound: 0.5}},
+		}
+		for _, rule := range rules {
+			rs := ruleState{rule: rule}
+			rule.breaches(rs.sourceValue(sample))
+		}
+	})
+}
+
+func TestSLOFireClearRefire(t *testing.T) {
+	reg := obs.New()
+	rec := trace.New(128)
+	r := New(reg, Config{
+		Rules: mustRules(t, "cert: ratio > 1.15 for 3"),
+		Trace: rec,
+	})
+	g := reg.Gauge("ratio")
+	set := func(v float64) {
+		g.Set(v)
+		r.Tick()
+	}
+	set(1.0)
+	set(1.2) // streak 1
+	set(1.2) // streak 2
+	if r.AlertsFired() != 0 {
+		t.Fatal("fired before the for-window completed")
+	}
+	set(1.2) // streak 3 -> fire
+	if r.AlertsFired() != 1 {
+		t.Fatalf("fired = %d, want 1", r.AlertsFired())
+	}
+	if got := r.Firing(); len(got) != 1 || got[0] != "cert" {
+		t.Fatalf("Firing = %v", got)
+	}
+	set(1.3) // still breaching: edge-triggered, no second alert
+	if r.AlertsFired() != 1 {
+		t.Fatalf("re-fired while already firing: %d", r.AlertsFired())
+	}
+	set(1.0) // clears
+	if r.AlertsCleared() != 1 || len(r.Firing()) != 0 {
+		t.Fatalf("cleared = %d firing = %v", r.AlertsCleared(), r.Firing())
+	}
+	// A fresh breach must satisfy the full window again.
+	set(1.2)
+	set(1.2)
+	if r.AlertsFired() != 1 {
+		t.Fatal("refired before a fresh for-window")
+	}
+	set(1.2)
+	if r.AlertsFired() != 2 {
+		t.Fatalf("fired = %d, want 2 after refire", r.AlertsFired())
+	}
+
+	alerts := r.Alerts()
+	if len(alerts) != 2 {
+		t.Fatalf("alert log = %+v", alerts)
+	}
+	a := alerts[0]
+	if a.Rule != "cert" || a.Value != 1.2 || a.Expr != "ratio > 1.15 for 3" {
+		t.Fatalf("alert = %+v", a)
+	}
+	// The fire landed in the sample itself.
+	var inSample int
+	for _, s := range r.Samples() {
+		inSample += len(s.Alerts)
+	}
+	if inSample != 2 {
+		t.Fatalf("alerts recorded in samples = %d, want 2", inSample)
+	}
+	// ...in the registry (counter func + per-rule labeled counter)...
+	snap := reg.Snapshot()
+	if snap.Counter("flight/slo_alerts") != 2 || snap.Counter("flight/slo_clears") != 1 {
+		t.Fatalf("registry alert counters: %+v", snap.Counters)
+	}
+	if snap.Counter(`flight/slo_alerts_fired{rule="cert"}`) != 2 {
+		t.Fatalf("labeled alert counter missing: %+v", snap.Counters)
+	}
+	// ...and on the trace timeline.
+	var fires, clears int
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case "flight/slo_fire":
+			fires++
+			if !strings.Contains(e.Note, "cert") {
+				t.Fatalf("fire note = %q", e.Note)
+			}
+		case "flight/slo_clear":
+			clears++
+		}
+	}
+	if fires != 2 || clears != 1 {
+		t.Fatalf("trace fires=%d clears=%d, want 2/1", fires, clears)
+	}
+}
+
+func TestSLOSourcesAndMissingSeries(t *testing.T) {
+	reg := obs.New()
+	r := New(reg, Config{
+		Rules: mustRules(t,
+			"shed: rate(shed) > 1%; burst: delta(ops) >= 10; gone: missing == 0"),
+	})
+	shed := reg.Counter("shed")
+	ops := reg.Counter("ops")
+	r.Tick() // baseline sample: no rates yet, "gone" fires (missing reads 0)
+	if got := r.Firing(); len(got) != 1 || got[0] != "gone" {
+		t.Fatalf("Firing after baseline = %v", got)
+	}
+	shed.Add(1)
+	ops.Add(10)
+	r.Tick() // shed rate = 1 > 0.01 fires; ops delta = 10 fires
+	firing := r.Firing()
+	if len(firing) != 3 {
+		t.Fatalf("Firing = %v, want all three", firing)
+	}
+	shed.Add(0)
+	ops.Add(1)
+	r.Tick() // shed rate 0 clears; ops delta 1 clears
+	if got := r.Firing(); len(got) != 1 || got[0] != "gone" {
+		t.Fatalf("Firing after quiet round = %v", got)
+	}
+}
+
+func TestAlertLogBounded(t *testing.T) {
+	reg := obs.New()
+	r := New(reg, Config{Capacity: 4, Rules: mustRules(t, "odd: flip == 1")})
+	g := reg.Gauge("flip")
+	n := maxAlerts + 40
+	for i := 0; i < 2*n; i++ {
+		g.Set(float64(i % 2))
+		r.Tick()
+	}
+	if r.AlertsFired() != int64(n) {
+		t.Fatalf("fired = %d, want %d", r.AlertsFired(), n)
+	}
+	alerts := r.Alerts()
+	if len(alerts) != maxAlerts {
+		t.Fatalf("alert log len = %d, want bounded at %d", len(alerts), maxAlerts)
+	}
+	// Oldest evicted, newest retained.
+	if alerts[len(alerts)-1].Sample != int64(2*n-1) {
+		t.Fatalf("newest alert = %+v", alerts[len(alerts)-1])
+	}
+	if !strings.Contains(r.Report(), "oldest alerts evicted") {
+		t.Fatal("report does not mention alert eviction")
+	}
+}
+
+func TestRulesAccessorNormalizes(t *testing.T) {
+	reg := obs.New()
+	r := New(reg, Config{Rules: []SLORule{{Series: "x", Op: OpGT, Threshold: 1}}})
+	rules := r.Rules()
+	if len(rules) != 1 || rules[0].For != 1 || rules[0].Source != SourceValue || rules[0].Name == "" {
+		t.Fatalf("Rules = %+v, want normalized", rules)
+	}
+}

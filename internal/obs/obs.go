@@ -272,6 +272,12 @@ func (h *Histogram) Max() float64 {
 // Quantile estimates the q-quantile (q in [0, 1]) from the buckets: the
 // target rank's bucket is found and the value interpolated linearly across
 // it. The top (overflow) bucket reports the exact max instead.
+//
+// A histogram with no observations returns exactly 0 for every q, as does a
+// nil receiver — the same "absent reads zero" convention as Count, Sum, and
+// Max, which snapshot consumers (JSON, text, OpenMetrics summaries) rely on
+// for stable empty-family rendering. This is a documented guarantee, not an
+// implementation accident.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0

@@ -113,6 +113,35 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEmpty pins the documented empty-case contract: a
+// histogram with no observations returns exactly 0 for every q, as does a
+// nil receiver. Snapshot renderers and the OpenMetrics exporter rely on
+// this for stable empty-family output.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	r := New()
+	h := r.Histogram("empty")
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want exactly 0", q, got)
+		}
+	}
+	var nilH *Histogram
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := nilH.Quantile(q); got != 0 {
+			t.Errorf("nil histogram Quantile(%v) = %v, want exactly 0", q, got)
+		}
+	}
+	// The guarantee holds after observations drain through a snapshot (the
+	// registry never resets histograms, but an all-zero-bucket family must
+	// still render 0s, not NaNs).
+	snap := r.Snapshot()
+	for _, hs := range snap.Histograms {
+		if hs.Name == "empty" && (hs.P50 != 0 || hs.P95 != 0 || hs.P99 != 0) {
+			t.Errorf("empty histogram snapshot quantiles = %+v, want zeros", hs)
+		}
+	}
+}
+
 func TestHistogramOverflowBucket(t *testing.T) {
 	r := New()
 	h := r.HistogramBuckets("big", []float64{1})

@@ -1,0 +1,22 @@
+package protocol
+
+import "omtree/internal/obs/flight"
+
+// SetFlight attaches a flight recorder to the session: every
+// MaintenanceRound ticks its virtual round clock once at the end of the
+// sweep (after the islands/pending gauges settle), so the recorder's
+// periodic samples line up with round boundaries, and subsequent Rebuild
+// calls forward the recorder to the centralized build so each rebuild lands
+// an immediate "build" sample. A nil recorder (the default) detaches
+// sampling; like the metrics registry and the trace recorder it never
+// influences protocol behavior — sampled and unsampled runs of one seeded
+// scenario are byte-identical in every observable except the flight ring
+// itself.
+//
+// Sessions driven through a GroupSet should attach the recorder to the set
+// (GroupSet.SetFlight) instead, so the shared sweep ticks the clock once
+// per MaintenanceAll rather than once per group.
+func (o *Overlay) SetFlight(fr *flight.Recorder) { o.flight = fr }
+
+// Flight returns the attached flight recorder (nil when sampling is off).
+func (o *Overlay) Flight() *flight.Recorder { return o.flight }

@@ -1,0 +1,202 @@
+package protocol
+
+import (
+	"testing"
+
+	"omtree/internal/coords"
+	"omtree/internal/obs"
+	"omtree/internal/obs/flight"
+	"omtree/internal/rng"
+)
+
+func TestFlightTickPerMaintenanceRound(t *testing.T) {
+	reg := obs.New()
+	fr := flight.New(reg, flight.Config{Interval: 2})
+	o, err := New(sessionConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Observe(reg)
+	o.SetFlight(fr)
+	if o.Flight() != fr {
+		t.Fatal("Flight accessor lost the recorder")
+	}
+	r := rng.New(11)
+	for i := 0; i < 40; i++ {
+		reliableJoin(t, o, r.UniformDisk(1))
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := o.MaintenanceRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fr.Rounds() != 6 {
+		t.Fatalf("flight rounds = %d, want 6 (one tick per maintenance round)", fr.Rounds())
+	}
+	if fr.Len() != 3 {
+		t.Fatalf("samples = %d, want 3 (interval 2)", fr.Len())
+	}
+	last, _ := fr.LastSample()
+	if last.Counters["protocol/maintenance_rounds"] != 6 {
+		t.Fatalf("sample missed the session counters: %v", last.Counters)
+	}
+	// A rebuild lands an immediate "build" sample through the build state.
+	if _, err := o.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	last, _ = fr.LastSample()
+	if last.Cause != "build" {
+		t.Fatalf("rebuild sample cause = %q, want build", last.Cause)
+	}
+	if fr.Rounds() != 6 {
+		t.Fatal("rebuild advanced the round clock")
+	}
+}
+
+// A flight recorder must never influence protocol behavior: a sampled and
+// an unsampled run of one seeded scenario produce identical stats.
+func TestFlightNeutrality(t *testing.T) {
+	run := func(attach bool) SessionStats {
+		o, err := New(sessionConfig(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attach {
+			reg := obs.New()
+			o.Observe(reg)
+			o.SetFlight(flight.New(reg, flight.Config{}))
+		}
+		r := rng.New(23)
+		for i := 0; i < 60; i++ {
+			reliableJoin(t, o, r.UniformDisk(1))
+		}
+		for i := 0; i < 8; i++ {
+			if _, err := o.MaintenanceRound(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := o.Rebuild(); err != nil {
+			t.Fatal(err)
+		}
+		return o.Stats
+	}
+	if run(false) != run(true) {
+		t.Fatal("flight sampling changed session stats")
+	}
+}
+
+func TestGroupSetFlightOncePerSweep(t *testing.T) {
+	reg := obs.New()
+	fr := flight.New(reg, flight.Config{})
+	gs, err := NewGroupSet(nil, FaultConfig{}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gs.Create("a", sessionConfig(2)); err != nil {
+		t.Fatal(err)
+	}
+	gs.SetFlight(fr)
+	if gs.Flight() != fr {
+		t.Fatal("Flight accessor lost the recorder")
+	}
+	// Groups created after SetFlight inherit the recorder too.
+	if _, err := gs.Create("b", sessionConfig(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gs.Create("c", sessionConfig(2)); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	for _, g := range gs.Names() {
+		for i := 0; i < 20; i++ {
+			if _, _, err := gs.Join(g, r.UniformDisk(1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := gs.MaintenanceAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fr.Rounds() != 5 {
+		t.Fatalf("flight rounds = %d, want 5 (one tick per sweep, not per group)", fr.Rounds())
+	}
+	// The sweep-end sample sees every group's labeled series.
+	last, ok := fr.LastSample()
+	if !ok {
+		t.Fatal("no samples after sweeps")
+	}
+	for _, g := range []string{"a", "b", "c"} {
+		if last.Counters[`groupset/joins{group="`+g+`"}`] != 20 {
+			t.Fatalf("sample missing group %s joins: %v", g, last.Counters)
+		}
+	}
+	// A group rebuild lands a "build" sample on the set recorder.
+	if _, err := gs.Rebuild("b"); err != nil {
+		t.Fatal(err)
+	}
+	last, _ = fr.LastSample()
+	if last.Cause != "build" {
+		t.Fatalf("group rebuild sample cause = %q, want build", last.Cause)
+	}
+}
+
+// The acceptance scenario for the certificate SLO: under identical seeded
+// drift, the monitor-only policy must fire `certificate_ratio > 1.15 for 2`
+// while the local-repair policy — same drift, same rule — must not.
+func TestDriftCertificateSLOFiresNoneNotLocal(t *testing.T) {
+	run := func(policy RepairPolicy) *flight.Recorder {
+		reg := obs.New()
+		fr := flight.New(reg, flight.Config{
+			Rules: []flight.SLORule{{
+				Name: "cert", Series: "protocol/certificate_ratio",
+				Op: flight.OpGT, Threshold: 1.15, For: 2,
+			}},
+		})
+		o := driftSession(t, 200, 5,
+			DriftConfig{ReestimatePeriod: 1, DegradationThreshold: 1.05, Policy: policy},
+			coords.DriftConfig{Seed: 5, VelocityMean: 0.02, InflationPerEpoch: 0.05})
+		o.Observe(reg)
+		o.SetFlight(fr)
+		for round := 0; round < 18; round++ {
+			if _, err := o.MaintenanceRound(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return fr
+	}
+	none := run(RepairNone)
+	if none.AlertsFired() == 0 {
+		t.Fatalf("monitor-only drift never fired the certificate SLO; firing=%v", none.Firing())
+	}
+	if got := none.Firing(); len(got) != 1 || got[0] != "cert" {
+		t.Fatalf("none policy firing = %v, want [cert]", got)
+	}
+	local := run(RepairLocal)
+	if local.AlertsFired() != 0 {
+		t.Fatalf("local repair let the certificate SLO fire: %+v", local.Alerts())
+	}
+}
+
+func TestFlightSessionGauges(t *testing.T) {
+	reg := obs.New()
+	fr := flight.New(reg, flight.Config{})
+	o, err := New(sessionConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Observe(reg)
+	o.SetFlight(fr)
+	r := rng.New(3)
+	for i := 0; i < 10; i++ {
+		reliableJoin(t, o, r.UniformDisk(1))
+	}
+	if _, err := o.MaintenanceRound(); err != nil {
+		t.Fatal(err)
+	}
+	last, _ := fr.LastSample()
+	if _, ok := last.Gauges["protocol/islands"]; !ok {
+		t.Fatalf("sample missing end-of-round gauges: %v", last.Gauges)
+	}
+}

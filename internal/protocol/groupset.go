@@ -7,6 +7,7 @@ import (
 	"omtree/internal/faultplane"
 	"omtree/internal/geom"
 	"omtree/internal/obs"
+	"omtree/internal/obs/flight"
 	"omtree/internal/obs/trace"
 )
 
@@ -31,6 +32,10 @@ type GroupSet struct {
 
 	groups map[string]*Overlay
 	names  []string // sorted; deterministic MaintenanceAll order
+
+	// flight is the set-level flight recorder (see SetFlight); ticked once
+	// per MaintenanceAll sweep, never per group.
+	flight *flight.Recorder
 }
 
 // NewGroupSet creates an empty set. A nil transport makes every group
@@ -79,6 +84,10 @@ func (s *GroupSet) Create(name string, cfg Config) (*Overlay, error) {
 		return nil, err
 	}
 	o.reg = s.reg // build phases and overlay gauges share the set's registry
+	// Group rebuilds land "build" samples on the set's recorder, but the
+	// set sweep owns the round clock: a per-group tick would advance it G
+	// times per MaintenanceAll.
+	o.flight, o.flightShared = s.flight, true
 	s.groups[name] = o
 	i := sort.SearchStrings(s.names, name)
 	s.names = append(s.names, "")
@@ -139,6 +148,22 @@ func (s *GroupSet) Rebuild(group string) (OpStats, error) {
 	return st, err
 }
 
+// SetFlight attaches a flight recorder to the set and to every group
+// (current and future): MaintenanceAll ticks the recorder's round clock
+// once per sweep — after all groups finish, so a sample sees every group's
+// end-of-round state — and each group's rebuilds land immediate "build"
+// samples. The per-group round tick stays suppressed; the set owns the
+// clock.
+func (s *GroupSet) SetFlight(fr *flight.Recorder) {
+	s.flight = fr
+	for _, o := range s.groups {
+		o.flight, o.flightShared = fr, true
+	}
+}
+
+// Flight returns the attached flight recorder (nil when sampling is off).
+func (s *GroupSet) Flight() *flight.Recorder { return s.flight }
+
 // MaintenanceAll runs one failure-detector round in every group (sorted
 // name order), advancing the shared transport's round clock exactly once:
 // scheduled fault events fire once per sweep, and every group's detector
@@ -156,6 +181,8 @@ func (s *GroupSet) MaintenanceAll() (map[string]MaintenanceStats, error) {
 		}
 		out[name] = ms
 	}
+	// One flight round per sweep, sampled after every group settles.
+	s.flight.Tick()
 	return out, nil
 }
 

@@ -46,6 +46,7 @@ import (
 	"omtree/internal/geom"
 	"omtree/internal/grid"
 	"omtree/internal/obs"
+	"omtree/internal/obs/flight"
 	"omtree/internal/obs/trace"
 	"omtree/internal/tree"
 )
@@ -197,6 +198,12 @@ type Overlay struct {
 
 	// rec is the attached event recorder (see Trace); nil by default.
 	rec *trace.Recorder
+	// flight is the attached flight recorder (see SetFlight); nil by
+	// default. MaintenanceRound ticks it once per sweep unless flightShared
+	// is set, in which case a GroupSet owns the round clock and ticks once
+	// per MaintenanceAll instead.
+	flight       *flight.Recorder
+	flightShared bool
 	// ttrans is the transport's traced view, cached by SetTransport so
 	// exchangeN pays one nil check instead of a type assertion per attempt
 	// (nil when the transport cannot emit verdict events).
@@ -1112,6 +1119,7 @@ func (o *Overlay) Rebuild() (OpStats, error) {
 	// rollbacks and abrupt deaths: whatever alive says now is the truth.
 	// Each transition dirties only the grid cell it touches.
 	o.bs.SetInstruments(o.reg, o.rec)
+	o.bs.SetFlight(o.flight)
 	memberIDs := make([]int32, 0, o.alive-1)
 	for i := 1; i < len(o.nodes); i++ {
 		alive := o.nodes[i].alive

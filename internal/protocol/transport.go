@@ -444,6 +444,13 @@ func (o *Overlay) MaintenanceRound() (MaintenanceStats, error) {
 		o.reg.Gauge("protocol/islands").Set(float64(ms.Islands))
 		o.reg.Gauge("protocol/pending_joins").Set(float64(len(o.pending)))
 	}
+	// Phase 6: flight sampling — the round clock ticks once per sweep, after
+	// every gauge above reflects this round, so the sample sees a consistent
+	// end-of-round view. Sessions inside a GroupSet sample through the set's
+	// shared sweep instead (see GroupSet.MaintenanceAll).
+	if !o.flightShared {
+		o.flight.Tick()
+	}
 	return ms, nil
 }
 

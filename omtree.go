@@ -31,6 +31,7 @@ import (
 	"omtree/internal/multigroup"
 	"omtree/internal/netsim"
 	"omtree/internal/obs"
+	"omtree/internal/obs/flight"
 	"omtree/internal/obs/trace"
 	"omtree/internal/protocol"
 	"omtree/internal/rng"
@@ -93,6 +94,10 @@ var (
 	// events and per-cell wiring instants land on one trace id without
 	// changing the resulting tree.
 	WithTrace = core.WithTrace
+	// WithFlight attaches a flight recorder to the build; the completed
+	// build lands one "build"-cause sample without changing the resulting
+	// tree.
+	WithFlight = core.WithFlight
 )
 
 // Observability types (see internal/obs): a dependency-free registry of
@@ -129,6 +134,48 @@ type (
 // NewTraceRecorder returns an enabled event recorder with the given ring
 // capacity (<= 0 selects the 64k-event default).
 func NewTraceRecorder(capacity int) *TraceRecorder { return trace.New(capacity) }
+
+// Flight recording (see internal/obs/flight): a bounded in-memory ring of
+// registry samples driven by the protocol's virtual round clock, with
+// per-series delta/rate computation, a declarative SLO watchdog, a
+// deterministic text health report, and OpenMetrics/JSONL export. A
+// FlightRecorder threads through builds (WithFlight), sessions
+// (Overlay.SetFlight), group sets (OverlayGroupSet.SetFlight — one sample
+// per sweep), and the drift sweep; nil is accepted everywhere and free.
+type (
+	// FlightRecorder samples an Observer into a bounded ring and watches
+	// the samples against SLO rules.
+	FlightRecorder = flight.Recorder
+	// FlightConfig parameterizes a FlightRecorder: sample interval in
+	// virtual rounds, ring capacity, SLO rules, and an optional trace
+	// recorder receiving alert transitions.
+	FlightConfig = flight.Config
+	// FlightSample is one frozen point of the health trajectory.
+	FlightSample = flight.Sample
+	// SLORule is one declarative health rule, e.g.
+	// `cert: protocol/certificate_ratio > 1.15 for 3`.
+	SLORule = flight.SLORule
+	// SLOAlert is one fired rule occurrence.
+	SLOAlert = flight.Alert
+)
+
+// NewFlightRecorder returns an enabled flight recorder sampling reg (which
+// must be non-nil; a nil registry yields a nil, inert recorder).
+func NewFlightRecorder(reg *Observer, cfg FlightConfig) *FlightRecorder {
+	return flight.New(reg, cfg)
+}
+
+// SLO rule-grammar helpers and the OpenMetrics exposition of a snapshot.
+var (
+	// ParseSLORule parses one rule:
+	// `[name:] series|rate(series)|delta(series) OP number[%] [for N]`.
+	ParseSLORule = flight.ParseSLORule
+	// ParseSLORules parses a ';'-joined rule list (the CLI -slo format).
+	ParseSLORules = flight.ParseSLORules
+	// WriteOpenMetrics renders a metrics snapshot as Prometheus/OpenMetrics
+	// exposition text.
+	WriteOpenMetrics = flight.WriteOpenMetrics
+)
 
 // RegisterSessionMetrics publishes a session's stats under "protocol/..."
 // in the registry (counter funcs; the struct stays the source of truth).

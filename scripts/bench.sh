@@ -8,11 +8,11 @@
 # Environment overrides:
 #   BENCH_PKGS     packages to benchmark (default: the protocol hot path —
 #                  including the DriftRepair local-vs-full pair at 10k and
-#                  100k nodes — the trace recorder, the grid k-search, and
-#                  the multi-group substrate: the surfaces the tracing
-#                  layer, the analytic rebuild path, the kinetic repair
-#                  loop, and the shared-substrate overhead must not slow
-#                  down)
+#                  100k nodes — the trace recorder, the grid k-search, the
+#                  multi-group substrate, and the flight recorder: the
+#                  surfaces the tracing layer, the analytic rebuild path,
+#                  the kinetic repair loop, the shared-substrate overhead,
+#                  and the per-round sampling cost must not slow down)
 #   BENCH_PATTERN  -bench regexp (default: all benchmarks in BENCH_PKGS)
 #   BENCH_COUNT    -count repetitions (default 1; use 5+ for a decision)
 #
@@ -24,7 +24,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PKGS=${BENCH_PKGS:-"./internal/protocol ./internal/obs/trace ./internal/grid ./internal/multigroup"}
+PKGS=${BENCH_PKGS:-"./internal/protocol ./internal/obs/trace ./internal/obs/flight ./internal/grid ./internal/multigroup"}
 PATTERN=${BENCH_PATTERN:-.}
 COUNT=${BENCH_COUNT:-1}
 OUT=${1:-BENCH_$(date +%Y%m%d).json}

@@ -88,6 +88,20 @@ awk -v tol="$TOL" -v basefile="$BASE" -v snapfile="$SNAP" '
                 snap_only++
             }
         }
+        # Zero-overhead gate: a disabled flight recorder must cost the same
+        # as no recorder at all (its fast path is one atomic load). The
+        # bound is absolute ns, not a ratio — both sides sit around 2 ns,
+        # where any percentage is pure timer noise.
+        if (("FlightSample/disabled" in snap) && ("FlightSample/none" in snap)) {
+            over = snap["FlightSample/disabled"] - snap["FlightSample/none"]
+            if (over > 5) {
+                printf "bench_compare: disabled flight recorder costs %.2f ns/op over the nil-recorder path (budget 5 ns)\n", \
+                    over > "/dev/stderr"
+                fail = 1
+            } else {
+                printf "  FlightSample disabled-vs-none overhead %+.2f ns/op (budget 5 ns)  ok\n", over
+            }
+        }
         if (snap_only > 0)
             printf "bench_compare: %d new benchmark(s) have no baseline yet; add them to BENCH_baseline.json\n", \
                 snap_only > "/dev/stderr"
