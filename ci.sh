@@ -3,8 +3,8 @@
 # the race-detector run that guards the parallel build pipeline and the
 # shared multi-group substrate, and short fuzz smokes over the codec,
 # fault-schedule, partition-schedule, drift-schedule, incremental-rebuild,
-# multi-group, and SLO-rule fuzzers. `ci.sh bench` runs the benchmark
-# regression gate instead.
+# multi-group, SLO-rule, and snapshot round-trip fuzzers. `ci.sh bench`
+# runs the benchmark regression gate instead.
 set -eu
 
 cd "$(dirname "$0")"
@@ -62,6 +62,7 @@ check_cover ./internal/coords 92
 check_cover ./internal/grid 90
 check_cover ./internal/protocol 92
 check_cover ./internal/multigroup 90
+check_cover ./internal/snapshot 90
 
 # Golden files (cmd/omt-sim and cmd/omt-experiments CLI output;
 # internal/protocol trace timelines) are compared byte-for-byte by the
@@ -82,5 +83,6 @@ go test -run='^$' -fuzz='^FuzzDriftSchedule$' -fuzztime=10s ./internal/protocol
 go test -run='^$' -fuzz='^FuzzIncrementalRebuild$' -fuzztime=10s ./internal/protocol
 go test -run='^$' -fuzz='^FuzzMultiGroup$' -fuzztime=10s ./internal/multigroup
 go test -run='^$' -fuzz='^FuzzSLORules$' -fuzztime=10s ./internal/obs/flight
+go test -run='^$' -fuzz='^FuzzSnapshotRoundTrip$' -fuzztime=10s ./internal/protocol
 
 echo "ci: all green"

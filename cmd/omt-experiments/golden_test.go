@@ -52,6 +52,8 @@ func TestGoldenOutput(t *testing.T) {
 			"-sizes", "100", "-trials", "2", "-seed", "7"}},
 		{"groups", []string{"-groups", "-workers", "1",
 			"-trials", "2", "-seed", "7"}},
+		{"recovery", []string{"-recovery", "-workers", "1",
+			"-trials", "2", "-seed", "7"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -7,6 +7,7 @@
 //	omt-experiments -baselines              # Polar_Grid vs prior heuristics
 //	omt-experiments -drift                  # kinetic repair-policy frontier
 //	omt-experiments -groups                 # multi-group shared-substrate sweep
+//	omt-experiments -recovery               # crash×restart kill-point sweep
 //	omt-experiments -all                    # everything
 //
 // By default the sweep runs sizes 100 .. 100,000 with 20 trials each, which
@@ -88,6 +89,7 @@ func run(args []string, out io.Writer) error {
 	faults := fs.Bool("faults", false, "unreliable control plane: loss sweep with self-healing")
 	partition := fs.Bool("partition", false, "partition tolerance: degraded islands, admission control, reconciliation (requires -faults)")
 	drift := fs.Bool("drift", false, "kinetic drift: certificate monitoring and repair-policy frontier")
+	recovery := fs.Bool("recovery", false, "crash recovery: kill-point chaos, snapshot restore, rejoin in place")
 	groups := fs.Bool("groups", false, "multi-group trees on a shared substrate: memory amortization sweep")
 	scale := fs.Bool("scale", false, "large-n comparison vs the k-d-tree greedy")
 	dims := fs.Bool("dims", false, "delay convergence across dimensions 2..5")
@@ -116,7 +118,7 @@ func run(args []string, out io.Writer) error {
 	if *all {
 		*table1, *fig4, *fig5, *fig6, *fig7, *fig8 = true, true, true, true, true, true
 		*baselines, *churn, *dims, *repairs, *scale, *faults = true, true, true, true, true, true
-		*partition, *drift, *groups = true, true, true
+		*partition, *drift, *groups, *recovery = true, true, true, true
 	}
 	// The partition sweep extends the fault sweep's scenario; alone it would
 	// skip the context that makes its columns comparable.
@@ -160,7 +162,7 @@ func run(args []string, out io.Writer) error {
 	if metricsF != nil || flightF != nil || openMetricsF != nil {
 		reg = obs.New()
 	}
-	if !*table1 && !*fig4 && !*fig5 && !*fig6 && !*fig7 && !*fig8 && !*baselines && !*churn && !*dims && !*repairs && !*scale && !*faults && !*drift && !*groups {
+	if !*table1 && !*fig4 && !*fig5 && !*fig6 && !*fig7 && !*fig8 && !*baselines && !*churn && !*dims && !*repairs && !*scale && !*faults && !*drift && !*groups && !*recovery {
 		fs.Usage()
 		return fmt.Errorf("nothing selected (try -all)")
 	}
@@ -219,6 +221,7 @@ func run(args []string, out io.Writer) error {
 		Faults    []experiment.FaultRow     `json:"faults,omitempty"`
 		Partition []experiment.PartitionRow `json:"partition,omitempty"`
 		Drift     []experiment.DriftRow     `json:"drift,omitempty"`
+		Recovery  []experiment.RecoveryRow  `json:"recovery,omitempty"`
 		Groups    []experiment.GroupRow     `json:"groups,omitempty"`
 		Metrics   *obs.Snapshot             `json:"metrics,omitempty"`
 	}{Seed: *seed}
@@ -428,6 +431,22 @@ func run(args []string, out io.Writer) error {
 		}
 		manifest.Drift = rows
 		if err := experiment.DriftTable(rows, 800).Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *recovery {
+		fmt.Fprintln(out, "Crash recovery (n = 200, degree 6, kill-point chaos with snapshot restore):")
+		fmt.Fprintln(out)
+		rows, err := experiment.RunRecoverySweep(experiment.RecoverySweepConfig{
+			N: 200, Trials: trialsForExtensions(nTrials), Seed: *seed, MaxOutDegree: 6,
+		})
+		if err != nil {
+			return err
+		}
+		manifest.Recovery = rows
+		if err := experiment.RecoveryTable(rows, 200).Render(out); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

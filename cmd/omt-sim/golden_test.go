@@ -63,6 +63,48 @@ func TestGoldenOutput(t *testing.T) {
 	}
 }
 
+// TestGoldenSnapshot locks down the crash-safe checkpoint flow: the same
+// seeded faulty run is checkpointed twice and the two snapshot files (and
+// stdouts) must be byte-identical before the resumed session's output is
+// compared against its golden file. Snapshot bytes are a pure function of
+// session state, so divergence means wall-clock or map-order state leaked
+// into the wire format.
+func TestGoldenSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(path string) []byte {
+		t.Helper()
+		var out bytes.Buffer
+		args := []string{"-n", "300", "-degree", "6", "-seed", "3",
+			"-packets", "3", "-fail", "3", "-loss", "0.2", "-snapshot", path}
+		if err := run(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+	one, two := filepath.Join(dir, "one.omts"), filepath.Join(dir, "two.omts")
+	out1 := runOnce(one)
+	out2 := runOnce(two)
+	if !bytes.Equal(out1, out2) {
+		t.Fatalf("two runs diverged on stdout:\n run 1:\n%s\n run 2:\n%s", out1, out2)
+	}
+	blob1, err := os.ReadFile(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := os.ReadFile(two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob1, blob2) {
+		t.Fatal("two runs checkpointed different snapshot bytes")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-restore", one}, &out); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "restore", out.Bytes())
+}
+
 // TestGoldenFlight locks down the flight recorder's two artifacts — the
 // JSONL sample ring and the stdout health report — under the seeded drift
 // scenario with the monitor-only policy, where the certificate SLO provably

@@ -34,6 +34,17 @@
 //
 //	omt-sim -n 1000 -degree 6 -seed 1 -drift 0.01 -repair-policy local
 //
+// -snapshot FILE checkpoints the protocol session's full state on exit as a
+// versioned, checksummed, byte-deterministic snapshot (requires a protocol
+// run: -loss, -crash-rate, -partition, -drift, or -restore). -restore FILE
+// resumes a checkpointed session instead of starting fresh: the snapshot is
+// decoded and validated, maintenance continues on the recorded round clock
+// until the audit is clean again, and the resumed radius is printed. A torn
+// or corrupt snapshot is rejected by checksum with an error, never a panic.
+//
+//	omt-sim -n 300 -seed 3 -loss 0.2 -fail 3 -snapshot sess.omts
+//	omt-sim -restore sess.omts
+//
 // -metrics FILE writes a JSON metrics snapshot (build-phase spans, protocol
 // and data-plane counters) on exit; -trace FILE writes a Chrome trace-event
 // JSON timeline (load it in Perfetto or chrome://tracing) and -trace-text
@@ -136,6 +147,8 @@ func run(args []string, out io.Writer) error {
 	flightInterval := fs.Int("flight-interval", 1, "sample every N maintenance rounds (requires -flight)")
 	sloSpec := fs.String("slo", "", "';'-joined SLO rules watched per flight sample, e.g. 'cert: protocol/certificate_ratio > 1.15 for 3' (requires -flight)")
 	openMetricsPath := fs.String("openmetrics", "", "write the final registry state as OpenMetrics exposition text to this file on exit")
+	snapshotPath := fs.String("snapshot", "", "checkpoint the final protocol session state to this file as a restorable snapshot (requires -loss, -crash-rate, -partition, -drift, or -restore)")
+	restorePath := fs.String("restore", "", "resume a checkpointed protocol session from this snapshot file instead of starting fresh")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -159,6 +172,22 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-slo requires -flight")
 		}
 	}
+	// Crash-safe checkpointing only applies to a live protocol session; the
+	// reliable build path has no session state to checkpoint.
+	if *snapshotPath != "" && *loss == 0 && *crashRate == 0 && *partitionSpec == "" &&
+		*driftRate == 0 && *restorePath == "" {
+		return fmt.Errorf("-snapshot requires a protocol run (-loss, -crash-rate, -partition, -drift, or -restore)")
+	}
+	if *restorePath != "" {
+		if *loss > 0 || *crashRate > 0 || *partitionSpec != "" || *driftRate > 0 {
+			return fmt.Errorf("-restore does not combine with -loss, -crash-rate, -partition, or -drift")
+		}
+		// Fail fast on an unreadable checkpoint too, before any output file
+		// is created.
+		if _, err := os.Stat(*restorePath); err != nil {
+			return fmt.Errorf("-restore: %w", err)
+		}
+	}
 	// Fail fast: every requested output must be writable before any work runs.
 	metricsF, err := cliutil.CreateOutput("metrics", *metricsPath)
 	if err != nil {
@@ -177,6 +206,10 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	openMetricsF, err := cliutil.CreateOutput("openmetrics", *openMetricsPath)
+	if err != nil {
+		return err
+	}
+	snapF, err := cliutil.CreateOutput("snapshot", *snapshotPath)
 	if err != nil {
 		return err
 	}
@@ -223,6 +256,17 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-join-rate requires -partition")
 	}
 
+	if *restorePath != "" {
+		o, err := runRestore(out, reg, rec, fr, *restorePath)
+		if err != nil {
+			return err
+		}
+		if err := cliutil.WriteSnapshot(o, snapF); err != nil {
+			return err
+		}
+		return finish()
+	}
+
 	if *driftRate > 0 {
 		if *loss > 0 || *crashRate > 0 || pe != nil {
 			return fmt.Errorf("-drift does not combine with -loss, -crash-rate, or -partition")
@@ -231,7 +275,11 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := runDrift(out, reg, rec, fr, *n, *degree, *seed, *driftRate, policy); err != nil {
+		o, err := runDrift(out, reg, rec, fr, *n, *degree, *seed, *driftRate, policy)
+		if err != nil {
+			return err
+		}
+		if err := cliutil.WriteSnapshot(o, snapF); err != nil {
 			return err
 		}
 		return finish()
@@ -247,7 +295,11 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *loss > 0 || *crashRate > 0 || pe != nil {
-		if err := runFaulty(out, reg, rec, fr, *n, *degree, *packets, *failCount, *seed, *loss, *crashRate, pe, *joinRate); err != nil {
+		o, err := runFaulty(out, reg, rec, fr, *n, *degree, *packets, *failCount, *seed, *loss, *crashRate, pe, *joinRate)
+		if err != nil {
+			return err
+		}
+		if err := cliutil.WriteSnapshot(o, snapF); err != nil {
 			return err
 		}
 		return finish()
@@ -346,10 +398,39 @@ func run(args []string, out io.Writer) error {
 	return finish()
 }
 
+// runRestore resumes a checkpointed protocol session: the snapshot is
+// decoded and validated, maintenance continues on the recorded round clock
+// until the strict audit passes again, and the resumed state is reported.
+func runRestore(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, fr *omtree.FlightRecorder, path string) (*omtree.Overlay, error) {
+	o, err := omtree.RestoreOverlayFile(path)
+	if err != nil {
+		return nil, err
+	}
+	o.Observe(reg)
+	o.Trace(rec)
+	o.SetFlight(fr)
+	st := &o.Stats
+	fmt.Fprintf(out, "restored session: %d live members after %d maintenance rounds (%d joins, %d leaves, %d abrupt failures)\n",
+		o.N(), st.MaintenanceRounds, st.Joins, st.Leaves, st.AbruptFailures)
+	// The checkpoint may hold mid-churn damage (a crash the detector had not
+	// confirmed yet); converge back to a clean audit on the recorded clock.
+	rounds, err := o.Converge(24)
+	if err != nil {
+		return nil, err
+	}
+	radius, err := o.Radius()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "resumed: audit clean after %d rounds (round clock now %d), radius %.4f\n",
+		rounds, st.MaintenanceRounds, radius)
+	return o, nil
+}
+
 // runDrift exercises the kinetic control loop: a reliably built overlay's
 // coordinates jump under a seeded drift model while periodic re-estimation
 // sweeps refresh them and the certificate monitor repairs per policy.
-func runDrift(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, fr *omtree.FlightRecorder, n, degree int, seed uint64, rate float64, policy omtree.OverlayRepairPolicy) error {
+func runDrift(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, fr *omtree.FlightRecorder, n, degree int, seed uint64, rate float64, policy omtree.OverlayRepairPolicy) (*omtree.Overlay, error) {
 	const (
 		period    = 3
 		threshold = 1.05
@@ -365,7 +446,7 @@ func runDrift(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, fr
 		},
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	o.Observe(reg)
 	o.Trace(rec)
@@ -373,11 +454,11 @@ func runDrift(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, fr
 	r := omtree.NewRand(seed)
 	for i := 0; i < n; i++ {
 		if _, _, err := o.Join(r.UniformDisk(1)); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	if _, err := o.Rebuild(); err != nil {
-		return err
+		return nil, err
 	}
 	cert := o.Certificate()
 	fmt.Fprintf(out, "kinetic drift: %d members, jump rate %.3f/epoch, policy %v, re-estimation every %d rounds\n",
@@ -392,16 +473,16 @@ func runDrift(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, fr
 		InflationPerEpoch: 0.05, Bound: 0.99,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := o.SetDrift(m); err != nil {
-		return err
+		return nil, err
 	}
 	worst := 0.0
 	for i := 0; i < rounds; i++ {
 		ms, err := o.MaintenanceRound()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if ms.CertRatio > worst {
 			worst = ms.CertRatio
@@ -416,15 +497,15 @@ func runDrift(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, fr
 	cert = o.Certificate()
 	ratio, armed := o.CertificateRatio()
 	if !armed {
-		return fmt.Errorf("certificate unarmed after %d rounds", rounds)
+		return nil, fmt.Errorf("certificate unarmed after %d rounds", rounds)
 	}
 	fmt.Fprintf(out, "certificate: realized radius %.4f vs certified %.4f (ratio %.3f, worst %.3f), eq. 7 bound %.4f\n",
 		o.RealizedRadius(), cert.Radius, ratio, worst, cert.Bound)
 	if err := o.Audit(); err != nil {
-		return fmt.Errorf("audit after drift run: %w", err)
+		return nil, fmt.Errorf("audit after drift run: %w", err)
 	}
 	fmt.Fprintln(out, "audit: clean")
-	return nil
+	return o, nil
 }
 
 // parsePartition decodes a sides:start:heal schedule spec; an empty spec
@@ -444,7 +525,7 @@ func parsePartition(s string) (*omtree.PartitionEvent, error) {
 // control plane and reports degradation and recovery. With a partition
 // schedule it additionally splits the network mid-run, storms joins at the
 // degraded overlay, and reports island formation and reconciliation.
-func runFaulty(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, fr *omtree.FlightRecorder, n, degree, packets, failCount int, seed uint64, loss, crashRate float64, pe *omtree.PartitionEvent, joinRate float64) error {
+func runFaulty(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, fr *omtree.FlightRecorder, n, degree, packets, failCount int, seed uint64, loss, crashRate float64, pe *omtree.PartitionEvent, joinRate float64) (*omtree.Overlay, error) {
 	fmt.Fprintf(out, "unreliable control plane: loss %.0f%%, duplication %.0f%%, crash rate %.2f%%\n",
 		100*loss, 100*loss/2, 100*crashRate)
 
@@ -453,18 +534,18 @@ func runFaulty(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, f
 		K: omtree.SuggestOverlayK(n), MaxOutDegree: degree,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	plane, err := omtree.NewFaultPlane(omtree.FaultScenario{
 		Seed: seed, LossRate: loss, DupRate: loss / 2,
 		CrashRate: crashRate, DelayMean: 0.1,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fcfg := omtree.DefaultOverlayFaultConfig()
 	if err := o.SetTransport(plane, fcfg); err != nil {
-		return err
+		return nil, err
 	}
 	o.Observe(reg)
 	plane.Observe(reg)
@@ -501,16 +582,16 @@ func runFaulty(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, f
 	if pe == nil {
 		for i := 0; i < 2; i++ {
 			if _, err := o.MaintenanceRound(); err != nil {
-				return err
+				return nil, err
 			}
 		}
 	} else {
 		if err := plane.SetSchedule([]omtree.PartitionEvent{*pe}); err != nil {
-			return err
+			return nil, err
 		}
 		if joinRate > 0 {
 			if err := o.SetAdmission(omtree.OverlayAdmission{RatePerRound: joinRate}); err != nil {
-				return err
+				return nil, err
 			}
 		}
 		fmt.Fprintf(out, "partition: %d-way split at round %d, healing at round %d\n",
@@ -520,7 +601,7 @@ func runFaulty(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, f
 		for plane.Ticks() <= pe.Heal {
 			ms, err := o.MaintenanceRound()
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if ms.Islands > peak {
 				peak = ms.Islands
@@ -549,7 +630,7 @@ func runFaulty(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, f
 	plane.SetActive(false)
 	rounds, err := o.Converge(fcfg.ConfirmAfter + 12)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintf(out, "self-heal: audit clean after %d rounds (%d false suspicions, %d false confirms, %d elections)\n",
 		rounds, st.FalseSuspects, st.FalseConfirms, st.RepElections)
@@ -557,7 +638,7 @@ func runFaulty(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, f
 	// Data plane on the healed tree, links dropping at the same rate.
 	t, pts, _, err := o.Snapshot()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	radius := t.Radius(func(i, j int) float64 { return pts[i].Dist(pts[j]) })
 	sim, err := omtree.NewSim(t, omtree.SimConfig{
@@ -567,7 +648,7 @@ func runFaulty(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, f
 		Trace:   rec,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	session := sim.Session(packets, 2*radius, nil)
 	missed, drops, forwards := 0, 0, 0
@@ -584,7 +665,7 @@ func runFaulty(out io.Writer, reg *omtree.Observer, rec *omtree.TraceRecorder, f
 	}
 	fmt.Fprintf(out, "data plane: %d members, radius %.4f; %d/%d transmissions dropped -> %.2f%% of deliveries made\n",
 		t.N()-1, radius, drops, forwards, 100*ratio)
-	return nil
+	return o, nil
 }
 
 func almost(a, b float64) bool {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -35,6 +37,31 @@ func TestRunFaulty(t *testing.T) {
 	if err := run([]string{"-n", "300", "-degree", "6", "-seed", "3",
 		"-loss", "0.2", "-crash-rate", "0.005", "-fail", "3", "-packets", "3"}, io.Discard); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSnapshotFlagValidation(t *testing.T) {
+	if err := run([]string{"-n", "100", "-snapshot", "x.omts"}, io.Discard); err == nil {
+		t.Error("accepted -snapshot on the reliable path (no protocol session)")
+	}
+	if err := run([]string{"-restore", filepath.Join(t.TempDir(), "missing.omts")}, io.Discard); err == nil {
+		t.Error("accepted a missing -restore file")
+	}
+	if err := run([]string{"-restore", "x.omts", "-loss", "0.1"}, io.Discard); err == nil {
+		t.Error("accepted -restore combined with -loss")
+	}
+	if err := run([]string{"-restore", "x.omts", "-drift", "0.01"}, io.Discard); err == nil {
+		t.Error("accepted -restore combined with -drift")
+	}
+}
+
+func TestRestoreRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.omts")
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-restore", path}, io.Discard); err == nil {
+		t.Error("restored a corrupt snapshot")
 	}
 }
 

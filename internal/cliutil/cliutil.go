@@ -79,6 +79,29 @@ func WriteOpenMetrics(reg *obs.Registry, fr *flight.Recorder, f *os.File) error 
 	return f.Close()
 }
 
+// SnapshotWriter is anything that can checkpoint itself into a restorable
+// snapshot (a protocol Overlay or GroupSet).
+type SnapshotWriter interface {
+	WriteSnapshot(w io.Writer) error
+}
+
+// WriteSnapshot checkpoints s into the pre-opened file and closes it. A nil
+// file is a no-op; a nil s under a non-nil file means the CLI accepted
+// -snapshot on a path that never created a session, which is a bug worth
+// failing loudly on.
+func WriteSnapshot(s SnapshotWriter, f *os.File) error {
+	if f == nil {
+		return nil
+	}
+	if s == nil {
+		return fmt.Errorf("writing snapshot: no protocol session ran")
+	}
+	if err := s.WriteSnapshot(f); err != nil {
+		return fmt.Errorf("writing snapshot: %w", err)
+	}
+	return f.Close()
+}
+
 // WriteFlightReport prints the recorder's deterministic health report to w
 // when a recorder is attached. CLIs call it right before writing files so
 // the report lands at the end of the normal output.

@@ -1,0 +1,93 @@
+package coords
+
+import (
+	"bytes"
+	"testing"
+
+	"omtree/internal/geom"
+	"omtree/internal/snapshot"
+)
+
+func TestDriftModelSnapshotRoundTrip(t *testing.T) {
+	cfg := DriftConfig{
+		Seed:              99,
+		VelocityMean:      0.02,
+		JumpRate:          0.05,
+		InflationPerEpoch: 0.1,
+		Bound:             12,
+	}
+	m, err := NewDriftModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 20; id++ {
+		m.Track(id, geom.Point2{X: float64(id), Y: float64(-id) / 2})
+	}
+	for e := 0; e < 15; e++ {
+		m.Tick()
+	}
+	m.Refresh(3)
+	m.Refresh(11)
+	m.Forget(5)
+
+	var enc snapshot.Encoder
+	m.EncodeTo(&enc)
+	blob := enc.Bytes()
+
+	got, err := DecodeDriftModel(snapshot.NewDecoder(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var re snapshot.Encoder
+	got.EncodeTo(&re)
+	if !bytes.Equal(re.Bytes(), blob) {
+		t.Fatal("re-encode differs")
+	}
+
+	// The restored model must continue the identical trajectory: advance
+	// both and compare every node's true and estimated positions.
+	for e := 0; e < 10; e++ {
+		m.Tick()
+		got.Tick()
+	}
+	for id := 0; id < 20; id++ {
+		if id == 5 {
+			continue
+		}
+		if m.True(id) != got.True(id) {
+			t.Fatalf("node %d true position diverged: %v vs %v", id, m.True(id), got.True(id))
+		}
+		if m.Estimate(id) != got.Estimate(id) {
+			t.Fatalf("node %d estimate diverged", id)
+		}
+		if m.Staleness(id) != got.Staleness(id) {
+			t.Fatalf("node %d staleness diverged", id)
+		}
+	}
+}
+
+func TestDriftModelSnapshotCorrupt(t *testing.T) {
+	m, err := NewDriftModel(DriftConfig{Seed: 1, VelocityMean: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Track(0, geom.Point2{X: 1})
+	var enc snapshot.Encoder
+	m.EncodeTo(&enc)
+	blob := enc.Bytes()
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := DecodeDriftModel(snapshot.NewDecoder(blob[:cut])); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+	// An invalid config (negative velocity bits) must be rejected even
+	// though the bytes decode.
+	bad := append([]byte(nil), blob...)
+	var e2 snapshot.Encoder
+	e2.Uvarint(1)
+	e2.Float64(-0.1) // VelocityMean < 0
+	copy(bad, e2.Bytes())
+	if _, err := DecodeDriftModel(snapshot.NewDecoder(bad)); err == nil {
+		t.Fatal("invalid config decoded cleanly")
+	}
+}

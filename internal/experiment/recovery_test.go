@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRecoverySweepRunsEveryKillPoint(t *testing.T) {
+	rows, err := RunRecoverySweep(RecoverySweepConfig{
+		N: 60, Trials: 2, Seed: 7, MaxOutDegree: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(defaultKillPoints) {
+		t.Fatalf("%d rows for %d kill points", len(rows), len(defaultKillPoints))
+	}
+	for i, row := range rows {
+		if row.KillPoint != defaultKillPoints[i] {
+			t.Errorf("row %d: %s, want %s", i, row.KillPoint, defaultKillPoints[i])
+		}
+		if row.SnapshotBytes <= 0 {
+			t.Errorf("%s: empty snapshot", row.KillPoint)
+		}
+		if row.RadiusRatio <= 0 || row.RadiusRatio > 1+1e-9 {
+			t.Errorf("%s: radius ratio %v outside (0, 1]", row.KillPoint, row.RadiusRatio)
+		}
+		if row.Rejoined != 1 {
+			t.Errorf("%s: rejoined %v, want 1 per trial", row.KillPoint, row.Rejoined)
+		}
+		// Only the interrupted write produces a torn file to fall back from.
+		wantTorn := 0.0
+		if row.KillPoint == "snapshot/write" {
+			wantTorn = 1.0
+		}
+		if row.TornFallbacks != wantTorn {
+			t.Errorf("%s: torn fallbacks %v, want %v", row.KillPoint, row.TornFallbacks, wantTorn)
+		}
+	}
+	// Deterministic: the same config reproduces the same rows.
+	again, err := RunRecoverySweep(RecoverySweepConfig{
+		N: 60, Trials: 2, Seed: 7, MaxOutDegree: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, again) {
+		t.Fatal("two identical sweeps disagree")
+	}
+
+	var sb strings.Builder
+	if err := RecoveryTable(rows, 60).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range defaultKillPoints {
+		if !strings.Contains(sb.String(), p) {
+			t.Errorf("table missing %s", p)
+		}
+	}
+}
+
+func TestRecoverySweepValidation(t *testing.T) {
+	if _, err := RunRecoverySweep(RecoverySweepConfig{N: 5, Trials: 1, MaxOutDegree: 6}); err == nil {
+		t.Error("accepted tiny N")
+	}
+	if _, err := RunRecoverySweep(RecoverySweepConfig{N: 60, Trials: 1, MaxOutDegree: 2}); err == nil {
+		t.Error("accepted degree 2")
+	}
+	if _, err := RunRecoverySweep(RecoverySweepConfig{
+		N: 60, Trials: 1, MaxOutDegree: 6, KillPoints: []string{"bogus"},
+	}); err == nil {
+		t.Error("accepted an unknown kill point")
+	}
+}

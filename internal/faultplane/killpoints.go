@@ -1,0 +1,142 @@
+package faultplane
+
+import (
+	"fmt"
+	"sort"
+
+	"omtree/internal/obs"
+)
+
+// This file is the kill-point half of the fault plane (DESIGN.md §2k): a
+// deterministic crash scheduler for code locations that must be crash-safe.
+// Instrumented code declares named kill points ("snapshot/write",
+// "rebuild/rewire", "reconcile") and calls KillPlan.At when execution
+// crosses one; the plan counts crossings and, when a scheduled crossing is
+// reached, returns a *KilledError that the caller threads up its return
+// path. A kill is a simulated process death: the owner abandons the
+// overlay mid-operation — whatever half-written state exists stays exactly
+// as the abort left it — and recovery starts from the last durable
+// snapshot. Nothing in this machinery panics; crash-safety bugs surface as
+// test failures in the recovery differential, not as recovered panics.
+
+// KilledError reports that a kill plan fired: the named point was crossed
+// for the Hit-th time and the simulated process died there.
+type KilledError struct {
+	Point string // the kill point that fired
+	Hit   int    // which crossing fired it (1-based)
+}
+
+// Error implements error.
+func (e *KilledError) Error() string {
+	return fmt.Sprintf("faultplane: killed at %q (crossing %d)", e.Point, e.Hit)
+}
+
+// KillEvent schedules one crash: die on the Hit-th crossing of Point.
+// Hit <= 0 means the first crossing.
+type KillEvent struct {
+	Point string
+	Hit   int
+}
+
+// KillStats counts what the plan observed, exposed via Observe so a
+// recovery sweep can assert its chaos actually executed.
+type KillStats struct {
+	Crossings int // kill-point crossings evaluated
+	Kills     int // crossings that fired a scheduled kill
+}
+
+// KillPlan is a deterministic crash schedule over named kill points. One
+// plan models one process lifetime: after a kill fires the plan keeps
+// counting crossings but never fires again (the "restarted" owner installs
+// a fresh plan if it wants another crash). A nil *KillPlan is inert, so
+// instrumented code calls At unconditionally.
+//
+// KillPlan is not safe for concurrent use, matching the single-goroutine
+// protocol it instruments.
+type KillPlan struct {
+	at    map[string]int // point -> crossing number to die on
+	seen  map[string]int // point -> crossings so far
+	fired bool
+	Stats KillStats
+}
+
+// NewKillPlan builds a plan from explicit events. Duplicate points are an
+// error: one process cannot die twice.
+func NewKillPlan(events ...KillEvent) (*KillPlan, error) {
+	p := &KillPlan{at: make(map[string]int, len(events)), seen: make(map[string]int)}
+	for _, ev := range events {
+		if ev.Point == "" {
+			return nil, fmt.Errorf("faultplane: kill event with an empty point")
+		}
+		if _, dup := p.at[ev.Point]; dup {
+			return nil, fmt.Errorf("faultplane: duplicate kill point %q", ev.Point)
+		}
+		hit := ev.Hit
+		if hit <= 0 {
+			hit = 1
+		}
+		p.at[ev.Point] = hit
+	}
+	return p, nil
+}
+
+// SeededKillEvent derives one crash deterministically from a seed: a
+// point drawn uniformly from points (sorted first, so map-order callers
+// get stable draws) and a crossing in [1, maxHit]. Same seed, same crash —
+// the recovery sweep's trials are replayable by seed alone.
+func SeededKillEvent(seed uint64, points []string, maxHit int) KillEvent {
+	if len(points) == 0 {
+		return KillEvent{}
+	}
+	sorted := append([]string(nil), points...)
+	sort.Strings(sorted)
+	if maxHit < 1 {
+		maxHit = 1
+	}
+	h := mix64(seed ^ 0x6b696c6c706c616e) // "killplan"
+	point := sorted[h%uint64(len(sorted))]
+	hit := int(mix64(h)%uint64(maxHit)) + 1
+	return KillEvent{Point: point, Hit: hit}
+}
+
+// At records a crossing of the named kill point and returns a
+// *KilledError if the schedule says this crossing is the crash. Safe on a
+// nil plan.
+func (p *KillPlan) At(point string) error {
+	if p == nil {
+		return nil
+	}
+	p.Stats.Crossings++
+	p.seen[point]++
+	if p.fired {
+		return nil
+	}
+	if hit, ok := p.at[point]; ok && p.seen[point] == hit {
+		p.fired = true
+		p.Stats.Kills++
+		return &KilledError{Point: point, Hit: hit}
+	}
+	return nil
+}
+
+// Fired reports whether the plan's crash has happened.
+func (p *KillPlan) Fired() bool { return p != nil && p.fired }
+
+// Crossings returns how often the named point was crossed.
+func (p *KillPlan) Crossings(point string) int {
+	if p == nil {
+		return 0
+	}
+	return p.seen[point]
+}
+
+// ObserveKills registers the plan's counters on a registry under
+// "faultplane/killpoint_*", following the plane's counter-func pattern:
+// the registry reads the live values at export time.
+func (p *KillPlan) ObserveKills(r *obs.Registry) {
+	if p == nil || r == nil {
+		return
+	}
+	r.RegisterCounterFunc("faultplane/killpoint_crossings", func() int64 { return int64(p.Stats.Crossings) })
+	r.RegisterCounterFunc("faultplane/killpoint_kills", func() int64 { return int64(p.Stats.Kills) })
+}

@@ -1,0 +1,133 @@
+package faultplane
+
+import (
+	"errors"
+	"testing"
+
+	"omtree/internal/obs"
+)
+
+func TestKillPlanFiresOnScheduledCrossing(t *testing.T) {
+	p, err := NewKillPlan(KillEvent{Point: "snapshot/write", Hit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.At("snapshot/write"); err != nil {
+		t.Fatalf("crossing 1 killed: %v", err)
+	}
+	if err := p.At("rebuild/rewire"); err != nil {
+		t.Fatalf("unscheduled point killed: %v", err)
+	}
+	if err := p.At("snapshot/write"); err != nil {
+		t.Fatalf("crossing 2 killed: %v", err)
+	}
+	err = p.At("snapshot/write")
+	var killed *KilledError
+	if !errors.As(err, &killed) {
+		t.Fatalf("crossing 3 returned %v, want *KilledError", err)
+	}
+	if killed.Point != "snapshot/write" || killed.Hit != 3 {
+		t.Errorf("killed = %+v", killed)
+	}
+	if killed.Error() == "" {
+		t.Error("empty error string")
+	}
+	if !p.Fired() {
+		t.Error("Fired() = false after a kill")
+	}
+	// One process dies once: later crossings never fire again.
+	for i := 0; i < 5; i++ {
+		if err := p.At("snapshot/write"); err != nil {
+			t.Fatalf("post-mortem crossing killed again: %v", err)
+		}
+	}
+	if p.Stats.Kills != 1 {
+		t.Errorf("Kills = %d, want 1", p.Stats.Kills)
+	}
+	if p.Stats.Crossings != 9 {
+		t.Errorf("Crossings = %d, want 9", p.Stats.Crossings)
+	}
+	if p.Crossings("snapshot/write") != 8 {
+		t.Errorf("Crossings(snapshot/write) = %d, want 8", p.Crossings("snapshot/write"))
+	}
+}
+
+func TestKillPlanDefaultsAndErrors(t *testing.T) {
+	// Hit <= 0 means the first crossing.
+	p, err := NewKillPlan(KillEvent{Point: "reconcile"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var killed *KilledError
+	if err := p.At("reconcile"); !errors.As(err, &killed) || killed.Hit != 1 {
+		t.Fatalf("first crossing: %v", err)
+	}
+
+	if _, err := NewKillPlan(KillEvent{}); err == nil {
+		t.Error("empty point accepted")
+	}
+	if _, err := NewKillPlan(KillEvent{Point: "x"}, KillEvent{Point: "x", Hit: 2}); err == nil {
+		t.Error("duplicate point accepted")
+	}
+}
+
+func TestKillPlanNilIsInert(t *testing.T) {
+	var p *KillPlan
+	if err := p.At("anything"); err != nil {
+		t.Fatalf("nil plan killed: %v", err)
+	}
+	if p.Fired() || p.Crossings("anything") != 0 {
+		t.Error("nil plan reports state")
+	}
+	p.ObserveKills(obs.New()) // must not panic
+}
+
+func TestSeededKillEventDeterministic(t *testing.T) {
+	points := []string{"snapshot/write", "rebuild/rewire", "reconcile", "snapshot/encode"}
+	a := SeededKillEvent(7, points, 4)
+	b := SeededKillEvent(7, points, 4)
+	if a != b {
+		t.Fatalf("same seed drew %+v then %+v", a, b)
+	}
+	if a.Point == "" || a.Hit < 1 || a.Hit > 4 {
+		t.Fatalf("draw out of range: %+v", a)
+	}
+	// The draw must not depend on the order points are handed in.
+	shuffled := []string{"reconcile", "snapshot/encode", "snapshot/write", "rebuild/rewire"}
+	if c := SeededKillEvent(7, shuffled, 4); c != a {
+		t.Errorf("point-order-dependent draw: %+v vs %+v", c, a)
+	}
+	// Different seeds should reach every point eventually.
+	seen := map[string]bool{}
+	for seed := uint64(0); seed < 64; seed++ {
+		seen[SeededKillEvent(seed, points, 4).Point] = true
+	}
+	if len(seen) != len(points) {
+		t.Errorf("64 seeds only reached %d/%d points", len(seen), len(points))
+	}
+	if ev := SeededKillEvent(1, nil, 3); ev != (KillEvent{}) {
+		t.Errorf("empty point set drew %+v", ev)
+	}
+	if ev := SeededKillEvent(1, points, 0); ev.Hit != 1 {
+		t.Errorf("maxHit 0 drew hit %d", ev.Hit)
+	}
+}
+
+func TestKillPlanObserve(t *testing.T) {
+	reg := obs.New()
+	p, err := NewKillPlan(KillEvent{Point: "snapshot/write", Hit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ObserveKills(reg)
+	p.At("snapshot/write")
+	p.At("snapshot/write")
+	snap := reg.Snapshot()
+	got := map[string]int64{}
+	for _, c := range snap.Counters {
+		got[c.Name] = c.Value
+	}
+	if got["faultplane/killpoint_crossings"] != 2 || got["faultplane/killpoint_kills"] != 1 {
+		t.Errorf("observed counters = %v", got)
+	}
+}

@@ -1,0 +1,148 @@
+package multigroup
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"omtree/internal/geom"
+	"omtree/internal/rng"
+	"omtree/internal/snapshot"
+)
+
+func snapshotHosts(n int, seed uint64) []geom.Point2 {
+	r := rng.New(seed)
+	hosts := make([]geom.Point2, n)
+	for i := range hosts {
+		hosts[i] = r.UniformDisk(1)
+	}
+	return hosts
+}
+
+func TestGroupSnapshotRoundTrip(t *testing.T) {
+	hosts := snapshotHosts(300, 51)
+	sub, err := NewSubstrate(hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sub.NewGroup(GroupConfig{Source: []float64{0, 0}, MaxOutDegree: 6, ID: "vod"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 300; h += 2 {
+		if err := g.Join(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, _, err := g.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate after the build so dirty-cell state rides along too.
+	if err := g.Leave(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join(11); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := append([]byte(nil), buf.Bytes()...)
+
+	// Deterministic: a second write of the same state is byte-identical.
+	var buf2 bytes.Buffer
+	if err := g.WriteSnapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, buf2.Bytes()) {
+		t.Fatal("two writes of the same state differ")
+	}
+
+	g2, err := sub.RestoreGroup(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.ID() != "vod" || g2.Size() != g.Size() {
+		t.Fatalf("restored %s/%d, want vod/%d", g2.ID(), g2.Size(), g.Size())
+	}
+	if g2.Certificate() != g.Certificate() {
+		t.Fatal("certificate differs after restore")
+	}
+	if g2.DirtyFraction() != g.DirtyFraction() {
+		t.Fatalf("dirty fraction %v vs %v", g2.DirtyFraction(), g.DirtyFraction())
+	}
+	// Both trees evolve identically from the common state.
+	r1, full1, err := g.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, full2, err := g2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full1 != full2 || r1.Radius != r2.Radius {
+		t.Fatalf("diverged: (%v, %v) vs (%v, %v)", r1.Radius, full1, r2.Radius, full2)
+	}
+	if r2.Radius > res.Bound*2 {
+		t.Fatalf("implausible radius %v after restore", r2.Radius)
+	}
+}
+
+func TestGroupSnapshotRejectsWrongSubstrate(t *testing.T) {
+	hosts := snapshotHosts(100, 53)
+	sub, err := NewSubstrate(hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sub.NewGroup(GroupConfig{Source: []float64{0, 0}, ID: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 50; h++ {
+		if err := g.Join(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := g.Build(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	other, err := NewSubstrate(snapshotHosts(100, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.RestoreGroup(bytes.NewReader(blob)); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Errorf("foreign substrate accepted the delta: %v", err)
+	}
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)/3] ^= 0x10
+	if _, err := sub.RestoreGroup(bytes.NewReader(bad)); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Errorf("corrupt snapshot accepted: %v", err)
+	}
+	if _, err := sub.RestoreGroup(bytes.NewReader(blob[:len(blob)/2])); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Errorf("torn snapshot accepted: %v", err)
+	}
+	// 3-D groups have no incremental state to checkpoint.
+	sub3, err := NewSubstrate3([]geom.Point3{{X: 1}, {Y: 1}, {Z: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := sub3.NewGroup(GroupConfig{Source: []float64{0, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g3.WriteSnapshot(&bytes.Buffer{}); err == nil {
+		t.Error("3-D group claimed to snapshot")
+	}
+	if _, err := sub3.RestoreGroup(bytes.NewReader(blob)); err == nil {
+		t.Error("3-D substrate claimed to restore")
+	}
+}

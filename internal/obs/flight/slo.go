@@ -2,6 +2,7 @@ package flight
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -195,7 +196,7 @@ func ParseSLORule(s string) (SLORule, error) {
 		num = strings.TrimSuffix(num, "%")
 	}
 	threshold, err := strconv.ParseFloat(num, 64)
-	if err != nil {
+	if err != nil || math.IsNaN(threshold) {
 		return fail("bad threshold %q", tok[2])
 	}
 	if pct {

@@ -70,6 +70,8 @@ func TestParseSLORuleErrors(t *testing.T) {
 		"x >",
 		"x ~ 1",
 		"x > banana",
+		"x != NaN",
+		"x > nan%",
 		"x > 1 for",
 		"x > 1 for 0",
 		"x > 1 for -2",

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -140,6 +141,99 @@ func BenchmarkRebuildIncremental(b *testing.B) {
 		if _, err := o.Rebuild(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchSession builds a warm n-member session for the snapshot benchmarks.
+func benchSession(b *testing.B, n int) *Overlay {
+	b.Helper()
+	r := rng.New(8)
+	o, err := New(Config{Source: geom.Point2{}, Scale: 1, K: SuggestK(n), MaxOutDegree: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, _, err := o.Join(r.UniformDisk(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := o.Rebuild(); err != nil {
+		b.Fatal(err)
+	}
+	return o
+}
+
+// BenchmarkSnapshotEncode measures checkpointing a warm session into the
+// deterministic wire format (encode + checksum; no file I/O).
+func BenchmarkSnapshotEncode(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprint(n), func(b *testing.B) {
+			o := benchSession(b, n)
+			var buf bytes.Buffer
+			if err := o.WriteSnapshot(&buf); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(buf.Len()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := o.WriteSnapshot(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRestore measures bringing a session back from a snapshot blob:
+// checksum verification, decode, semantic validation, and grid rehydration.
+// Compare against BenchmarkColdRebuild at the same size — restore at 100k
+// must stay at least 10x faster than rebuilding from member reports
+// (EXPERIMENTS.md tracks the ratio).
+func BenchmarkRestore(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprint(n), func(b *testing.B) {
+			o := benchSession(b, n)
+			var buf bytes.Buffer
+			if err := o.WriteSnapshot(&buf); err != nil {
+				b.Fatal(err)
+			}
+			blob := buf.Bytes()
+			b.SetBytes(int64(len(blob)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RestoreBytes(blob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkColdRebuild measures the no-snapshot alternative a restored
+// coordinator would otherwise pay: re-admitting every member from position
+// reports and rebuilding the tree from scratch.
+func BenchmarkColdRebuild(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprint(n), func(b *testing.B) {
+			r := rng.New(8)
+			pts := r.UniformDiskN(n, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o, err := New(Config{Source: geom.Point2{}, Scale: 1, K: SuggestK(n), MaxOutDegree: 6})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range pts {
+					if _, _, err := o.Join(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := o.Rebuild(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

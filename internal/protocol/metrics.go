@@ -57,6 +57,9 @@ func RegisterSessionMetrics(r *obs.Registry, st *SessionStats) {
 		{"protocol/drift_messages", &st.DriftMessages},
 		{"protocol/local_repairs", &st.LocalRepairs},
 		{"protocol/full_rebuild_fallbacks", &st.FullRebuildFallbacks},
+		{"protocol/rejoins", &st.Rejoins},
+		{"protocol/snapshot_writes", &st.SnapshotWrites},
+		{"protocol/restores", &st.Restores},
 	}
 	for _, f := range fields {
 		v := f.v

@@ -68,8 +68,10 @@ func (o *Overlay) degradedRadius() float64 {
 // partitionPhase is the degraded-mode step of every maintenance round:
 // heal detection and reconciliation for existing islands, cut detection
 // and coordinator elections for freshly orphaned subtrees, then island
-// merging. Runs in O(n) with no messages when nothing is cut.
-func (o *Overlay) partitionPhase(ms *MaintenanceStats, st *OpStats) {
+// merging. Runs in O(n) with no messages when nothing is cut. A non-nil
+// error is a scheduled kill firing mid-reconciliation (never a protocol
+// failure) — the caller abandons the round as a simulated crash.
+func (o *Overlay) partitionPhase(ms *MaintenanceStats, st *OpStats) error {
 	// 1. Heal detection: every island that existed at the start of the
 	// round probes the source; islands cut this very round skip the probe
 	// (their failed source check is what just degraded them).
@@ -79,7 +81,11 @@ func (o *Overlay) partitionPhase(ms *MaintenanceStats, st *OpStats) {
 			continue // merged away while we iterated
 		}
 		if o.exchange(c, 0, st) {
-			if o.reconcileIsland(c, st) {
+			ok, err := o.reconcileIsland(c, st)
+			if err != nil {
+				return err
+			}
+			if ok {
 				ms.Reconciled++
 			}
 		}
@@ -109,6 +115,7 @@ func (o *Overlay) partitionPhase(ms *MaintenanceStats, st *OpStats) {
 	o.mergeIslands(ms, st)
 
 	ms.Islands = o.Islands()
+	return nil
 }
 
 // degrade cuts subtree root c over to degraded mode: it detaches from its
@@ -259,8 +266,10 @@ func (o *Overlay) islandGraft(loser, winner int32, st *OpStats) bool {
 // a fresh cell representative would attach), re-measure delays, then sweep
 // the island for ghosts and dedup cell membership. Returns false when the
 // anchor handshake failed — the island stays degraded and retries next
-// round.
-func (o *Overlay) reconcileIsland(c int32, st *OpStats) bool {
+// round. A non-nil error is a scheduled kill firing right after the graft:
+// the island is re-attached but its delays, ghosts, and duplicate
+// membership entries are not yet reconciled.
+func (o *Overlay) reconcileIsland(c int32, st *OpStats) (bool, error) {
 	o.emit("protocol/reconcile.begin", c, -1, "")
 	ring, idx := grid.RingIdx(int(o.nodes[c].cell))
 	var anchor int32
@@ -291,14 +300,19 @@ func (o *Overlay) reconcileIsland(c int32, st *OpStats) bool {
 			anchor = alt
 		} else {
 			o.emit("protocol/reconcile.end", c, anchor, "retry")
-			return false
+			return false, nil
 		}
 	}
 	if !o.exchange(c, anchor, st) {
 		o.emit("protocol/reconcile.end", c, anchor, "retry")
-		return false
+		return false, nil
 	}
 	o.attach(c, anchor)
+	// Kill point: the island is grafted but delays are stale, ghosts are
+	// still wired, and membership lists may hold duplicates.
+	if err := o.killpoint("reconcile"); err != nil {
+		return false, err
+	}
 	o.refreshDelays(c)
 	o.nodes[c].isCoord = false
 	o.nodes[c].pmiss = 0
@@ -329,7 +343,7 @@ func (o *Overlay) reconcileIsland(c int32, st *OpStats) bool {
 
 	o.Stats.Reconciliations++
 	o.emit("protocol/reconcile.end", c, anchor, "ok")
-	return true
+	return true, nil
 }
 
 // dedupMembers drops duplicate and dead entries from every cell's

@@ -43,6 +43,7 @@ import (
 
 	"omtree/internal/coords"
 	"omtree/internal/core"
+	"omtree/internal/faultplane"
 	"omtree/internal/geom"
 	"omtree/internal/grid"
 	"omtree/internal/obs"
@@ -80,6 +81,10 @@ type Config struct {
 	// coordinate drift model is attached with SetDrift. The zero value
 	// disables the loop.
 	Drift DriftConfig
+	// Snapshot schedules periodic crash-safe state snapshots at the end
+	// of maintenance rounds (DESIGN.md §2k). The zero value disables
+	// them; WriteSnapshot remains available for on-demand snapshots.
+	Snapshot SnapshotConfig
 }
 
 // maxK caps the published grid depth: the session allocates O(2^K) cell
@@ -117,6 +122,9 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Drift.validate(); err != nil {
+		return err
+	}
+	if err := c.Snapshot.validate(); err != nil {
 		return err
 	}
 	return nil
@@ -224,6 +232,12 @@ type Overlay struct {
 	drift       *coords.DriftModel
 	driftRounds int
 
+	// kill is the attached crash schedule (see SetKillPlan); nil by
+	// default. Instrumented code crosses named kill points and aborts
+	// mid-operation when the plan fires — the chaos half of the
+	// crash-recovery suite (DESIGN.md §2k).
+	kill *faultplane.KillPlan
+
 	// Stats accumulates control-message totals for the session.
 	Stats SessionStats
 }
@@ -283,6 +297,13 @@ type SessionStats struct {
 	DriftMessages        int // coordinate reports and cell handoffs
 	LocalRepairs         int // certificate-triggered dirty-cell repairs
 	FullRebuildFallbacks int // local repairs escalated to a full rebuild
+
+	// Crash-recovery accounting (see DESIGN.md §2k). A member that dies
+	// and re-enters via Restart counts one Rejoin, never a second Join —
+	// the regression suite pins this against double counting.
+	Rejoins        int // dead members re-entering via Restart
+	SnapshotWrites int // snapshots encoded and handed to a writer
+	Restores       int // sessions reconstructed from a snapshot
 }
 
 // OpStats describes one operation's cost.
@@ -1138,6 +1159,13 @@ func (o *Overlay) Rebuild() (OpStats, error) {
 	if err != nil {
 		outcome = "failed"
 		return st, fmt.Errorf("protocol: rebuild: %w", err)
+	}
+	// Kill point: the build state is refreshed but the overlay's wiring is
+	// not — a crash here leaves the two out of sync, exactly what restore
+	// from the last snapshot must recover from.
+	if err := o.killpoint("rebuild/rewire"); err != nil {
+		outcome = "killed"
+		return st, err
 	}
 	if full {
 		// From-scratch refresh: every member reports its coordinates.

@@ -415,8 +415,11 @@ func (o *Overlay) MaintenanceRound() (MaintenanceStats, error) {
 
 	// Phase 3b: partition handling — heal detection and reconciliation
 	// for existing islands, degraded-mode cutover for subtrees that lost
-	// the root side, island merging.
-	o.partitionPhase(&ms, st)
+	// the root side, island merging. A returned error is a scheduled kill
+	// firing mid-reconciliation: the round dies where the crash left it.
+	if err := o.partitionPhase(&ms, st); err != nil {
+		return ms, err
+	}
 
 	// Phase 4: elect representatives for cells that lost theirs (a failed
 	// election, or a joiner that could not reach its anchor).
@@ -450,6 +453,11 @@ func (o *Overlay) MaintenanceRound() (MaintenanceStats, error) {
 	// shared sweep instead (see GroupSet.MaintenanceAll).
 	if !o.flightShared {
 		o.flight.Tick()
+	}
+	// Phase 7: scheduled snapshots — the round is complete, so the encoded
+	// state is exactly the end-of-round checkpoint a restore resumes from.
+	if err := o.maybeAutoSnapshot(); err != nil {
+		return ms, err
 	}
 	return ms, nil
 }

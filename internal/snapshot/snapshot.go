@@ -1,0 +1,520 @@
+// Package snapshot implements the versioned, checksummed, deterministic
+// binary encoding used to persist full overlay state across coordinator
+// crashes (DESIGN.md §2k).
+//
+// The format has three layers:
+//
+//   - Encoder/Decoder: primitive append-only codec (varints, zigzag ints,
+//     fixed 8-byte float bits, length-prefixed byte strings). Encoding is
+//     deterministic — the same logical state always produces the same
+//     bytes — and decoding is bounds-checked so arbitrary corrupt input
+//     returns an error instead of panicking or over-allocating.
+//   - Seal/Open: the file envelope. A 14-byte header (magic "OMTS",
+//     format version, payload kind, payload length) followed by the
+//     payload and a CRC32-C (Castagnoli) checksum over header+payload —
+//     hardware-accelerated on amd64/arm64, so verifying a 100k-node
+//     snapshot costs well under a millisecond. Open verifies all of it
+//     and wraps every failure in ErrCorrupt so callers can degrade to a
+//     cold rebuild-from-member-reports.
+//   - WriteFileAtomic/Rotate (file.go): crash-safe on-disk placement.
+//
+// Payload layouts live next to the state they serialize (core.BuildState,
+// coords.DriftModel, protocol.Overlay); this package only fixes the
+// primitive wire rules and the envelope.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Payload kinds carried in the envelope header.
+const (
+	KindOverlay   = 1 // a single protocol.Overlay
+	KindGroupSet  = 2 // a protocol.GroupSet (shared substrate + per-group deltas)
+	KindGroupTree = 3 // a multigroup.GroupTree (substrate-bound group delta)
+)
+
+// Version is the current snapshot format version. Open rejects files
+// written by a newer format rather than misreading them.
+const Version = 1
+
+const magic = "OMTS"
+
+// headerLen = magic(4) + version(1) + kind(1) + payloadLen(8).
+const headerLen = 14
+
+// ErrCorrupt is the sentinel wrapped by every Open failure: bad magic,
+// unknown version, truncated file, length mismatch, or checksum mismatch.
+// Callers test with errors.Is and fall back to a cold rebuild.
+var ErrCorrupt = errors.New("snapshot: corrupt or truncated")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Seal wraps payload in the envelope: header, payload, CRC32-C trailer.
+func Seal(kind byte, payload []byte) []byte {
+	out := make([]byte, 0, headerLen+len(payload)+4)
+	out = append(out, magic...)
+	out = append(out, Version, kind)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	out = append(out, payload...)
+	sum := crc32.Checksum(out, crcTable)
+	out = binary.LittleEndian.AppendUint32(out, sum)
+	return out
+}
+
+// Open verifies the envelope and returns the payload kind and bytes.
+// Every failure wraps ErrCorrupt. The returned payload aliases data.
+func Open(data []byte) (kind byte, payload []byte, err error) {
+	if len(data) < headerLen+4 {
+		return 0, nil, fmt.Errorf("%w: %d bytes is shorter than the minimal envelope", ErrCorrupt, len(data))
+	}
+	if string(data[:4]) != magic {
+		return 0, nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	if data[4] != Version {
+		return 0, nil, fmt.Errorf("%w: format version %d (this build reads %d)", ErrCorrupt, data[4], Version)
+	}
+	kind = data[5]
+	n := binary.LittleEndian.Uint64(data[6:14])
+	if n != uint64(len(data)-headerLen-4) {
+		return 0, nil, fmt.Errorf("%w: header says %d payload bytes, file has %d", ErrCorrupt, n, len(data)-headerLen-4)
+	}
+	body := data[:len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch (file %#x, computed %#x)", ErrCorrupt, want, got)
+	}
+	return kind, data[headerLen : len(data)-4], nil
+}
+
+// Encoder appends primitives to a growing byte buffer. The zero value is
+// ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer (aliased, not copied).
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Raw appends pre-encoded bytes verbatim, with no length prefix. Used to
+// splice a sub-encoder's output (e.g. a body encoded while a side table
+// was being collected) after the table it depends on.
+func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// Int appends a signed int as a zigzag varint.
+func (e *Encoder) Int(v int) { e.buf = binary.AppendVarint(e.buf, int64(v)) }
+
+// Int32 appends a signed int32 as a zigzag varint.
+func (e *Encoder) Int32(v int32) { e.buf = binary.AppendVarint(e.buf, int64(v)) }
+
+// Float64 appends the IEEE-754 bits as a fixed 8-byte little-endian word.
+// Fixed width keeps NaN payloads and signed zeros byte-exact.
+func (e *Encoder) Float64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// Bool appends one byte, 0 or 1.
+func (e *Encoder) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.buf = append(e.buf, b)
+}
+
+// String appends a length-prefixed byte string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Int32s appends a length-prefixed slice of int32.
+func (e *Encoder) Int32s(vs []int32) {
+	e.Uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		e.Int32(v)
+	}
+}
+
+// Fixed32 appends an int32 as a fixed 4-byte little-endian word (two's
+// complement). Hot columnar sections trade the varint's size for decode
+// speed: a fixed-width column bulk-decodes with one bounds check and no
+// per-element branching.
+func (e *Encoder) Fixed32(v int32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(v))
+}
+
+// Fixed32s appends a length-prefixed slice of fixed 4-byte int32 words —
+// the fixed-width counterpart of Int32s.
+func (e *Encoder) Fixed32s(vs []int32) {
+	e.Uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		e.Fixed32(v)
+	}
+}
+
+// Int32Lists appends a column of variable-length int32 lists: every list's
+// length first as a fixed 4-byte word, then every element, flattened. No
+// list count is written — the reader learns it from earlier in the
+// payload, like the other bulk primitives.
+func (e *Encoder) Int32Lists(lists [][]int32) {
+	for _, l := range lists {
+		e.Fixed32(int32(len(l)))
+	}
+	for _, l := range lists {
+		for _, v := range l {
+			e.Fixed32(v)
+		}
+	}
+}
+
+// Float64s appends every element as a fixed 8-byte word, with no length
+// prefix: columnar payload sections carry their count once up front and
+// bulk-decode with the Decoder method of the same name.
+func (e *Encoder) Float64s(vs []float64) {
+	for _, v := range vs {
+		e.Float64(v)
+	}
+}
+
+// Bools appends one byte per element, with no length prefix (see Float64s).
+func (e *Encoder) Bools(vs []bool) {
+	for _, v := range vs {
+		e.Bool(v)
+	}
+}
+
+// Decoder reads primitives back out of a buffer. It is sticky-error: the
+// first failure (truncation, varint overflow, oversized length prefix)
+// poisons the decoder, every later read returns the zero value, and Err
+// reports the cause. This lets payload decoders read a whole structure
+// and check for corruption once at the end.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps buf for reading.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decode error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Len returns the number of unread bytes.
+func (d *Decoder) Len() int { return len(d.buf) - d.off }
+
+// Fail poisons the decoder with a semantic error discovered by a payload
+// decoder (e.g. a table index out of range), wrapped in ErrCorrupt like
+// any wire-level failure. Only the first failure is kept.
+func (d *Decoder) Fail(format string, args ...any) { d.fail(format, args...) }
+
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("truncated or overlong uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Int reads a zigzag varint as an int.
+func (d *Decoder) Int() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("truncated or overlong varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return int(v)
+}
+
+// Int32 reads a zigzag varint and range-checks it into an int32.
+func (d *Decoder) Int32() int32 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("truncated or overlong varint at offset %d", d.off)
+		return 0
+	}
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		d.fail("varint %d out of int32 range at offset %d", v, d.off)
+		return 0
+	}
+	d.off += n
+	return int32(v)
+}
+
+// Float64 reads a fixed 8-byte little-endian IEEE-754 word.
+func (d *Decoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Len() < 8 {
+		d.fail("truncated float64 at offset %d", d.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+// Bool reads one byte and requires it to be 0 or 1.
+func (d *Decoder) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.Len() < 1 {
+		d.fail("truncated bool at offset %d", d.off)
+		return false
+	}
+	b := d.buf[d.off]
+	if b > 1 {
+		d.fail("bool byte %#x at offset %d", b, d.off)
+		return false
+	}
+	d.off++
+	return b == 1
+}
+
+// String reads a length-prefixed byte string.
+func (d *Decoder) String() string {
+	n := d.length(1)
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// Int32s reads a length-prefixed slice of int32. A nil slice is decoded
+// as an empty non-nil slice only when the encoded length is zero and the
+// encoder wrote a nil slice the same way, so round-trips stay byte-exact.
+func (d *Decoder) Int32s() []int32 {
+	// Each element takes at least one byte, so cap the allocation by the
+	// remaining buffer: corrupt length prefixes can't trigger huge makes.
+	n := d.length(1)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	vs := make([]int32, n)
+	d.Int32sInto(vs)
+	if d.err != nil {
+		return nil
+	}
+	return vs
+}
+
+// Fixed32sInto decodes len(dst) fixed 4-byte words written by Fixed32 with
+// a single bounds check, for columnar sections whose length the caller
+// already knows.
+func (d *Decoder) Fixed32sInto(dst []int32) {
+	if d.err != nil {
+		return
+	}
+	if d.Len()/4 < len(dst) {
+		d.fail("fixed32 burst of %d words exceeds remaining %d bytes at offset %d", len(dst), d.Len(), d.off)
+		return
+	}
+	buf := d.buf[d.off:]
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	d.off += 4 * len(dst)
+}
+
+// Fixed32s reads a length-prefixed slice written by Encoder.Fixed32s. Like
+// Int32s, a zero length decodes to nil so round-trips stay byte-exact.
+func (d *Decoder) Fixed32s() []int32 {
+	n := d.length(4)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	vs := make([]int32, n)
+	d.Fixed32sInto(vs)
+	if d.err != nil {
+		return nil
+	}
+	return vs
+}
+
+// Int32Lists bulk-decodes n lists written by Encoder.Int32Lists: a length
+// column followed by one flattened element column, both fixed-width. All
+// elements share a single arena; each list is carved with a full-capacity
+// limit (three-index slice) so a later append reallocates instead of
+// overwriting its neighbor. A zero length decodes to nil, matching how the
+// encoder writes a nil list, so round-trips stay byte-exact.
+func (d *Decoder) Int32Lists(n int) [][]int32 {
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n < 0 || d.Len()/4 < n {
+		d.fail("length column of %d lists exceeds remaining %d bytes at offset %d", n, d.Len(), d.off)
+		return nil
+	}
+	counts := make([]int32, n)
+	d.Fixed32sInto(counts)
+	if d.err != nil {
+		return nil
+	}
+	total := 0
+	for i, c := range counts {
+		if c < 0 {
+			d.fail("negative length %d for list %d", c, i)
+			return nil
+		}
+		total += int(c)
+	}
+	// Each element occupies four bytes, so a corrupt length column cannot
+	// demand an arena larger than the remaining buffer.
+	if total > d.Len()/4 {
+		d.fail("flattened column of %d elements exceeds remaining %d bytes at offset %d", total, d.Len(), d.off)
+		return nil
+	}
+	flat := make([]int32, total)
+	d.Fixed32sInto(flat)
+	if d.err != nil {
+		return nil
+	}
+	lists := make([][]int32, n)
+	off := 0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		end := off + int(c)
+		lists[i] = flat[off:end:end]
+		off = end
+	}
+	return lists
+}
+
+// Float64s bulk-reads n fixed 8-byte words written by Float64/Float64s:
+// one bounds check covers the whole burst, so columnar sections decode at
+// near copy speed. n comes from a count the caller already read; negative
+// or oversized bursts poison the decoder instead of allocating.
+func (d *Decoder) Float64s(n int) []float64 {
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n < 0 || d.Len()/8 < n {
+		d.fail("float64 burst of %d words exceeds remaining %d bytes at offset %d", n, d.Len(), d.off)
+		return nil
+	}
+	vs := make([]float64, n)
+	buf := d.buf[d.off:]
+	for i := range vs {
+		vs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	d.off += 8 * n
+	return vs
+}
+
+// Bools bulk-reads n bytes written by Bool/Bools, requiring each to be 0
+// or 1 like the scalar reader does.
+func (d *Decoder) Bools(n int) []bool {
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n < 0 || d.Len() < n {
+		d.fail("bool burst of %d bytes exceeds remaining %d at offset %d", n, d.Len(), d.off)
+		return nil
+	}
+	vs := make([]bool, n)
+	for i := range vs {
+		b := d.buf[d.off+i]
+		if b > 1 {
+			d.fail("bool byte %#x at offset %d", b, d.off+i)
+			return nil
+		}
+		vs[i] = b == 1
+	}
+	d.off += n
+	return vs
+}
+
+// Int32sInto decodes len(dst) zigzag varints into dst with one sticky
+// check up front, for columnar sections whose length the caller already
+// knows. dst is left partially filled if the buffer runs out.
+func (d *Decoder) Int32sInto(dst []int32) {
+	if d.err != nil {
+		return
+	}
+	off := d.off
+	for i := range dst {
+		v, n := binary.Varint(d.buf[off:])
+		if n <= 0 {
+			d.fail("truncated or overlong varint at offset %d", off)
+			return
+		}
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			d.fail("varint %d out of int32 range at offset %d", v, off)
+			return
+		}
+		dst[i] = int32(v)
+		off += n
+	}
+	d.off = off
+}
+
+// IntsInto is Int32sInto for native ints (zigzag varints written by Int).
+func (d *Decoder) IntsInto(dst []int) {
+	if d.err != nil {
+		return
+	}
+	off := d.off
+	for i := range dst {
+		v, n := binary.Varint(d.buf[off:])
+		if n <= 0 {
+			d.fail("truncated or overlong varint at offset %d", off)
+			return
+		}
+		dst[i] = int(v)
+		off += n
+	}
+	d.off = off
+}
+
+// Length reads a length prefix for a sequence whose elements each occupy
+// at least elemSize bytes, rejecting prefixes that could not fit in the
+// remaining buffer. Payload decoders use it before allocating slices.
+func (d *Decoder) Length(elemSize int) int { return d.length(elemSize) }
+
+func (d *Decoder) length(elemSize int) int {
+	v := d.Uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if v > uint64(d.Len()/elemSize) {
+		d.fail("length prefix %d exceeds remaining %d bytes at offset %d", v, d.Len(), d.off)
+		return 0
+	}
+	return int(v)
+}

@@ -35,6 +35,7 @@ import (
 	"omtree/internal/obs/trace"
 	"omtree/internal/protocol"
 	"omtree/internal/rng"
+	"omtree/internal/snapshot"
 	"omtree/internal/tree"
 	"omtree/internal/viz"
 )
@@ -427,6 +428,46 @@ var (
 	// ErrJoinQueued reports a join parked on the admission queue (it will
 	// be admitted by an upcoming maintenance round).
 	ErrJoinQueued = protocol.ErrJoinQueued
+)
+
+// Crash-safe state (see internal/snapshot, internal/protocol, and
+// internal/faultplane): versioned, checksummed, deterministic snapshots of
+// live sessions, atomic file rotation, restore into a byte-identical
+// session, in-place rejoin of crashed members (Overlay.Restart), and a
+// seeded kill-point harness for crash-recovery testing (DESIGN.md §2k).
+type (
+	// OverlaySnapshotConfig schedules automatic snapshots on the session's
+	// maintenance-round clock (OverlayConfig.Snapshot).
+	OverlaySnapshotConfig = protocol.SnapshotConfig
+	// KillPlan is a deterministic crash schedule over named kill points.
+	KillPlan = faultplane.KillPlan
+	// KillEvent schedules one crash: die on the Hit-th crossing of Point.
+	KillEvent = faultplane.KillEvent
+	// KilledError reports that a kill plan fired.
+	KilledError = faultplane.KilledError
+)
+
+// Crash-safe state constructors and helpers.
+var (
+	// RestoreOverlay reads one overlay snapshot and returns a session that
+	// resumes exactly where WriteSnapshot left off.
+	RestoreOverlay = protocol.Restore
+	// RestoreOverlayBytes is RestoreOverlay for a blob already in memory
+	// (received over a network, say), skipping the reader copy.
+	RestoreOverlayBytes = protocol.RestoreBytes
+	// RestoreOverlayFile is RestoreOverlay over a snapshot file.
+	RestoreOverlayFile = protocol.RestoreFile
+	// RestoreOverlayGroupSet restores a multi-session group-set snapshot
+	// onto a fresh transport.
+	RestoreOverlayGroupSet = protocol.RestoreGroupSet
+	// NewKillPlan builds a crash schedule from explicit events.
+	NewKillPlan = faultplane.NewKillPlan
+	// SeededKillEvent derives one crash deterministically from a seed.
+	SeededKillEvent = faultplane.SeededKillEvent
+	// ErrSnapshotCorrupt reports a snapshot rejected by checksum, framing,
+	// or semantic validation (errors.Is-matchable through every restore
+	// path; torn writes land here, never in a panic).
+	ErrSnapshotCorrupt = snapshot.ErrCorrupt
 )
 
 // Fault-injection types (see internal/faultplane): a deterministic
